@@ -1,0 +1,40 @@
+// Ablation A2 — fault-aware pre-execution lookahead sweep.
+//
+// The pre-execute window (max records per episode) controls how much of the
+// synchronous fault wait is converted into cache warming; the fill cap
+// models MSHR/bandwidth limits.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace its;
+  std::cerr << "Ablation: ITS pre-execute lookahead sweep (batch 2_Data_Intensive)\n";
+  const core::BatchSpec& batch = core::paper_batches()[2];
+  core::ExperimentConfig cfg;
+  auto traces = core::batch_traces(batch, cfg.gen);
+
+  util::Table t({"max records", "idle (ms)", "LLC misses", "lines warmed",
+                 "stolen (ms)", "top50 finish (ms)"});
+  for (unsigned window : {0u, 32u, 128u, 512u, 1024u, 4096u}) {
+    std::cerr << "  window " << window << " ...\n";
+    core::ExperimentConfig c = cfg;
+    c.sim.preexec.max_records = window;
+    core::SimMetrics m =
+        core::run_batch_policy(batch, core::PolicyKind::kIts, c, traces);
+    t.add_row({std::to_string(window),
+               util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
+               util::Table::fmt(m.llc_misses),
+               util::Table::fmt(m.preexec_lines_warmed),
+               util::Table::fmt(static_cast<double>(m.stolen_time) / 1e6, 1),
+               util::Table::fmt(m.avg_finish_top_half() / 1e6, 1)});
+  }
+
+  std::cout << "\n== Ablation A2 — ITS pre-execute lookahead (2_Data_Intensive) ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: cache misses fall with the window until the "
+               "fault wait (a few microseconds) or the fill cap binds; "
+               "past that, extra window is wasted.\n";
+  return 0;
+}

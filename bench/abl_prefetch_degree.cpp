@@ -1,0 +1,42 @@
+// Ablation A1 — page-prefetch degree sweep (the `n` of Fig. 2's
+// virtual-address-based prefetcher).
+//
+// Trade-off under test: a larger degree converts more majors into minors on
+// predictable workloads but wastes DMA bandwidth and DRAM frames on sparse
+// (data-intensive) address spaces, delaying demand swap-ins behind junk
+// transfers.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace its;
+  std::cerr << "Ablation: ITS prefetch degree sweep (batch 1_Data_Intensive)\n";
+  const core::BatchSpec& batch = core::paper_batches()[1];
+  core::ExperimentConfig cfg;
+  auto traces = core::batch_traces(batch, cfg.gen);
+
+  util::Table t({"degree", "idle (ms)", "major flt", "minor flt", "pf issued",
+                 "accuracy %", "top50 finish (ms)"});
+  for (unsigned degree : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::cerr << "  degree " << degree << " ...\n";
+    core::ExperimentConfig c = cfg;
+    c.sim.va_prefetch.degree = degree;
+    core::SimMetrics m =
+        core::run_batch_policy(batch, core::PolicyKind::kIts, c, traces);
+    t.add_row({std::to_string(degree),
+               util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
+               util::Table::fmt(m.major_faults), util::Table::fmt(m.minor_faults),
+               util::Table::fmt(m.prefetch_issued),
+               util::Table::fmt(100.0 * m.prefetch_accuracy(), 1),
+               util::Table::fmt(m.avg_finish_top_half() / 1e6, 1)});
+  }
+
+  std::cout << "\n== Ablation A1 — ITS page-prefetch degree (1_Data_Intensive) ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: majors fall steeply up to degree ~4-8, then "
+               "idle time flattens or degrades as junk prefetches queue ahead "
+               "of demand swap-ins.\n";
+  return 0;
+}

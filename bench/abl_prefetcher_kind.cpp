@@ -1,0 +1,73 @@
+// Ablation A5 — prefetcher kind inside ITS.
+//
+// Swaps the self-improving thread's page-prefetch policy between the
+// paper's virtual-address page-table walk (Fig. 2), the page-on-page unit
+// (Sync_Prefetch's mechanism), and a learned stride predictor, holding
+// everything else fixed.  Shows why the paper's walk is the right default:
+// it skips resident pages for free and never needs training faults.
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "util/table.h"
+
+namespace {
+
+its::core::SimMetrics run_kind(
+    const its::core::BatchSpec& batch, const its::core::ExperimentConfig& cfg,
+    const std::vector<std::shared_ptr<const its::trace::Trace>>& traces,
+    its::core::PrefetchKind kind) {
+  its::core::SimConfig sc = cfg.sim;
+  sc.dram_bytes = its::core::dram_bytes_for(batch, cfg.dram_headroom,
+                                            cfg.gen.footprint_scale);
+  its::core::ItsOptions opts;
+  opts.prefetcher = kind;
+  opts.page_prefetch = kind != its::core::PrefetchKind::kNone;
+  its::core::Simulator sim(sc, its::core::make_its_policy(opts));
+  for (auto& p : its::core::build_processes(batch, traces, sc.seed))
+    sim.add_process(std::move(p));
+  return sim.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace its;
+  std::cerr << "Ablation: ITS prefetcher kind\n";
+
+  struct Kind {
+    const char* name;
+    core::PrefetchKind kind;
+  };
+  const Kind kinds[] = {
+      {"VA page-table walk (paper)", core::PrefetchKind::kVa},
+      {"page-on-page unit", core::PrefetchKind::kPop},
+      {"stride predictor", core::PrefetchKind::kStride},
+      {"no prefetch", core::PrefetchKind::kNone},
+  };
+
+  core::ExperimentConfig cfg;
+  util::Table t({"prefetcher", "batch", "idle (ms)", "major flt", "pf issued",
+                 "accuracy %"});
+  for (std::size_t bi : {std::size_t{0}, std::size_t{2}}) {
+    const core::BatchSpec& batch = core::paper_batches()[bi];
+    std::cerr << "  batch " << batch.name << " ...\n";
+    auto traces = core::batch_traces(batch, cfg.gen);
+    for (const auto& k : kinds) {
+      core::SimMetrics m = run_kind(batch, cfg, traces, k.kind);
+      t.add_row({k.name, std::string(batch.name),
+                 util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
+                 util::Table::fmt(m.major_faults), util::Table::fmt(m.prefetch_issued),
+                 util::Table::fmt(100.0 * m.prefetch_accuracy(), 1)});
+    }
+  }
+
+  std::cout << "\n== Ablation A5 — prefetcher kind inside ITS ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: the VA walk wins on both batch types — the "
+               "stride predictor needs training and degenerates on sparse "
+               "graph regions; the aligned unit wastes fetches behind the "
+               "victim.\n";
+  return 0;
+}

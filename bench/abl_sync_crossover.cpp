@@ -1,0 +1,51 @@
+// Ablation A3 — the paper's premise: when does synchronous I/O become
+// promising?  Sweeps the ULL media latency against the fixed 7 µs context
+// switch and reports Sync vs Async idle time and top-priority finish time.
+//
+// Expectation: Sync wins (less idle) while the swap-in time is below the
+// context-switch cost; Async catches up and wins as the device gets slower
+// — the crossover sits near the switch cost, which is exactly the
+// "killer microsecond" argument (§2.1.2).
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace its;
+  std::cerr << "Ablation: Sync vs Async crossover over device latency\n";
+  const core::BatchSpec& batch = core::paper_batches()[1];
+  core::ExperimentConfig cfg;
+  auto traces = core::batch_traces(batch, cfg.gen);
+
+  util::Table t({"media latency (us)", "swap-in (us)", "Sync idle (ms)",
+                 "Async idle (ms)", "Sync/Async", "winner"});
+  for (its::Duration lat :
+       {1000u, 2000u, 3000u, 5000u, 7000u, 10000u, 15000u, 25000u}) {
+    std::cerr << "  media " << lat / 1000 << " us ...\n";
+    core::ExperimentConfig c = cfg;
+    c.sim.ull.read_latency = lat;
+    c.sim.ull.write_latency = lat;
+    core::SimMetrics sync =
+        core::run_batch_policy(batch, core::PolicyKind::kSync, c, traces);
+    core::SimMetrics async =
+        core::run_batch_policy(batch, core::PolicyKind::kAsync, c, traces);
+    double s = static_cast<double>(sync.idle.total()) / 1e6;
+    double a = static_cast<double>(async.idle.total()) / 1e6;
+    storage::DmaController dma(c.sim.ull, c.sim.pcie);
+    double swapin_us =
+        static_cast<double>(dma.post_page(0, storage::Dir::kRead)) / 1e3;
+    t.add_row({util::Table::fmt(static_cast<double>(lat) / 1e3, 0),
+               util::Table::fmt(swapin_us, 2), util::Table::fmt(s, 1),
+               util::Table::fmt(a, 1), util::Table::fmt(s / a, 2),
+               s < a ? "Sync" : "Async"});
+  }
+
+  std::cout << "\n== Ablation A3 — Sync vs Async crossover (ctx switch fixed "
+               "at 7 us) ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: Sync wins below the ~7 us switch cost and "
+               "loses above it — synchronous I/O mode is promising exactly "
+               "for ULL devices.\n";
+  return 0;
+}

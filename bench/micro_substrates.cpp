@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the substrate data structures:
+// page-table walks, cache lookups, TLB, pre-execute cache, prefetcher
+// collection, DMA posting, and trace generation throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/preexec_cache.h"
+#include "mem/tlb.h"
+#include "storage/dma.h"
+#include "trace/workloads.h"
+#include "util/rng.h"
+#include "vm/mm.h"
+#include "vm/prefetch.h"
+
+namespace {
+
+using namespace its;
+
+std::vector<its::Vpn> bench_footprint(unsigned pages) {
+  std::vector<its::Vpn> fp;
+  const its::Vpn base = trace::kHeapBase >> its::kPageShift;
+  for (unsigned i = 0; i < pages; ++i) fp.push_back(base + i);
+  return fp;
+}
+
+void BM_PageTableWalk(benchmark::State& state) {
+  auto fp = bench_footprint(4096);
+  vm::MemoryDescriptor mm(1, fp);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    its::Vpn vpn = fp[rng.below(fp.size())];
+    benchmark::DoNotOptimize(mm.pte(vpn));
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_PageTableCursor(benchmark::State& state) {
+  auto fp = bench_footprint(4096);
+  vm::MemoryDescriptor mm(1, fp);
+  for (auto _ : state) {
+    auto cur = mm.page_table().cursor_at(fp[0]);
+    its::Vpn vpn = 0;
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(cur.next(vpn));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PageTableCursor);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::SetAssocCache c({static_cast<std::uint64_t>(state.range(0)) << 20, 16, 64, 1});
+  util::Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(c.access(rng.below(64ull << 20)));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  mem::CacheHierarchy h;
+  util::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(h.access(rng.below(64ull << 20), 8));
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_TlbLookup(benchmark::State& state) {
+  mem::Tlb tlb(64);
+  for (its::Vpn v = 0; v < 64; ++v) tlb.insert(v);
+  util::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(tlb.lookup(rng.below(128)));
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_PreexecCacheStoreLoad(benchmark::State& state) {
+  mem::PreexecCache px;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    std::uint64_t a = rng.below(1ull << 22) & ~7ull;
+    px.store(a, 8, (a & 64) != 0);
+    benchmark::DoNotOptimize(px.lookup(a, 8));
+  }
+}
+BENCHMARK(BM_PreexecCacheStoreLoad);
+
+void BM_VaPrefetcherCollect(benchmark::State& state) {
+  auto fp = bench_footprint(8192);
+  vm::MemoryDescriptor mm(1, fp);
+  // Map every second page so the walk has to skip.
+  for (unsigned i = 0; i < fp.size(); i += 2) mm.pte(fp[i])->map(i);
+  vm::VaPrefetcher pf({.degree = static_cast<unsigned>(state.range(0))});
+  util::Rng rng(6);
+  for (auto _ : state) {
+    its::Vpn victim = fp[rng.below(fp.size() - 64)];
+    benchmark::DoNotOptimize(pf.collect(mm, victim));
+  }
+}
+BENCHMARK(BM_VaPrefetcherCollect)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DmaPostPage(benchmark::State& state) {
+  storage::DmaController dma;
+  its::SimTime now = 0;
+  for (auto _ : state) {
+    now += 3000;
+    benchmark::DoNotOptimize(dma.post_page(now, storage::Dir::kRead));
+  }
+}
+BENCHMARK(BM_DmaPostPage);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto id = static_cast<trace::WorkloadId>(state.range(0));
+  trace::GeneratorConfig cfg;
+  cfg.length_scale = 0.05;
+  for (auto _ : state) {
+    trace::Trace t = trace::generate(id, cfg);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(static_cast<double>(trace::spec_for(id).records) * 0.05));
+}
+BENCHMARK(BM_TraceGeneration)
+    ->Arg(static_cast<int>(trace::WorkloadId::kWrf))
+    ->Arg(static_cast<int>(trace::WorkloadId::kDeepSjeng))
+    ->Arg(static_cast<int>(trace::WorkloadId::kRandomWalk));
+
+}  // namespace
+
+BENCHMARK_MAIN();

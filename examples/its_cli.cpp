@@ -1,0 +1,184 @@
+// its_cli — command-line driver for the simulator.
+//
+//   its_cli --list
+//   its_cli --batch=1 --policy=ITS
+//   its_cli --batch=3 --policy=all --scheduler=cfs --csv=/tmp/out
+//   its_cli --batch=0 --policy=Sync --media-us=10 --ctx-us=7 --seed=7
+//
+// Flags: --batch=<0..3>  --policy=<Async|Sync|Sync_Runahead|Sync_Prefetch|
+// ITS|all>  --scheduler=<rr|cfs>  --seed=<n>  --degree=<n>  --media-us=<n>
+// --ctx-us=<n>  --length-scale=<f>  --csv=<dir>  --list
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "trace/lackey.h"
+#include "trace/trace_io.h"
+#include "core/report.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace its;
+
+int list_everything() {
+  std::cout << "batches:\n";
+  for (std::size_t i = 0; i < core::paper_batches().size(); ++i) {
+    const auto& b = core::paper_batches()[i];
+    std::cout << "  " << i << ": " << b.name << " (";
+    for (auto id : b.members) std::cout << ' ' << trace::spec_for(id).name;
+    std::cout << " )\n";
+  }
+  std::cout << "policies:";
+  for (auto k : core::kAllPolicies) std::cout << ' ' << core::policy_name(k);
+  std::cout << " all\nschedulers: rr cfs\n";
+  return 0;
+}
+
+void print_one(const std::string& policy, const core::SimMetrics& m) {
+  util::Table t({"metric", "value"});
+  auto ms = [](its::Duration d) {
+    return util::Table::fmt(static_cast<double>(d) / 1e6, 2) + " ms";
+  };
+  t.add_row({"policy", policy});
+  t.add_row({"total CPU idle", ms(m.idle.total())});
+  t.add_row({"  mem stall", ms(m.idle.mem_stall)});
+  t.add_row({"  busy wait", ms(m.idle.busy_wait)});
+  t.add_row({"  ctx switch", ms(m.idle.ctx_switch)});
+  t.add_row({"  no runnable", ms(m.idle.no_runnable)});
+  t.add_row({"major faults", util::Table::fmt(m.major_faults)});
+  t.add_row({"minor faults", util::Table::fmt(m.minor_faults)});
+  t.add_row({"LLC misses", util::Table::fmt(m.llc_misses)});
+  t.add_row({"prefetch issued/useful", util::Table::fmt(m.prefetch_issued) + " / " +
+                                           util::Table::fmt(m.prefetch_useful)});
+  t.add_row({"pre-exec episodes", util::Table::fmt(m.preexec_episodes)});
+  t.add_row({"async give-ways", util::Table::fmt(m.async_switches)});
+  t.add_row({"stolen time", ms(m.stolen_time)});
+  t.add_row({"makespan", ms(m.makespan)});
+  t.add_row({"top-50% finish", ms(static_cast<its::Duration>(m.avg_finish_top_half()))});
+  t.add_row({"bottom-50% finish",
+             ms(static_cast<its::Duration>(m.avg_finish_bottom_half()))});
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+namespace {
+int run_cli(int argc, char** argv);
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "its_cli: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+namespace {
+int run_cli(int argc, char** argv) {
+  using namespace its;
+  util::Args args(argc, argv);
+
+  for (const auto& u : args.unknown({"batch", "policy", "scheduler", "seed", "degree",
+                                     "media-us", "ctx-us", "length-scale", "csv",
+                                     "trace", "dram-mb", "list", "help"})) {
+    std::cerr << "unknown flag --" << u << " (try --help)\n";
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << "usage: its_cli [--list] [--batch=N] [--policy=NAME|all] "
+                 "[--scheduler=rr|cfs]\n               [--seed=N] [--degree=N] "
+                 "[--media-us=N] [--ctx-us=N]\n               "
+                 "[--length-scale=F] [--csv=DIR]\n       its_cli "
+                 "--trace=FILE.trc|FILE.lk --policy=NAME [--dram-mb=N]\n"
+                 "  (.trc = binary trace, anything else parses as Valgrind "
+                 "lackey output)\n";
+    return 0;
+  }
+  if (args.has("list")) return list_everything();
+
+  if (auto path = args.get("trace")) {
+    // Single-trace mode: simulate a captured trace file under one policy.
+    trace::Trace t = path->ends_with(".trc") ? trace::load_trace_file(*path)
+                                             : trace::load_lackey_file(*path);
+    std::cout << "loaded '" << t.name() << "': " << t.size() << " records, "
+              << t.stats().footprint_pages << " pages touched\n\n";
+    core::SimConfig cfg;
+    cfg.seed = args.get_u64("seed", cfg.seed);
+    cfg.dram_bytes = args.get_u64("dram-mb", 64) << 20;
+    std::string pol = args.get_string("policy", "Sync");
+    for (auto k : core::kAllPolicies) {
+      if (core::policy_name(k) != pol) continue;
+      core::Simulator sim(cfg, k);
+      sim.add_process(std::make_unique<sched::Process>(
+          0, t.name(), 30, std::make_shared<const trace::Trace>(std::move(t))));
+      print_one(pol, sim.run());
+      return 0;
+    }
+    std::cerr << "unknown --policy " << pol << " (see --list)\n";
+    return 2;
+  }
+
+  auto batch_idx = args.get_u64("batch", 1);
+  if (batch_idx >= core::paper_batches().size()) {
+    std::cerr << "--batch out of range\n";
+    return 2;
+  }
+  const core::BatchSpec& batch = core::paper_batches()[batch_idx];
+
+  core::ExperimentConfig cfg;
+  cfg.sim.seed = args.get_u64("seed", cfg.sim.seed);
+  cfg.sim.va_prefetch.degree =
+      static_cast<unsigned>(args.get_u64("degree", cfg.sim.va_prefetch.degree));
+  cfg.sim.ull.read_latency = args.get_u64("media-us", 3) * 1000;
+  cfg.sim.ull.write_latency = cfg.sim.ull.read_latency;
+  cfg.sim.ctx_switch_cost = args.get_u64("ctx-us", 7) * 1000;
+  cfg.gen.length_scale = args.get_double("length-scale", 1.0);
+  std::string sched = args.get_string("scheduler", "rr");
+  if (sched == "cfs") {
+    cfg.sim.scheduler = core::SchedulerKind::kCfs;
+  } else if (sched != "rr") {
+    std::cerr << "--scheduler must be rr or cfs\n";
+    return 2;
+  }
+
+  std::string policy = args.get_string("policy", "all");
+  std::cout << "batch " << batch.name << ", scheduler " << sched << ", seed "
+            << cfg.sim.seed << "\n\n";
+
+  std::vector<core::BatchResult> grid;
+  if (policy == "all") {
+    grid.push_back(core::run_batch_all(batch, cfg));
+    for (auto k : core::kAllPolicies)
+      print_one(std::string(core::policy_name(k)), grid[0].by_policy.at(k));
+  } else {
+    bool found = false;
+    core::BatchResult r;
+    r.spec = &batch;
+    for (auto k : core::kAllPolicies) {
+      if (core::policy_name(k) == policy) {
+        r.by_policy.emplace(k, core::run_batch_policy(batch, k, cfg));
+        print_one(policy, r.by_policy.at(k));
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown --policy " << policy << " (see --list)\n";
+      return 2;
+    }
+    grid.push_back(std::move(r));
+  }
+
+  if (auto dir = args.get("csv")) {
+    core::save_csv_files(*dir, grid);
+    std::cout << "wrote " << *dir << "/its_metrics.csv and its_processes.csv\n";
+  }
+  return 0;
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace its::core {
+
+using trace::WorkloadId;
+
+namespace {
+constexpr std::array<BatchSpec, 4> kBatches{{
+    {"No_Data_Intensive", 0,
+     {WorkloadId::kWrf, WorkloadId::kBlender, WorkloadId::kCommunity,
+      WorkloadId::kCaffe, WorkloadId::kDeepSjeng, WorkloadId::kXz}},
+    {"1_Data_Intensive", 1,
+     {WorkloadId::kWrf, WorkloadId::kBlender, WorkloadId::kCommunity,
+      WorkloadId::kCaffe, WorkloadId::kDeepSjeng, WorkloadId::kRandomWalk}},
+    {"2_Data_Intensive", 2,
+     {WorkloadId::kWrf, WorkloadId::kBlender, WorkloadId::kCommunity,
+      WorkloadId::kDeepSjeng, WorkloadId::kRandomWalk, WorkloadId::kGraph500Sssp}},
+    {"3_Data_Intensive", 3,
+     {WorkloadId::kWrf, WorkloadId::kBlender, WorkloadId::kCommunity,
+      WorkloadId::kRandomWalk, WorkloadId::kGraph500Sssp, WorkloadId::kPageRank}},
+}};
+}  // namespace
+
+std::span<const BatchSpec> paper_batches() { return kBatches; }
+
+std::uint64_t dram_bytes_for(const BatchSpec& batch, double headroom,
+                             double footprint_scale) {
+  std::uint64_t hot = 0;
+  for (auto id : batch.members) hot += trace::spec_for(id).hot_bytes;
+  auto bytes = static_cast<std::uint64_t>(static_cast<double>(hot) * headroom *
+                                          footprint_scale);
+  return (bytes + its::kPageSize - 1) & ~its::kPageOffsetMask;
+}
+
+std::vector<std::shared_ptr<const trace::Trace>> batch_traces(
+    const BatchSpec& batch, const trace::GeneratorConfig& cfg) {
+  std::vector<std::shared_ptr<const trace::Trace>> out;
+  out.reserve(batch.members.size());
+  for (auto id : batch.members)
+    out.push_back(std::make_shared<const trace::Trace>(trace::generate(id, cfg)));
+  return out;
+}
+
+std::vector<std::unique_ptr<sched::Process>> build_processes(
+    const BatchSpec& batch,
+    const std::vector<std::shared_ptr<const trace::Trace>>& traces,
+    std::uint64_t seed) {
+  if (traces.size() != batch.members.size())
+    throw std::invalid_argument("build_processes: traces/members size mismatch");
+
+  // Distinct priorities 10..60, Fisher–Yates shuffled by the seed (the
+  // paper assigns priorities randomly).
+  std::vector<int> prio;
+  prio.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    prio.push_back(static_cast<int>(10 * (i + 1)));
+  util::Rng rng(seed, 0x5eedull);
+  for (std::size_t i = prio.size(); i > 1; --i)
+    std::swap(prio[i - 1], prio[rng.below(i)]);
+
+  std::vector<std::unique_ptr<sched::Process>> procs;
+  procs.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    procs.push_back(std::make_unique<sched::Process>(
+        static_cast<its::Pid>(i), std::string(trace::spec_for(batch.members[i]).name),
+        prio[i], traces[i]));
+  }
+  return procs;
+}
+
+}  // namespace its::core

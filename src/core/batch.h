@@ -1,0 +1,49 @@
+// Process batches — §4.1's four six-process mixes.
+//
+// "We build four synthesis process batches by selecting six processes among
+// the nine traces … All four process batches comprise Wrf, Blender, and
+// community detection."  DRAM is sized to the batch's aggregate working set
+// ("the DRAM size is tailored to match the working set"), which is what
+// makes the processes contend for memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/process.h"
+#include "trace/workloads.h"
+
+namespace its::core {
+
+struct BatchSpec {
+  std::string_view name;
+  unsigned data_intensive = 0;  ///< Number of data-intensive members.
+  std::array<trace::WorkloadId, 6> members;
+};
+
+/// The paper's four batches, ordered by data-intensive process count.
+std::span<const BatchSpec> paper_batches();
+
+/// DRAM bytes for a batch: the sum of the members' working sets times a
+/// small headroom factor, rounded up to a page.
+std::uint64_t dram_bytes_for(const BatchSpec& batch, double headroom = 1.10,
+                             double footprint_scale = 1.0);
+
+/// Generates (or returns memoised) traces for a batch.  Traces are
+/// deterministic in (workload, cfg), so sharing across policy runs is safe.
+std::vector<std::shared_ptr<const trace::Trace>> batch_traces(
+    const BatchSpec& batch, const trace::GeneratorConfig& cfg = {});
+
+/// Builds the six PCBs with randomly shuffled distinct priorities
+/// (10,20,…,60), deterministic in `seed`.
+std::vector<std::unique_ptr<sched::Process>> build_processes(
+    const BatchSpec& batch,
+    const std::vector<std::shared_ptr<const trace::Trace>>& traces,
+    std::uint64_t seed);
+
+}  // namespace its::core

@@ -1,0 +1,79 @@
+#include "core/experiment.h"
+
+#include <array>
+#include <future>
+
+#include "core/simulator.h"
+
+namespace its::core {
+
+SimMetrics run_batch_policy(const BatchSpec& batch, PolicyKind policy,
+                            const ExperimentConfig& cfg) {
+  return run_batch_policy(batch, policy, cfg, batch_traces(batch, cfg.gen));
+}
+
+SimMetrics run_batch_policy(
+    const BatchSpec& batch, PolicyKind policy, const ExperimentConfig& cfg,
+    const std::vector<std::shared_ptr<const trace::Trace>>& traces) {
+  SimConfig sc = cfg.sim;
+  sc.dram_bytes = dram_bytes_for(batch, cfg.dram_headroom, cfg.gen.footprint_scale);
+  Simulator sim(sc, policy);
+  for (auto& p : build_processes(batch, traces, sc.seed)) sim.add_process(std::move(p));
+  return sim.run();
+}
+
+BatchResult run_batch_all(const BatchSpec& batch, const ExperimentConfig& cfg) {
+  BatchResult r;
+  r.spec = &batch;
+  auto traces = batch_traces(batch, cfg.gen);
+  if (cfg.parallel) {
+    // Each policy's simulation is fully independent (own Simulator, shared
+    // immutable traces), so the five runs execute concurrently.  Results
+    // stay deterministic: concurrency never touches a simulator's state.
+    std::array<std::future<SimMetrics>, std::size(kAllPolicies)> futs;
+    for (std::size_t i = 0; i < std::size(kAllPolicies); ++i)
+      futs[i] = std::async(std::launch::async, [&, i] {
+        return run_batch_policy(batch, kAllPolicies[i], cfg, traces);
+      });
+    for (std::size_t i = 0; i < std::size(kAllPolicies); ++i)
+      r.by_policy.emplace(kAllPolicies[i], futs[i].get());
+    return r;
+  }
+  for (PolicyKind k : kAllPolicies)
+    r.by_policy.emplace(k, run_batch_policy(batch, k, cfg, traces));
+  return r;
+}
+
+double BatchResult::normalized(PolicyKind k, double (*extract)(const SimMetrics&)) const {
+  double base = extract(by_policy.at(PolicyKind::kIts));
+  double v = extract(by_policy.at(k));
+  return base > 0.0 ? v / base : 0.0;
+}
+
+RepeatedMetrics run_batch_policy_repeated(const BatchSpec& batch, PolicyKind policy,
+                                          const ExperimentConfig& cfg,
+                                          unsigned repeats) {
+  RepeatedMetrics out;
+  auto traces = batch_traces(batch, cfg.gen);
+  for (unsigned i = 0; i < repeats; ++i) {
+    ExperimentConfig c = cfg;
+    c.sim.seed = cfg.sim.seed + i;
+    SimMetrics m = run_batch_policy(batch, policy, c, traces);
+    out.idle_total.add(static_cast<double>(m.idle.total()));
+    out.major_faults.add(static_cast<double>(m.major_faults));
+    out.llc_misses.add(static_cast<double>(m.llc_misses));
+    out.top_finish.add(m.avg_finish_top_half());
+    out.bottom_finish.add(m.avg_finish_bottom_half());
+  }
+  return out;
+}
+
+double total_idle_ns(const SimMetrics& m) {
+  return static_cast<double>(m.idle.total());
+}
+double major_faults(const SimMetrics& m) { return static_cast<double>(m.major_faults); }
+double llc_misses(const SimMetrics& m) { return static_cast<double>(m.llc_misses); }
+double top_half_finish(const SimMetrics& m) { return m.avg_finish_top_half(); }
+double bottom_half_finish(const SimMetrics& m) { return m.avg_finish_bottom_half(); }
+
+}  // namespace its::core

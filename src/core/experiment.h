@@ -1,0 +1,78 @@
+// Experiment runner — shared harness for the bench binaries and examples.
+//
+// Runs one batch under one or all policies with identical traces, DRAM
+// sizing and priority assignment, so the only varying factor is the I/O
+// mode policy — the paper's comparison methodology.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "trace/workloads.h"
+#include "util/stats.h"
+
+namespace its::core {
+
+struct ExperimentConfig {
+  trace::GeneratorConfig gen{};  ///< Trace scaling knobs.
+  SimConfig sim{};               ///< Base config; dram_bytes set per batch.
+  double dram_headroom = 1.12;   ///< DRAM = Σ working sets × headroom.
+  bool parallel = true;          ///< Run the five policies concurrently.
+
+  ExperimentConfig() {
+    // The mini traces are ~100x shorter than the paper's Valgrind captures;
+    // scale the SCHED_RR slice range (paper: 5–800 ms) by the same factor so
+    // the slice-to-runtime ratio — and hence multiprogrammed interleaving —
+    // matches the original setup.
+    sim.slice_min = 50'000;     // 50 µs  (paper 5 ms / 100)
+    sim.slice_max = 8'000'000;  // 8 ms   (paper 800 ms / 100)
+  }
+};
+
+/// Runs `batch` under `policy`, generating traces on the fly.
+SimMetrics run_batch_policy(const BatchSpec& batch, PolicyKind policy,
+                            const ExperimentConfig& cfg = {});
+
+/// Same, but with pre-generated traces (reuse across policies).
+SimMetrics run_batch_policy(
+    const BatchSpec& batch, PolicyKind policy, const ExperimentConfig& cfg,
+    const std::vector<std::shared_ptr<const trace::Trace>>& traces);
+
+struct BatchResult {
+  const BatchSpec* spec = nullptr;
+  std::map<PolicyKind, SimMetrics> by_policy;
+
+  /// value / ITS-value convenience for the normalised figures.
+  double normalized(PolicyKind k, double (*extract)(const SimMetrics&)) const;
+};
+
+/// Runs every policy over one batch with shared traces.
+BatchResult run_batch_all(const BatchSpec& batch, const ExperimentConfig& cfg = {});
+
+/// Aggregates over repeated runs with different seeds (the paper assigns
+/// priorities randomly; this measures how sensitive a result is to the
+/// assignment).  Traces are shared; only the priority shuffle varies.
+struct RepeatedMetrics {
+  util::RunningStat idle_total;     ///< ns
+  util::RunningStat major_faults;
+  util::RunningStat llc_misses;
+  util::RunningStat top_finish;     ///< ns
+  util::RunningStat bottom_finish;  ///< ns
+};
+
+RepeatedMetrics run_batch_policy_repeated(const BatchSpec& batch, PolicyKind policy,
+                                          const ExperimentConfig& cfg,
+                                          unsigned repeats);
+
+// Extractors used by the figure benches.
+double total_idle_ns(const SimMetrics& m);
+double major_faults(const SimMetrics& m);
+double llc_misses(const SimMetrics& m);
+double top_half_finish(const SimMetrics& m);
+double bottom_half_finish(const SimMetrics& m);
+
+}  // namespace its::core

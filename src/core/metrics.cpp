@@ -1,0 +1,30 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace its::core {
+
+namespace {
+double avg_finish(const std::vector<ProcessOutcome>& procs, bool top) {
+  if (procs.empty()) return 0.0;
+  std::vector<const ProcessOutcome*> sorted;
+  sorted.reserve(procs.size());
+  for (const auto& p : procs) sorted.push_back(&p);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->pid < b->pid;
+  });
+  std::size_t half = (sorted.size() + (top ? 1 : 0)) / 2;
+  std::size_t begin = top ? 0 : half;
+  std::size_t end = top ? half : sorted.size();
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i)
+    sum += static_cast<double>(sorted[i]->metrics.finish_time);
+  return sum / static_cast<double>(end - begin);
+}
+}  // namespace
+
+double SimMetrics::avg_finish_top_half() const { return avg_finish(processes, true); }
+double SimMetrics::avg_finish_bottom_half() const { return avg_finish(processes, false); }
+
+}  // namespace its::core

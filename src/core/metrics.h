@@ -1,0 +1,77 @@
+// Batch-level simulation metrics.
+//
+// "The definition of CPU idle time is the time that the CPU's progress
+// cannot proceed because it is waiting for the completion of memory or
+// storage requests" (§4.2.1).  We keep the breakdown explicit so each
+// policy's behaviour is auditable: memory stalls, un-stolen busy waits,
+// context-switch overhead, and whole-machine idle (every process blocked).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/process.h"
+#include "util/types.h"
+
+namespace its::core {
+
+struct IdleBreakdown {
+  its::Duration mem_stall = 0;    ///< Cache-miss/TLB-walk service time.
+  its::Duration busy_wait = 0;    ///< Sync fault wait not converted to work.
+  its::Duration ctx_switch = 0;   ///< 7 µs per switch, incl. async switches.
+  its::Duration no_runnable = 0;  ///< Every process blocked on I/O.
+
+  its::Duration total() const {
+    return mem_stall + busy_wait + ctx_switch + no_runnable;
+  }
+};
+
+/// Snapshot of one process's outcome.
+struct ProcessOutcome {
+  its::Pid pid = 0;
+  std::string name;
+  int priority = 0;
+  sched::ProcessMetrics metrics;
+};
+
+struct SimMetrics {
+  IdleBreakdown idle;
+  its::SimTime makespan = 0;  ///< Time the last process finished.
+
+  // Batch-wide sums (Fig. 4b / 4c).
+  std::uint64_t major_faults = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t llc_misses = 0;
+
+  // Mechanism accounting.
+  // File-I/O path (zero unless traces issue read/write syscalls).
+  std::uint64_t file_reads = 0;
+  std::uint64_t file_writes = 0;
+  std::uint64_t page_cache_hits = 0;
+  std::uint64_t page_cache_misses = 0;
+  std::uint64_t file_writebacks = 0;
+
+  std::uint64_t prefetch_issued = 0;    ///< Pages posted to DMA by prefetchers.
+  std::uint64_t prefetch_useful = 0;    ///< Prefetched pages later touched.
+  std::uint64_t preexec_episodes = 0;
+  std::uint64_t preexec_lines_warmed = 0;
+  std::uint64_t async_switches = 0;     ///< Faults serviced asynchronously.
+  std::uint64_t evictions = 0;          ///< Frames reclaimed under pressure.
+  its::Duration stolen_time = 0;        ///< Wait time converted to work.
+
+  std::vector<ProcessOutcome> processes;
+
+  /// Mean finish time over the ceil(n/2) highest-priority processes
+  /// (Fig. 5a) or the floor(n/2) lowest (Fig. 5b).
+  double avg_finish_top_half() const;
+  double avg_finish_bottom_half() const;
+
+  double prefetch_accuracy() const {
+    return prefetch_issued
+               ? static_cast<double>(prefetch_useful) / static_cast<double>(prefetch_issued)
+               : 0.0;
+  }
+};
+
+}  // namespace its::core

@@ -1,0 +1,101 @@
+#include "core/policy.h"
+
+#include <stdexcept>
+
+namespace its::core {
+
+std::string_view policy_name(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kAsync: return "Async";
+    case PolicyKind::kSync: return "Sync";
+    case PolicyKind::kSyncRunahead: return "Sync_Runahead";
+    case PolicyKind::kSyncPrefetch: return "Sync_Prefetch";
+    case PolicyKind::kIts: return "ITS";
+  }
+  return "?";
+}
+
+bool is_low_priority(const sched::Process& cur, const sched::Scheduler& sched) {
+  const sched::Process* next = sched.peek_next();
+  return next != nullptr && cur.priority() < next->priority();
+}
+
+namespace {
+
+class AsyncPolicy final : public IoPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kAsync; }
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+    return {.go_async = true};
+  }
+};
+
+class SyncPolicy final : public IoPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSync; }
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+    return {};  // pure busy wait
+  }
+};
+
+// Traditional runahead (§4.1 footnote 4): pre-execution happens while
+// servicing LLC misses; page-fault waits are plain busy waits — working the
+// fault window is exactly what distinguishes ITS's fault-aware pre-execution.
+class SyncRunaheadPolicy final : public IoPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSyncRunahead; }
+  bool uses_preexec_cache() const override { return true; }
+  bool runahead_on_llc_miss() const override { return true; }
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+    return {};
+  }
+};
+
+class SyncPrefetchPolicy final : public IoPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kSyncPrefetch; }
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+    return {.prefetch = PrefetchKind::kPop};
+  }
+};
+
+/// The contribution (§3.2–§3.4): self-sacrificing thread for low-priority
+/// processes (asynchronous give-way), self-improving thread for
+/// high-priority processes (virtual-address page prefetch + fault-aware
+/// pre-execution in the stolen wait).
+class ItsPolicy final : public IoPolicy {
+ public:
+  explicit ItsPolicy(const ItsOptions& opts = {}) : opts_(opts) {}
+
+  PolicyKind kind() const override { return PolicyKind::kIts; }
+  bool uses_preexec_cache() const override { return opts_.pre_execute; }
+  FaultPlan plan_major_fault(const sched::Process& cur,
+                             const sched::Scheduler& sched) override {
+    if (opts_.self_sacrificing && is_low_priority(cur, sched))
+      return {.go_async = true};
+    return {.prefetch = opts_.page_prefetch ? opts_.prefetcher : PrefetchKind::kNone,
+            .preexec = opts_.pre_execute};
+  }
+
+ private:
+  ItsOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<IoPolicy> make_its_policy(const ItsOptions& opts) {
+  return std::make_unique<ItsPolicy>(opts);
+}
+
+std::unique_ptr<IoPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAsync: return std::make_unique<AsyncPolicy>();
+    case PolicyKind::kSync: return std::make_unique<SyncPolicy>();
+    case PolicyKind::kSyncRunahead: return std::make_unique<SyncRunaheadPolicy>();
+    case PolicyKind::kSyncPrefetch: return std::make_unique<SyncPrefetchPolicy>();
+    case PolicyKind::kIts: return std::make_unique<ItsPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace its::core

@@ -1,0 +1,87 @@
+// I/O-mode policies: the paper's four baselines plus the ITS contribution.
+//
+// A policy answers one question per major fault — what should the CPU do
+// while the swap-in is in flight? — plus two static capability queries
+// (does it carve the LLC for a pre-execute cache, and does it also run
+// runahead on LLC misses).  All mechanics (DMA posting, context switching,
+// prefetch issue, pre-execute episodes) live in the Simulator; policies are
+// pure decision logic, which is exactly the shape of §3.2's "priority-aware
+// thread selection policy".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sched/process.h"
+#include "sched/scheduler.h"
+
+namespace its::core {
+
+enum class PolicyKind : std::uint8_t {
+  kAsync,         ///< Traditional asynchronous I/O: context-switch on fault.
+  kSync,          ///< Busy-wait synchronous I/O (Intel/IBM advocacy).
+  kSyncRunahead,  ///< Sync + runahead pre-execution on LLC misses and faults.
+  kSyncPrefetch,  ///< Sync + page-on-page unit prefetching.
+  kIts,           ///< The paper: priority-aware self-improving/self-sacrificing.
+};
+
+inline constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kAsync, PolicyKind::kSync, PolicyKind::kSyncRunahead,
+    PolicyKind::kSyncPrefetch, PolicyKind::kIts};
+
+std::string_view policy_name(PolicyKind k);
+
+/// Which prefetcher a fault plan engages.  kVa is the paper's Fig. 2 walk;
+/// kPop is the Sync_Prefetch unit baseline; kStride is an extension for
+/// the prefetcher-kind ablation.
+enum class PrefetchKind : std::uint8_t { kNone, kVa, kPop, kStride };
+
+/// Decision for one major fault.
+struct FaultPlan {
+  bool go_async = false;  ///< Context-switch out; I/O completes in background.
+  PrefetchKind prefetch = PrefetchKind::kNone;
+  bool preexec = false;   ///< Pre-execute during the leftover wait.
+};
+
+class IoPolicy {
+ public:
+  virtual ~IoPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  std::string_view name() const { return policy_name(kind()); }
+
+  /// True if half the LLC is carved out as the pre-execute cache.
+  virtual bool uses_preexec_cache() const { return false; }
+
+  /// True if pre-execution also triggers while servicing LLC misses
+  /// (traditional runahead; the paper's Sync_Runahead baseline).
+  virtual bool runahead_on_llc_miss() const { return false; }
+
+  /// Decision for a major fault of `cur`, given scheduler state.
+  virtual FaultPlan plan_major_fault(const sched::Process& cur,
+                                     const sched::Scheduler& sched) = 0;
+};
+
+std::unique_ptr<IoPolicy> make_policy(PolicyKind kind);
+
+/// Knock-out switches for the ITS components (ablation studies): disable
+/// the self-sacrificing thread, the page-prefetch policy, or the
+/// fault-aware pre-execute policy independently.
+struct ItsOptions {
+  bool self_sacrificing = true;
+  bool page_prefetch = true;
+  bool pre_execute = true;
+  /// Prefetcher used by the self-improving thread when page_prefetch is on.
+  PrefetchKind prefetcher = PrefetchKind::kVa;
+};
+
+std::unique_ptr<IoPolicy> make_its_policy(const ItsOptions& opts);
+
+/// The §3.2 priority test, exposed for reuse and testing: the current
+/// process is low-priority iff its priority is lower than the
+/// next-to-be-run process's.  With an empty run queue the process counts
+/// as high-priority (nobody to give way to).
+bool is_low_priority(const sched::Process& cur, const sched::Scheduler& sched);
+
+}  // namespace its::core

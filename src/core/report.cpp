@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace its::core {
+
+void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
+  os << "batch,policy,idle_total_ns,mem_stall_ns,busy_wait_ns,ctx_switch_ns,"
+        "no_runnable_ns,major_faults,minor_faults,llc_misses,prefetch_issued,"
+        "prefetch_useful,preexec_episodes,preexec_lines_warmed,async_switches,"
+        "evictions,stolen_ns,makespan_ns,top50_finish_ns,bottom50_finish_ns\n";
+  for (const auto& r : grid) {
+    for (PolicyKind k : kAllPolicies) {
+      auto it = r.by_policy.find(k);
+      if (it == r.by_policy.end()) continue;
+      const SimMetrics& m = it->second;
+      os << r.spec->name << ',' << policy_name(k) << ',' << m.idle.total() << ','
+         << m.idle.mem_stall << ',' << m.idle.busy_wait << ',' << m.idle.ctx_switch
+         << ',' << m.idle.no_runnable << ',' << m.major_faults << ','
+         << m.minor_faults << ',' << m.llc_misses << ',' << m.prefetch_issued << ','
+         << m.prefetch_useful << ',' << m.preexec_episodes << ','
+         << m.preexec_lines_warmed << ',' << m.async_switches << ',' << m.evictions
+         << ',' << m.stolen_time << ',' << m.makespan << ','
+         << static_cast<std::uint64_t>(m.avg_finish_top_half()) << ','
+         << static_cast<std::uint64_t>(m.avg_finish_bottom_half()) << '\n';
+    }
+  }
+}
+
+void write_processes_csv(std::ostream& os, std::span<const BatchResult> grid) {
+  os << "batch,policy,pid,process,priority,finish_ns,major_faults,minor_faults,"
+        "llc_misses,mem_stall_ns,busy_wait_ns,stolen_ns\n";
+  for (const auto& r : grid) {
+    for (PolicyKind k : kAllPolicies) {
+      auto it = r.by_policy.find(k);
+      if (it == r.by_policy.end()) continue;
+      for (const auto& p : it->second.processes) {
+        os << r.spec->name << ',' << policy_name(k) << ',' << p.pid << ','
+           << p.name << ',' << p.priority << ',' << p.metrics.finish_time << ','
+           << p.metrics.major_faults << ',' << p.metrics.minor_faults << ','
+           << p.metrics.llc_misses << ',' << p.metrics.mem_stall << ','
+           << p.metrics.busy_wait << ',' << p.metrics.stolen << '\n';
+      }
+    }
+  }
+}
+
+std::string metrics_csv(std::span<const BatchResult> grid) {
+  std::ostringstream ss;
+  write_metrics_csv(ss, grid);
+  return ss.str();
+}
+
+void save_csv_files(const std::string& dir, std::span<const BatchResult> grid) {
+  std::filesystem::create_directories(dir);
+  auto open = [&](const std::string& name) {
+    std::ofstream f(dir + "/" + name);
+    if (!f) throw std::runtime_error("report: cannot write " + dir + "/" + name);
+    return f;
+  };
+  auto m = open("its_metrics.csv");
+  write_metrics_csv(m, grid);
+  auto p = open("its_processes.csv");
+  write_processes_csv(p, grid);
+}
+
+}  // namespace its::core

@@ -1,0 +1,31 @@
+// Machine-readable result export.
+//
+// The bench binaries print human tables; this module writes the same data
+// as CSV so results can be plotted / regression-tracked.  One row per
+// (batch, policy) in `write_metrics_csv`, one row per process in
+// `write_processes_csv`.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace its::core {
+
+/// Header + one row per (batch, policy): idle breakdown, fault/miss counts,
+/// mechanism counters, makespan and the two finish-time aggregates.
+void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid);
+
+/// Header + one row per process per (batch, policy).
+void write_processes_csv(std::ostream& os, std::span<const BatchResult> grid);
+
+/// Convenience: formats write_metrics_csv into a string.
+std::string metrics_csv(std::span<const BatchResult> grid);
+
+/// Writes both CSVs under `dir` as its_metrics.csv / its_processes.csv.
+/// Throws std::runtime_error on I/O failure.
+void save_csv_files(const std::string& dir, std::span<const BatchResult> grid);
+
+}  // namespace its::core

@@ -1,0 +1,555 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace its::core {
+
+using sched::ProcState;
+using sched::Process;
+using trace::Instr;
+using trace::Op;
+
+mem::HierarchyConfig Simulator::hierarchy_for(const SimConfig& cfg, const IoPolicy& p) {
+  mem::HierarchyConfig h = cfg.hierarchy;
+  // §4.1: "a half size of the LLC will be configured as the pre-execute
+  // cache for both Sync_Runahead and ITS" — the mechanism pays in LLC area.
+  if (p.uses_preexec_cache()) h.llc.size_bytes /= 2;
+  return h;
+}
+
+Simulator::Simulator(const SimConfig& cfg, PolicyKind policy)
+    : Simulator(cfg, make_policy(policy)) {}
+
+Simulator::Simulator(const SimConfig& cfg, std::unique_ptr<IoPolicy> policy)
+    : cfg_(cfg),
+      policy_(std::move(policy)),
+      caches_(hierarchy_for(cfg, *policy_)),
+      px_(cfg.px_cache),
+      engine_(cfg.preexec, caches_, px_),
+      tlb_(cfg.tlb_entries),
+      frames_(cfg.dram_bytes),
+      swap_(),
+      pcache_(cfg.page_cache_bytes),
+      dma_(cfg.ull, cfg.pcie),
+      va_pf_(cfg.va_prefetch),
+      pop_pf_(cfg.pop_prefetch),
+      stride_pf_(cfg.stride_prefetch),
+      sched_(make_scheduler(cfg)) {}
+
+std::unique_ptr<sched::Scheduler> Simulator::make_scheduler(const SimConfig& cfg) {
+  switch (cfg.scheduler) {
+    case SchedulerKind::kCfs:
+      return std::make_unique<sched::CfsScheduler>(cfg.cfs);
+    case SchedulerKind::kRoundRobin:
+      break;
+  }
+  return std::make_unique<sched::RRScheduler>(cfg.slice_min, cfg.slice_max);
+}
+
+void Simulator::add_process(std::unique_ptr<Process> p) {
+  if (p->pid() != procs_.size())
+    throw std::invalid_argument("Simulator: pids must be dense 0..n-1");
+  // Register any files the trace reads or writes (shared namespace).
+  for (auto [file, size] : p->trace().file_sizes()) files_.ensure_file(file, size);
+  procs_.push_back(std::move(p));
+}
+
+SimMetrics Simulator::run() {
+  if (procs_.empty()) throw std::logic_error("Simulator: no processes");
+  for (auto& p : procs_) sched_->add(p.get());
+
+  while (finished_ < procs_.size()) {
+    Process* p = sched_->pick();
+    if (p == nullptr) {
+      // Whole machine blocked on I/O: jump to the next completion.
+      if (events_.empty()) throw std::logic_error("Simulator: deadlock (no events)");
+      its::SimTime t = events_.top().time;
+      if (t > clock_) {
+        m_.idle.no_runnable += t - clock_;
+        clock_ = t;
+      }
+      process_due_events();
+      continue;
+    }
+    // A blocking fault pre-pays exactly the dispatch that follows it; the
+    // credit never carries past this pick (if the blocked process itself
+    // resumes first, the machine went through the idle thread and no
+    // further switch happened).
+    const bool prepaid = switch_prepaid_;
+    switch_prepaid_ = false;
+    if (any_ran_ && p->pid() != last_pid_ && !prepaid) charge_ctx_switch();
+    any_ran_ = true;
+    last_pid_ = p->pid();
+    run_slice(*p);
+  }
+
+  m_.makespan = clock_;
+  m_.file_reads = files_.stats().reads;
+  m_.file_writes = files_.stats().writes;
+  m_.page_cache_hits = pcache_.stats().hits;
+  m_.page_cache_misses = pcache_.stats().misses;
+  m_.file_writebacks = pcache_.stats().dirty_writebacks;
+  m_.processes.clear();
+  for (const auto& p : procs_)
+    m_.processes.push_back({p->pid(), p->name(), p->priority(), p->metrics()});
+  return m_;
+}
+
+void Simulator::run_slice(Process& p) {
+  for (;;) {
+    process_due_events();
+    if (p.at_end()) {
+      finish(p);
+      return;
+    }
+    if (p.slice_remaining() == 0 && sched_->any_ready()) {
+      sched_->yield(&p);
+      return;
+    }
+    const Instr& in = p.trace()[p.pc()];
+    if (in.op == Op::kCompute) {
+      auto cost = static_cast<its::Duration>(static_cast<double>(in.repeat) *
+                                             cfg_.ns_per_instr);
+      advance(p, std::max<its::Duration>(cost, 1));
+      p.metrics().instructions += in.repeat;
+      p.advance_pc();
+      continue;
+    }
+    if (in.is_file()) {
+      if (!do_file_op(p, in)) return;  // blocked asynchronously
+      p.metrics().instructions += 1;
+      p.advance_pc();
+      continue;
+    }
+    if (!do_mem_access(p, in)) return;  // blocked asynchronously
+    p.metrics().instructions += 1;
+    p.metrics().mem_refs += 1;
+    p.advance_pc();
+  }
+}
+
+bool Simulator::do_mem_access(Process& p, const Instr& in) {
+  const its::Vpn vpn = its::vpn_of(in.addr);
+  for (;;) {
+    switch (p.mm().classify(vpn)) {
+      case vm::FaultType::kNone:
+        do_translated_access(p, in, vpn);
+        return true;
+      case vm::FaultType::kMinor: {
+        // Prefetched page sitting in the swap cache: map it (metadata only).
+        advance(p, cfg_.minor_fault_cost);
+        ++p.metrics().minor_faults;
+        ++m_.minor_faults;
+        ++p.metrics().prefetches_received;
+        ++m_.prefetch_useful;
+        vm::Pte* pte = p.mm().pte(vpn);
+        pte->map(pte->pfn());
+        pte->set_inv(false);  // fresh-from-device data is valid
+        p.mm().note_mapped();
+        break;  // retry: now mapped
+      }
+      case vm::FaultType::kMajor:
+        if (!handle_major_fault(p, vpn)) return false;
+        break;  // retry: now mapped
+    }
+  }
+}
+
+void Simulator::do_translated_access(Process& p, const Instr& in, its::Vpn vpn) {
+  if (!tlb_.lookup(key_of(p.pid(), vpn))) {
+    advance(p, cfg_.tlb_walk_cost);
+    charge_stall(p, cfg_.tlb_walk_cost);
+    tlb_.insert(key_of(p.pid(), vpn));
+  }
+  vm::Pte* pte = p.mm().pte(vpn);
+  pte->set_accessed(true);
+  if (in.op == Op::kStore) pte->set_dirty(true);
+  frames_.mark_referenced(pte->pfn());
+
+  its::PhysAddr phys = (pte->pfn() << its::kPageShift) | (in.addr & its::kPageOffsetMask);
+  mem::AccessResult r = caches_.access(phys, in.size);
+  advance(p, r.latency);
+  charge_stall(p, r.latency - cfg_.hierarchy.l1.hit_latency);
+
+  if (r.llc_miss()) {
+    ++p.metrics().llc_misses;
+    ++m_.llc_misses;
+    if (policy_->runahead_on_llc_miss()) {
+      // Traditional runahead: pre-execute under the DRAM service shadow.
+      // The stall itself is still idle time (the process cannot proceed);
+      // the payoff arrives as future cache hits (Fig. 4c).
+      auto ep = engine_.run(p.trace(), p.pc(), p.rf(), p.mm(),
+                            cfg_.hierarchy.dram_latency);
+      if (ep.ran) {
+        its::Duration stolen =
+            std::min<its::Duration>(ep.used, cfg_.hierarchy.dram_latency);
+        p.metrics().stolen += stolen;
+        m_.stolen_time += stolen;
+        ++m_.preexec_episodes;
+        m_.preexec_lines_warmed += ep.lines_warmed;
+      }
+    }
+  }
+}
+
+bool Simulator::do_file_op(Process& p, const trace::Instr& in) {
+  const bool read = in.op == Op::kFileRead;
+  const fs::FileId file = in.src2;
+  files_.check_access(file, in.addr, in.size);
+  advance(p, cfg_.syscall_cost);
+
+  const std::uint64_t first = in.addr >> its::kPageShift;
+  const std::uint64_t last = (in.addr + (in.size ? in.size - 1 : 0)) >> its::kPageShift;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    const std::uint64_t key = fs::FileSystem::page_key(file, page);
+    fs::PcLookup look = pcache_.lookup(key);
+    if (look.hit) {
+      if (look.ready_at > clock_) {
+        // Readahead still in flight: pay the remaining transfer time.
+        its::Duration wait = look.ready_at - clock_;
+        m_.idle.busy_wait += wait;
+        p.metrics().busy_wait += wait;
+        advance(p, wait);
+      }
+      if (!read) {
+        if (auto wb = pcache_.insert(key, clock_, /*dirty=*/true))
+          dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+      }
+      continue;
+    }
+    if (!read) {
+      // Write miss: allocate the cache page and dirty it; the data reaches
+      // the device on eviction (writeback) — no foreground I/O.
+      if (auto wb = pcache_.insert(key, clock_, /*dirty=*/true))
+        dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+      continue;
+    }
+    if (!file_miss(p, key, file, page)) return false;  // blocked
+  }
+
+  // User-buffer copy once the pages are resident.
+  auto copy = static_cast<its::Duration>(static_cast<double>(in.size) /
+                                         cfg_.copy_bytes_per_ns);
+  advance(p, std::max<its::Duration>(copy, 1));
+  auto& fstats = files_.stats();
+  if (read) {
+    ++fstats.reads;
+    fstats.bytes_read += in.size;
+  } else {
+    ++fstats.writes;
+    fstats.bytes_written += in.size;
+  }
+  return true;
+}
+
+bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
+                          std::uint64_t page_index) {
+  its::SimTime done = dma_.post(clock_, storage::Dir::kRead, its::kPageSize);
+  FaultPlan plan = policy_->plan_major_fault(p, *sched_);
+
+  if (plan.go_async) {
+    // Block until the page lands; the syscall restarts on wake (the landed
+    // page then hits in the cache).  Same one-switch cost model as swap.
+    if (auto wb = pcache_.insert(key, done))
+      dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+    // The event carries the cache key so the wake-up can re-pin the page
+    // as most-recently-used right before the syscall restarts (otherwise a
+    // thrashing cache could evict it every round).
+    push_event(done, EventType::kWakeFile, p.pid(), key);
+    sched_->block(&p);
+    charge_ctx_switch();
+    switch_prepaid_ = true;
+    ++m_.async_switches;
+    return false;
+  }
+
+  // Synchronous wait, with the same stealing opportunities as a swap fault.
+  its::Duration wait = done - clock_;
+  its::Duration utilized = 0;
+  if (plan.prefetch != PrefetchKind::kNone) {
+    // File readahead: the next sequential pages of the same file.
+    utilized += cfg_.kernel_thread_entry;
+    const std::uint64_t file_pages =
+        (files_.size_of(file) + its::kPageSize - 1) >> its::kPageShift;
+    for (unsigned k = 1; k <= cfg_.file_readahead_pages; ++k) {
+      std::uint64_t next = page_index + k;
+      if (next >= file_pages) break;
+      std::uint64_t nkey = fs::FileSystem::page_key(file, next);
+      if (pcache_.contains(nkey)) continue;
+      its::SimTime t = dma_.post(clock_, storage::Dir::kRead, its::kPageSize);
+      if (auto wb = pcache_.insert(nkey, t))
+        dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+      ++m_.prefetch_issued;
+    }
+  }
+  if (plan.preexec && utilized < wait) {
+    auto ep = engine_.run(p.trace(), p.pc(), p.rf(), p.mm(), wait - utilized);
+    if (ep.ran) {
+      utilized += ep.used;
+      ++m_.preexec_episodes;
+      m_.preexec_lines_warmed += ep.lines_warmed;
+    }
+  }
+  utilized = std::min(utilized, wait);
+  m_.idle.busy_wait += wait;
+  p.metrics().busy_wait += wait;
+  m_.stolen_time += utilized;
+  p.metrics().stolen += utilized;
+
+  clock_ += wait;
+  p.consume_slice(wait);
+  sched_->account(p, wait);
+  process_due_events();
+  if (auto wb = pcache_.insert(key, clock_))
+    dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+  return true;
+}
+
+bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
+  ++p.metrics().major_faults;
+  ++m_.major_faults;
+  advance(p, cfg_.major_fault_sw_cost);  // kernel entry + handler: real work
+
+  vm::Pte* pte = p.mm().pte(vpn);
+  if (pte == nullptr) throw std::logic_error("major fault outside address space");
+
+  its::SimTime done;
+  if (pte->in_flight()) {
+    // A prefetch already has the page in transit — wait out the remainder.
+    done = arrival_.at(key_of(p.pid(), vpn));
+  } else {
+    // Collect the aligned swap cluster around the victim (page-cluster
+    // readahead; cluster size 1 = just the victim).
+    const unsigned cluster = std::max(cfg_.swap_cluster_pages, 1u);
+    const its::Vpn base = vpn - (vpn % cluster);
+    std::vector<its::Vpn> batch{vpn};
+    for (its::Vpn v = base; v < base + cluster; ++v) {
+      if (v == vpn) continue;
+      const vm::Pte* sib = p.mm().pte(v);
+      if (sib != nullptr && vm::Pte{sib->raw}.swapped_out()) batch.push_back(v);
+    }
+    for (its::Vpn v : batch) begin_swap_in(p, v);
+    // One DMA covers the whole cluster; siblings become swap-cache pages
+    // on arrival, exactly like prefetched pages — and count as issued
+    // readahead so prefetch accuracy stays a true ratio.
+    done = dma_.post(clock_, storage::Dir::kRead,
+                     its::kPageSize * batch.size());
+    for (its::Vpn v : batch) {
+      arrival_[key_of(p.pid(), v)] = done;
+      if (v != vpn) {
+        push_event(done, EventType::kPageArrive, p.pid(), v);
+        ++m_.prefetch_issued;
+      }
+    }
+  }
+
+  if (done <= clock_) {  // transfer already complete
+    complete_swap_in(p, vpn);
+    return true;
+  }
+
+  FaultPlan plan = policy_->plan_major_fault(p, *sched_);
+  if (plan.go_async) {
+    // Self-sacrificing path / Async baseline: give the CPU away and let the
+    // DMA finish in the background.  Each asynchronous fault costs exactly
+    // one context switch (save the faulter, restore the next runnable — the
+    // paper's measured 7 µs); the dispatch that follows is that same switch,
+    // so it is marked prepaid.
+    push_event(done, EventType::kWakeFault, p.pid(), vpn);
+    sched_->block(&p);
+    charge_ctx_switch();
+    switch_prepaid_ = true;
+    ++m_.async_switches;
+    return false;
+  }
+
+  // Synchronous wait: [clock_, done).  Steal as much of it as the plan allows.
+  its::Duration wait = done - clock_;
+  if (plan.preexec &&
+      cfg_.preexec.recovery_trigger == cpu::RecoveryTrigger::kPolling) {
+    // §3.4.3 polling trigger: the ITS thread notices the completed I/O only
+    // at the next timer check, so the resume point is quantised up to the
+    // poll period (the interrupt trigger resumes exactly at completion).
+    const its::Duration period = std::max<its::Duration>(cfg_.preexec.poll_period, 1);
+    wait = (wait + period - 1) / period * period;
+  }
+  its::Duration utilized = 0;
+  if (plan.prefetch != PrefetchKind::kNone)
+    issue_prefetches(p, vpn, plan.prefetch, utilized);
+  if (plan.preexec && utilized < wait) {
+    auto ep = engine_.run(p.trace(), p.pc(), p.rf(), p.mm(), wait - utilized);
+    if (ep.ran) {
+      utilized += ep.used;
+      ++m_.preexec_episodes;
+      m_.preexec_lines_warmed += ep.lines_warmed;
+    }
+  }
+  utilized = std::min(utilized, wait);
+
+  // The whole wait is CPU idle time ("the time that the CPU's progress
+  // cannot proceed", §4.2.1) — stealing it pays off later through fewer
+  // faults and cache misses, the paper's supportive metrics.
+  m_.idle.busy_wait += wait;
+  p.metrics().busy_wait += wait;
+  m_.stolen_time += utilized;
+  p.metrics().stolen += utilized;
+
+  clock_ += wait;  // == done for interrupt trigger; later for polling
+  p.consume_slice(wait);
+  sched_->account(p, wait);
+  process_due_events();  // prefetched siblings may have arrived meanwhile
+  complete_swap_in(p, vpn);
+  return true;
+}
+
+void Simulator::issue_prefetches(Process& p, its::Vpn victim, PrefetchKind kind,
+                                 its::Duration& utilized) {
+  // §3.2: transitioning from the page fault handler into the ITS kernel
+  // thread costs hundreds of nanoseconds — charged against the wait.
+  utilized += cfg_.kernel_thread_entry;
+  vm::PrefetchResult pr;
+  switch (kind) {
+    case PrefetchKind::kVa:
+      pr = va_pf_.collect(p.mm(), victim);
+      break;
+    case PrefetchKind::kPop:
+      pr = pop_pf_.collect(p.mm(), victim);
+      break;
+    case PrefetchKind::kStride:
+      pr = stride_pf_.collect(p.mm(), victim);
+      break;
+    case PrefetchKind::kNone:
+      return;
+  }
+  utilized += pr.walk_cost;
+  for (its::Vpn cand : pr.pages) {
+    begin_swap_in(p, cand);
+    its::SimTime t = dma_.post(clock_, storage::Dir::kRead, its::kPageSize);
+    arrival_[key_of(p.pid(), cand)] = t;
+    push_event(t, EventType::kPageArrive, p.pid(), cand);
+    ++m_.prefetch_issued;
+  }
+}
+
+void Simulator::begin_swap_in(Process& p, its::Vpn vpn) {
+  its::Pfn pfn = alloc_frame(p.pid(), vpn);
+  vm::Pte* pte = p.mm().pte(vpn);
+  pte->set_pfn(pfn);
+  pte->set_in_flight(true);
+  frames_.pin(pfn);  // unpinned when the transfer lands
+  swap_.slot_for(p.pid(), vpn);
+}
+
+void Simulator::complete_swap_in(Process& p, its::Vpn vpn) {
+  vm::Pte* pte = p.mm().pte(vpn);
+  if (pte->in_flight()) {
+    frames_.unpin(pte->pfn());
+    swap_.record_swap_in(p.pid(), vpn);
+    arrival_.erase(key_of(p.pid(), vpn));
+  }
+  if (!pte->present()) {
+    pte->map(pte->pfn());
+    pte->set_inv(false);
+    p.mm().note_mapped();
+  }
+}
+
+its::Pfn Simulator::alloc_frame(its::Pid pid, its::Vpn vpn) {
+  for (;;) {
+    if (auto pfn = frames_.try_alloc(pid, vpn)) return *pfn;
+    auto victim = frames_.clock_victim();
+    if (!victim)
+      throw std::runtime_error(
+          "Simulator: every DRAM frame is pinned — DRAM too small for the "
+          "prefetch degree");
+    evict_frame(*victim);
+  }
+}
+
+void Simulator::evict_frame(its::Pfn pfn) {
+  const vm::FrameInfo& info = frames_.info(pfn);
+  Process& owner = proc(info.owner);
+  vm::Pte* pte = owner.mm().pte(info.vpn);
+  if (pte == nullptr) throw std::logic_error("evicting frame with no PTE");
+  if (pte->present()) owner.mm().note_unmapped();
+  if (pte->dirty()) {
+    // Fire-and-forget swap-out; it occupies device/link bandwidth only.
+    dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+    swap_.record_swap_out(owner.pid(), info.vpn);
+  }
+  pte->unmap();
+  pte->set_inv(false);
+  tlb_.invalidate(key_of(owner.pid(), info.vpn));
+  caches_.invalidate_page(pfn << its::kPageShift);
+  frames_.release(pfn);
+  ++m_.evictions;
+}
+
+void Simulator::advance(Process& p, its::Duration d) {
+  clock_ += d;
+  p.consume_slice(d);
+  sched_->account(p, d);  // vruntime-style disciplines track consumption
+}
+
+void Simulator::charge_ctx_switch() {
+  clock_ += cfg_.ctx_switch_cost;
+  m_.idle.ctx_switch += cfg_.ctx_switch_cost;
+  tlb_.flush();  // TLB shootdown — part of the hidden switch cost
+}
+
+void Simulator::charge_stall(Process& p, its::Duration d) {
+  m_.idle.mem_stall += d;
+  p.metrics().mem_stall += d;
+}
+
+void Simulator::push_event(its::SimTime t, EventType type, its::Pid pid, its::Vpn vpn) {
+  events_.push(Event{t, seq_++, type, pid, vpn});
+}
+
+void Simulator::process_due_events() {
+  while (!events_.empty() && events_.top().time <= clock_) {
+    Event e = events_.top();
+    events_.pop();
+    Process& p = proc(e.pid);
+    switch (e.type) {
+      case EventType::kWakeFault:
+        complete_swap_in(p, e.vpn);
+        sched_->wake(&p);
+        break;
+      case EventType::kWakeFile:
+        // Refresh the awaited page to MRU so the restarted syscall hits.
+        if (auto wb = pcache_.insert(e.vpn, e.time))
+          dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+        sched_->wake(&p);
+        break;
+      case EventType::kPageArrive: {
+        vm::Pte* pte = p.mm().pte(e.vpn);
+        if (pte != nullptr && pte->in_flight()) {
+          pte->set_in_flight(false);
+          pte->set_swap_cache(true);
+          frames_.unpin(pte->pfn());
+          swap_.record_swap_in(p.pid(), e.vpn);
+          arrival_.erase(key_of(p.pid(), e.vpn));
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Simulator::finish(Process& p) {
+  p.set_state(ProcState::kFinished);
+  p.metrics().finish_time = clock_;
+  ++finished_;
+  // Process exit reclaims its DRAM: survivors — notably the self-sacrificing
+  // low-priority processes — inherit the freed frames ("low-priority
+  // processes can receive more dedicated resources after the completion of
+  // high-priority processes", §3.3).
+  for (its::Pfn pfn = 0; pfn < frames_.num_frames(); ++pfn) {
+    const vm::FrameInfo& info = frames_.info(pfn);
+    if (info.in_use && !info.pinned && info.owner == p.pid()) evict_frame(pfn);
+  }
+}
+
+}  // namespace its::core

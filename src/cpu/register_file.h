@@ -1,0 +1,74 @@
+// Architectural register file with INV (invalid) bits, plus the shadow
+// register file used by the state-recovery policy.
+//
+// §3.4.2: "we expand the Register File (RF) by adding additional 'INV' bits
+// for each register"; a pre-executed instruction whose source is INV
+// cascades the mark to its destination.  §3.4.3: on ITS activation the RF
+// state (program counter, stack pointer, branch history, return-address
+// stack) is checkpointed to a shadow register file and restored before ITS
+// terminates.  Values themselves are not tracked — the simulator is
+// trace-driven — but validity is, which is what the pre-execute policy
+// needs for correctness.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/instr.h"
+
+namespace its::cpu {
+
+class RegisterFile {
+ public:
+  /// Register 0 is the hard-wired zero register: always valid.
+  bool is_invalid(std::uint8_t reg) const {
+    return reg != 0 && (inv_ & (1ull << reg)) != 0;
+  }
+
+  void set_invalid(std::uint8_t reg, bool inv) {
+    if (reg == 0) return;
+    if (inv)
+      inv_ |= 1ull << reg;
+    else
+      inv_ &= ~(1ull << reg);
+  }
+
+  /// Cascades invalidity: dst becomes INV iff any source is INV.
+  void propagate(std::uint8_t dst, std::uint8_t src1, std::uint8_t src2) {
+    set_invalid(dst, is_invalid(src1) || is_invalid(src2));
+  }
+
+  std::uint64_t inv_mask() const { return inv_; }
+  void clear_all() { inv_ = 0; }
+  unsigned invalid_count() const { return __builtin_popcountll(inv_); }
+
+ private:
+  std::uint64_t inv_ = 0;
+};
+
+static_assert(its::trace::kNumRegs <= 64, "INV mask is 64 bits wide");
+
+/// State-recovery policy checkpoint target (§3.4.3).  Checkpoint/restore
+/// costs are charged by the pre-execute engine's cost model.
+class ShadowRegisterFile {
+ public:
+  void checkpoint(const RegisterFile& rf) {
+    saved_ = rf.inv_mask();
+    valid_ = true;
+  }
+
+  /// Restores the RF to its checkpointed state; the checkpoint stays valid
+  /// (it can be restored again, e.g. nested polling checks).
+  void restore(RegisterFile& rf) const {
+    rf.clear_all();
+    for (unsigned r = 1; r < 64; ++r)
+      if (saved_ & (1ull << r)) rf.set_invalid(static_cast<std::uint8_t>(r), true);
+  }
+
+  bool has_checkpoint() const { return valid_; }
+
+ private:
+  std::uint64_t saved_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace its::cpu

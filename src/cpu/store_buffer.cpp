@@ -1,0 +1,32 @@
+#include "cpu/store_buffer.h"
+
+namespace its::cpu {
+
+std::optional<SbEntry> StoreBuffer::push(const SbEntry& e) {
+  std::optional<SbEntry> retired;
+  if (entries_.size() >= capacity_) {
+    retired = entries_.front();
+    entries_.pop_front();
+  }
+  entries_.push_back(e);
+  return retired;
+}
+
+SbHit StoreBuffer::lookup(std::uint64_t addr, std::uint16_t size) const {
+  // Scan youngest → oldest so the most recent overlapping store forwards.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (overlaps(*it, addr, size)) {
+      bool covers = it->addr <= addr && addr + size <= it->addr + it->size;
+      return {true, it->invalid, covers};
+    }
+  }
+  return {};
+}
+
+std::vector<SbEntry> StoreBuffer::drain() {
+  std::vector<SbEntry> out(entries_.begin(), entries_.end());
+  entries_.clear();
+  return out;
+}
+
+}  // namespace its::cpu

@@ -1,0 +1,58 @@
+// Store buffer with forwarding, used during pre-execution.
+//
+// Pre-execute stores park their (validity-tagged) results here; when an
+// entry retires (FIFO overflow or episode end) it moves into the
+// pre-execute cache so later pre-execute loads "dependent on these retired
+// store instructions can be verified by checking the pre-execute cache"
+// (§3.4.2).  Entries are keyed in the same (pid, vaddr) key space as the
+// pre-execute cache.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace its::cpu {
+
+struct SbEntry {
+  std::uint64_t addr = 0;  ///< Composite (pid, vaddr) key of the first byte.
+  std::uint16_t size = 0;
+  bool invalid = false;  ///< Data written was bogus (INV source / fault).
+};
+
+struct SbHit {
+  bool found = false;
+  bool invalid = false;   ///< Forwarded data was bogus.
+  bool complete = false;  ///< The youngest overlapping store covers the whole range.
+};
+
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(std::size_t capacity = 56) : capacity_(capacity) {}
+
+  /// Appends a store; if the buffer is full the oldest entry retires and is
+  /// returned (the caller forwards it to the pre-execute cache).
+  std::optional<SbEntry> push(const SbEntry& e);
+
+  /// Youngest-entry-wins forwarding lookup over [addr, addr+size).
+  SbHit lookup(std::uint64_t addr, std::uint16_t size) const;
+
+  /// Retires every entry (episode end); buffer becomes empty.
+  std::vector<SbEntry> drain();
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  static bool overlaps(const SbEntry& e, std::uint64_t addr, std::uint16_t size) {
+    return e.addr < addr + size && addr < e.addr + e.size;
+  }
+
+  std::size_t capacity_;
+  std::deque<SbEntry> entries_;  // front = oldest
+};
+
+}  // namespace its::cpu

@@ -1,0 +1,30 @@
+#include "fs/file_system.h"
+
+namespace its::fs {
+
+void FileSystem::ensure_file(FileId id, std::uint64_t size_bytes) {
+  if (size_bytes == 0) throw std::invalid_argument("FileSystem: zero-size file");
+  if (size_bytes > sizes_[id]) sizes_[id] = size_bytes;
+}
+
+std::size_t FileSystem::file_count() const {
+  std::size_t n = 0;
+  for (auto s : sizes_) n += s != 0 ? 1 : 0;
+  return n;
+}
+
+std::uint64_t FileSystem::total_bytes() const {
+  std::uint64_t total = 0;
+  for (auto s : sizes_) total += s;
+  return total;
+}
+
+void FileSystem::check_access(FileId id, std::uint64_t offset,
+                              std::uint32_t size) const {
+  if (!exists(id)) throw std::out_of_range("FileSystem: access to unregistered file");
+  // Overflow-safe bounds check: offset + size may wrap.
+  if (size > sizes_[id] || offset > sizes_[id] - size)
+    throw std::out_of_range("FileSystem: access past end of file");
+}
+
+}  // namespace its::fs

@@ -1,0 +1,65 @@
+// Mini filesystem — the metadata side of the paper's *file I/O* path.
+//
+// §1 footnote 1: "Each file I/O is triggered when the CPU runs read/write
+// system calls, and it involves filesystem and page cache managements."
+// The paper's evaluation focuses on process (swap) I/O; this module
+// completes the mini-kernel with the second path: a flat namespace of
+// files laid out on the ULL device, block-mapped at page granularity.
+// Metadata is considered cached (dentry/inode hits), so lookups are a
+// constant-cost key computation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/types.h"
+
+namespace its::fs {
+
+/// File identifier as carried in trace records (one byte).
+using FileId = std::uint8_t;
+
+inline constexpr std::size_t kMaxFiles = 256;
+
+struct FsStats {
+  std::uint64_t reads = 0;        ///< read() syscalls served.
+  std::uint64_t writes = 0;       ///< write() syscalls served.
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class FileSystem {
+ public:
+  /// Registers (or grows) a file to at least `size_bytes`.
+  void ensure_file(FileId id, std::uint64_t size_bytes);
+
+  bool exists(FileId id) const { return sizes_[id] != 0; }
+  std::uint64_t size_of(FileId id) const { return sizes_[id]; }
+
+  /// Number of registered files.
+  std::size_t file_count() const;
+
+  /// Total bytes across all files (device occupancy).
+  std::uint64_t total_bytes() const;
+
+  /// Stable page-cache key for page `page_index` of file `id`.
+  /// Bits 56..63 hold the file id, so keys never collide across files and
+  /// never collide with process (pid ≤ 48-bit-shifted) keys.
+  static std::uint64_t page_key(FileId id, std::uint64_t page_index) {
+    return (static_cast<std::uint64_t>(id) << 56) | page_index;
+  }
+
+  /// Validates a [offset, offset+size) access; throws std::out_of_range if
+  /// it runs past the registered end (a trace/programming error).
+  void check_access(FileId id, std::uint64_t offset, std::uint32_t size) const;
+
+  FsStats& stats() { return stats_; }
+  const FsStats& stats() const { return stats_; }
+
+ private:
+  std::array<std::uint64_t, kMaxFiles> sizes_{};
+  FsStats stats_;
+};
+
+}  // namespace its::fs

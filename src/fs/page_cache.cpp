@@ -1,0 +1,64 @@
+#include "fs/page_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace its::fs {
+
+PageCache::PageCache(std::uint64_t budget_bytes)
+    : capacity_(std::max<std::uint64_t>(budget_bytes >> its::kPageShift, 1)) {}
+
+PcLookup PageCache::lookup(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return {};
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return {true, it->second->ready_at};
+}
+
+std::optional<Writeback> PageCache::insert(std::uint64_t key, its::SimTime ready_at,
+                                           bool dirty) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->ready_at = std::min(it->second->ready_at, ready_at);
+    it->second->dirty = it->second->dirty || dirty;
+    return std::nullopt;
+  }
+  std::optional<Writeback> wb;
+  if (map_.size() >= capacity_) {
+    Entry& victim = lru_.back();
+    ++stats_.evictions;
+    if (victim.dirty) {
+      ++stats_.dirty_writebacks;
+      wb = Writeback{victim.key};
+    }
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front({key, ready_at, dirty});
+  map_[key] = lru_.begin();
+  ++stats_.insertions;
+  return wb;
+}
+
+bool PageCache::mark_dirty(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  it->second->dirty = true;
+  return true;
+}
+
+std::vector<Writeback> PageCache::flush() {
+  std::vector<Writeback> out;
+  for (const Entry& e : lru_)
+    if (e.dirty) out.push_back({e.key});
+  lru_.clear();
+  map_.clear();
+  return out;
+}
+
+}  // namespace its::fs

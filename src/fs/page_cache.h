@@ -1,0 +1,84 @@
+// Page cache — DRAM caching of file pages (the paper's file-I/O path).
+//
+// A fixed-budget LRU cache of (file, page) entries with dirty tracking and
+// arrival timestamps: a page inserted by readahead is usable only once its
+// DMA lands, so a premature read pays the remaining transfer time (the
+// same partial-wait semantics as the swap path's in-flight pages).
+// Evicting a dirty page produces a writeback the caller posts to the DMA
+// engine.  The budget is carved from DRAM separately from the anonymous-
+// page frame pool (a static split — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace its::fs {
+
+struct PageCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+};
+
+struct PcLookup {
+  bool hit = false;
+  its::SimTime ready_at = 0;  ///< When the data is usable (≤ now for a plain hit).
+};
+
+/// A dirty page evicted from the cache; the caller schedules the writeback.
+struct Writeback {
+  std::uint64_t key = 0;
+};
+
+class PageCache {
+ public:
+  /// `budget_bytes` rounds down to whole pages; at least one page.
+  explicit PageCache(std::uint64_t budget_bytes);
+
+  std::uint64_t capacity_pages() const { return capacity_; }
+  std::uint64_t resident_pages() const { return map_.size(); }
+
+  /// Looks up `key`, refreshing LRU on hit.
+  PcLookup lookup(std::uint64_t key);
+
+  /// Inserts `key` with data usable at `ready_at` (now for demand reads,
+  /// the DMA completion time for readahead).  Returns the dirty eviction
+  /// this insertion forced, if any.  Re-inserting an existing key refreshes
+  /// it (and keeps the earlier ready time if sooner).
+  std::optional<Writeback> insert(std::uint64_t key, its::SimTime ready_at,
+                                  bool dirty = false);
+
+  /// Marks an existing entry dirty (file write into a cached page).
+  /// Returns false if the key is not resident.
+  bool mark_dirty(std::uint64_t key);
+
+  /// True if `key` is resident (no LRU side effects).
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+
+  /// Evicts everything, returning the dirty set (unmount/sync).
+  std::vector<Writeback> flush();
+
+  const PageCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    its::SimTime ready_at;
+    bool dirty;
+  };
+  using Lru = std::list<Entry>;  // front = most recent
+
+  std::uint64_t capacity_;
+  Lru lru_;
+  std::unordered_map<std::uint64_t, Lru::iterator> map_;
+  PageCacheStats stats_;
+};
+
+}  // namespace its::fs

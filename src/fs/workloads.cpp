@@ -1,0 +1,78 @@
+#include "fs/workloads.h"
+
+#include <algorithm>
+
+#include "trace/workloads.h"
+#include "util/rng.h"
+
+namespace its::fs {
+
+using trace::Instr;
+using util::Rng;
+
+trace::Trace make_log_scan(std::uint64_t file_bytes, const FileWorkloadConfig& cfg) {
+  trace::Trace t("log_scan");
+  t.reserve(cfg.records);
+  Rng rng(cfg.seed, 0xf11eull);
+  std::uint64_t off = 0;
+  std::uint8_t reg = 1;
+  while (t.size() < cfg.records) {
+    t.push_back(Instr::file_read(0, off, 4096, reg));
+    t.push_back(Instr::compute(static_cast<std::uint16_t>(4 + rng.below(8)), reg,
+                               reg, 0));
+    reg = reg == 31 ? 1 : reg + 1;
+    off += 4096;
+    if (off + 4096 > file_bytes) off = 0;  // next pass over the log
+  }
+  return t;
+}
+
+trace::Trace make_kv_store(std::uint64_t file_bytes, double write_ratio,
+                           const FileWorkloadConfig& cfg) {
+  trace::Trace t("kv_store");
+  t.reserve(cfg.records);
+  Rng rng(cfg.seed, 0x6b76ull);
+  const std::uint64_t slots = file_bytes / 256;  // 256-byte values
+  std::uint64_t log_tail = 0;
+  std::uint8_t reg = 1;
+  while (t.size() < cfg.records) {
+    std::uint64_t slot = rng.zipf(slots, 0.95);
+    std::uint64_t off = slot * 256;
+    if (rng.chance(write_ratio)) {
+      t.push_back(Instr::file_write(1, off, 256, reg));
+      // Durability: append to the write-ahead log.
+      t.push_back(Instr::file_write(2, log_tail, 128, reg));
+      log_tail = (log_tail + 128) % (8ull << 20);
+    } else {
+      t.push_back(Instr::file_read(1, off, 256, reg));
+    }
+    t.push_back(Instr::compute(3, reg, reg, 0));
+    reg = reg == 31 ? 1 : reg + 1;
+  }
+  return t;
+}
+
+trace::Trace make_analytics_mix(std::uint64_t file_bytes, std::uint64_t heap_bytes,
+                                const FileWorkloadConfig& cfg) {
+  trace::Trace t("analytics_mix");
+  t.reserve(cfg.records);
+  Rng rng(cfg.seed, 0xa11aull);
+  std::uint64_t off = 0;
+  std::uint8_t reg = 1;
+  while (t.size() < cfg.records) {
+    // Stream a 4 KiB column chunk...
+    t.push_back(Instr::file_read(3, off, 4096, reg));
+    off = (off + 4096) % (file_bytes - 4096);
+    // ...then update the anonymous hash table (random heap page).
+    for (int k = 0; k < 3 && t.size() < cfg.records; ++k) {
+      its::VirtAddr a = trace::kHeapBase + (rng.below(heap_bytes / 64)) * 64;
+      t.push_back(Instr::load(a, 8, reg, 0));
+      t.push_back(Instr::store(a, 8, reg));
+      t.push_back(Instr::compute(2, reg, reg, 0));
+    }
+    reg = reg == 31 ? 1 : reg + 1;
+  }
+  return t;
+}
+
+}  // namespace its::fs

@@ -1,0 +1,39 @@
+// Synthetic file-I/O workloads — exercise the filesystem/page-cache path.
+//
+// These are *not* part of the paper's nine-trace suite (the paper evaluates
+// process/swap I/O); they drive the file-I/O extension: a sequential log
+// scanner, a Zipf-skewed key-value store, and a mixed analytics job that
+// interleaves file reads with anonymous-memory processing (the case where
+// swap faults and page-cache misses compete for the same device).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace its::fs {
+
+struct FileWorkloadConfig {
+  std::uint64_t records = 120000;
+  std::uint64_t seed = 1;
+};
+
+/// Sequential scan of one large log file (file 0) with light per-record
+/// compute: page-cache readahead territory.
+trace::Trace make_log_scan(std::uint64_t file_bytes = 64ull << 20,
+                           const FileWorkloadConfig& cfg = {});
+
+/// Key-value store over one data file (file 1): Zipf-skewed point reads, a
+/// fraction of writes, an append-only log tail (file 2).
+trace::Trace make_kv_store(std::uint64_t file_bytes = 48ull << 20,
+                           double write_ratio = 0.2,
+                           const FileWorkloadConfig& cfg = {});
+
+/// Analytics mix: streams a column file (file 3) while building an
+/// anonymous-memory hash table — file-I/O misses and swap faults share the
+/// ULL device.
+trace::Trace make_analytics_mix(std::uint64_t file_bytes = 48ull << 20,
+                                std::uint64_t heap_bytes = 24ull << 20,
+                                const FileWorkloadConfig& cfg = {});
+
+}  // namespace its::fs

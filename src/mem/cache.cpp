@@ -1,0 +1,112 @@
+#include "mem/cache.h"
+
+#include <stdexcept>
+
+namespace its::mem {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg.line_size == 0 || (cfg.line_size & (cfg.line_size - 1)) != 0)
+    throw std::invalid_argument("cache line size must be a power of two");
+  if (cfg.ways == 0) throw std::invalid_argument("cache must have >= 1 way");
+  std::uint64_t lines = cfg.size_bytes / cfg.line_size;
+  if (lines < cfg.ways || lines % cfg.ways != 0)
+    throw std::invalid_argument("cache size/ways mismatch");
+  num_sets_ = static_cast<unsigned>(lines / cfg.ways);
+  ways_.assign(lines, Way{});
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  std::uint64_t line = addr / cfg_.line_size;
+  unsigned set = set_index(line);
+  std::uint64_t tag = tag_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  Way* victim = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  if (victim->valid) ++stats_.evictions;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+  return false;
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  std::uint64_t line = addr / cfg_.line_size;
+  unsigned set = set_index(line);
+  std::uint64_t tag = tag_of(line);
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void SetAssocCache::fill(std::uint64_t addr) {
+  std::uint64_t line = addr / cfg_.line_size;
+  unsigned set = set_index(line);
+  std::uint64_t tag = tag_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  Way* victim = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;
+      return;  // already resident
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  if (victim->valid) ++stats_.evictions;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+}
+
+bool SetAssocCache::invalidate(std::uint64_t addr) {
+  std::uint64_t line = addr / cfg_.line_size;
+  unsigned set = set_index(line);
+  std::uint64_t tag = tag_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      ++stats_.invalidations;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssocCache::invalidate_range(std::uint64_t base, std::uint64_t len) {
+  for (std::uint64_t a = base; a < base + len; a += cfg_.line_size) invalidate(a);
+}
+
+void SetAssocCache::invalidate_all() {
+  for (auto& w : ways_)
+    if (w.valid) {
+      w.valid = false;
+      ++stats_.invalidations;
+    }
+}
+
+std::uint64_t SetAssocCache::lines_resident() const {
+  std::uint64_t n = 0;
+  for (const auto& w : ways_) n += w.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace its::mem

@@ -1,0 +1,83 @@
+// Generic set-associative cache with true-LRU replacement.
+//
+// Physically indexed/physically tagged: all processes share the hierarchy,
+// so multiprogrammed cache contention (one of the effects the ITS
+// self-sacrificing thread exploits) emerges naturally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace its::mem {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  unsigned line_size = 64;
+  its::Duration hit_latency = 1;  ///< ns, charged on a hit at this level.
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double miss_ratio() const {
+    std::uint64_t t = hits + misses;
+    return t ? static_cast<double>(misses) / static_cast<double>(t) : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Looks up `addr`; on miss, inserts the line (allocate-on-miss for both
+  /// reads and writes).  Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Lookup without side effects.
+  bool probe(std::uint64_t addr) const;
+
+  /// Inserts the line without counting a hit or miss (used by pre-execute /
+  /// prefetch warming paths).
+  void fill(std::uint64_t addr);
+
+  /// Drops one line if present; returns whether it was present.
+  bool invalidate(std::uint64_t addr);
+
+  /// Drops all lines in [base, base+len).
+  void invalidate_range(std::uint64_t base, std::uint64_t len);
+
+  void invalidate_all();
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  unsigned sets() const { return num_sets_; }
+  std::uint64_t lines_resident() const;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< Higher = more recently used.
+    bool valid = false;
+  };
+
+  unsigned set_index(std::uint64_t line) const {
+    return static_cast<unsigned>(line % num_sets_);
+  }
+  std::uint64_t tag_of(std::uint64_t line) const { return line / num_sets_; }
+
+  CacheConfig cfg_;
+  unsigned num_sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  ///< num_sets_ * cfg_.ways, row-major by set.
+  CacheStats stats_;
+};
+
+}  // namespace its::mem

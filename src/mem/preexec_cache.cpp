@@ -1,0 +1,123 @@
+#include "mem/preexec_cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace its::mem {
+
+namespace {
+/// Mask of bits [lo, lo+n) within a 64-bit line mask.
+std::uint64_t byte_mask(unsigned lo, unsigned n) {
+  if (n >= 64) return ~0ull;
+  return ((1ull << n) - 1) << lo;
+}
+}  // namespace
+
+PreexecCache::PreexecCache(const PreexecCacheConfig& cfg) : cfg_(cfg) {
+  if (cfg.line_size != 64)
+    throw std::invalid_argument("PreexecCache models 64-byte lines (one INV bit per byte)");
+  std::uint64_t n = cfg.size_bytes / cfg.line_size;
+  if (cfg.ways == 0 || n < cfg.ways || n % cfg.ways != 0)
+    throw std::invalid_argument("PreexecCache size/ways mismatch");
+  num_sets_ = static_cast<unsigned>(n / cfg.ways);
+  lines_.assign(n, Line{});
+}
+
+PreexecCache::Line* PreexecCache::find(std::uint64_t line_addr) {
+  unsigned set = static_cast<unsigned>(line_addr % num_sets_);
+  std::uint64_t tag = line_addr / num_sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  return nullptr;
+}
+
+PreexecCache::Line& PreexecCache::find_or_alloc(std::uint64_t line_addr) {
+  unsigned set = static_cast<unsigned>(line_addr % num_sets_);
+  std::uint64_t tag = line_addr / num_sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  Line* victim = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = ++tick_;
+      return l;
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+  *victim = Line{};
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+  return *victim;
+}
+
+void PreexecCache::store(std::uint64_t addr, unsigned size, bool invalid) {
+  if (size == 0) return;  // zero-byte store writes nothing
+  ++stats_.stores;
+  std::uint64_t first = addr / cfg_.line_size;
+  std::uint64_t last = (addr + (size ? size - 1 : 0)) / cfg_.line_size;
+  for (std::uint64_t la = first; la <= last; ++la) {
+    std::uint64_t lo = (la == first) ? addr % cfg_.line_size : 0;
+    std::uint64_t hi =
+        (la == last) ? (addr + size - 1) % cfg_.line_size : cfg_.line_size - 1;
+    std::uint64_t m = byte_mask(static_cast<unsigned>(lo),
+                                static_cast<unsigned>(hi - lo + 1));
+    Line& l = find_or_alloc(la);
+    l.written |= m;
+    if (invalid) {
+      l.inv |= m;
+      stats_.invalid_bytes_written += static_cast<unsigned>(std::popcount(m));
+    } else {
+      l.inv &= ~m;
+    }
+  }
+}
+
+PxLookup PreexecCache::lookup(std::uint64_t addr, unsigned size) {
+  PxLookup r;
+  if (size == 0) {  // zero-byte probe: vacuously complete, never found
+    ++stats_.load_misses;
+    return r;
+  }
+  r.complete = true;
+  std::uint64_t first = addr / cfg_.line_size;
+  std::uint64_t last = (addr + (size ? size - 1 : 0)) / cfg_.line_size;
+  for (std::uint64_t la = first; la <= last; ++la) {
+    std::uint64_t lo = (la == first) ? addr % cfg_.line_size : 0;
+    std::uint64_t hi =
+        (la == last) ? (addr + size - 1) % cfg_.line_size : cfg_.line_size - 1;
+    std::uint64_t m = byte_mask(static_cast<unsigned>(lo),
+                                static_cast<unsigned>(hi - lo + 1));
+    Line* l = find(la);
+    if (l == nullptr || (l->written & m) == 0) {
+      r.complete = false;
+      continue;
+    }
+    l->lru = ++tick_;
+    r.found = true;
+    if ((l->written & m) != m) r.complete = false;
+    if ((l->inv & m) != 0) r.any_invalid = true;
+  }
+  if (r.found)
+    ++stats_.load_hits;
+  else
+    ++stats_.load_misses;
+  return r;
+}
+
+void PreexecCache::clear() {
+  for (auto& l : lines_) l = Line{};
+}
+
+std::uint64_t PreexecCache::lines_resident() const {
+  std::uint64_t n = 0;
+  for (const auto& l : lines_) n += l.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace its::mem

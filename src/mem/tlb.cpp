@@ -1,0 +1,49 @@
+#include "mem/tlb.h"
+
+#include <stdexcept>
+
+namespace its::mem {
+
+Tlb::Tlb(unsigned entries) : entries_(entries) {
+  if (entries == 0) throw std::invalid_argument("Tlb: entries must be > 0");
+}
+
+bool Tlb::lookup(its::Vpn vpn) {
+  auto it = map_.find(vpn);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return true;
+}
+
+void Tlb::insert(its::Vpn vpn) {
+  auto it = map_.find(vpn);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= entries_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(vpn);
+  map_[vpn] = lru_.begin();
+}
+
+void Tlb::invalidate(its::Vpn vpn) {
+  auto it = map_.find(vpn);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void Tlb::flush() {
+  lru_.clear();
+  map_.clear();
+  ++stats_.flushes;
+}
+
+}  // namespace its::mem

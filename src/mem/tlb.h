@@ -1,0 +1,50 @@
+// Translation Look-aside Buffer.
+//
+// A single shared hardware TLB, fully associative with true LRU, flushed on
+// every context switch (the paper lists TLB shootdown as one of the hidden
+// context-switch costs — the Async baseline pays it on every fault).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace its::mem {
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t flushes = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(unsigned entries = 64);
+
+  /// Looks up a translation for `vpn`; true on hit (and refreshes LRU).
+  bool lookup(its::Vpn vpn);
+
+  /// Installs a translation after a page walk.
+  void insert(its::Vpn vpn);
+
+  /// Drops one translation (page unmapped / evicted to swap).
+  void invalidate(its::Vpn vpn);
+
+  /// Full flush (context switch).
+  void flush();
+
+  const TlbStats& stats() const { return stats_; }
+  std::size_t size() const { return map_.size(); }
+  unsigned capacity() const { return entries_; }
+
+ private:
+  unsigned entries_;
+  // LRU list front = most recent; map vpn -> list iterator.
+  std::list<its::Vpn> lru_;
+  std::unordered_map<its::Vpn, std::list<its::Vpn>::iterator> map_;
+  TlbStats stats_;
+};
+
+}  // namespace its::mem

@@ -1,0 +1,101 @@
+#include "sched/cfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace its::sched {
+
+namespace {
+/// Reference weight: a process at this weight accrues vruntime 1:1.
+constexpr std::uint64_t kBaseWeight = 30;
+}  // namespace
+
+std::uint64_t CfsScheduler::weight_of(const Process& p) {
+  return p.priority() > 0 ? static_cast<std::uint64_t>(p.priority()) : 1;
+}
+
+void CfsScheduler::add(Process* p) {
+  if (p == nullptr) throw std::invalid_argument("CfsScheduler: null process");
+  p->set_state(ProcState::kReady);
+  vrun_[p] = min_vruntime_;
+  weight_sum_ += weight_of(*p);
+  ready_.push_back(p);
+}
+
+std::vector<Process*>::iterator CfsScheduler::min_ready() {
+  return std::min_element(ready_.begin(), ready_.end(),
+                          [&](const Process* a, const Process* b) {
+                            auto va = vrun_.at(a), vb = vrun_.at(b);
+                            if (va != vb) return va < vb;
+                            return a->pid() < b->pid();  // deterministic tie-break
+                          });
+}
+
+std::vector<Process*>::const_iterator CfsScheduler::min_ready() const {
+  return std::min_element(ready_.begin(), ready_.end(),
+                          [&](const Process* a, const Process* b) {
+                            auto va = vrun_.at(a), vb = vrun_.at(b);
+                            if (va != vb) return va < vb;
+                            return a->pid() < b->pid();
+                          });
+}
+
+Process* CfsScheduler::pick() {
+  if (ready_.empty()) return nullptr;
+  auto it = min_ready();
+  Process* p = *it;
+  ready_.erase(it);
+  min_vruntime_ = std::max(min_vruntime_, vrun_.at(p));
+  p->set_state(ProcState::kRunning);
+  p->set_slice(slice_for(*p));
+  ++stats_.picks;
+  return p;
+}
+
+void CfsScheduler::yield(Process* p) {
+  p->set_state(ProcState::kReady);
+  ready_.push_back(p);
+  ++stats_.yields;
+}
+
+void CfsScheduler::block(Process* p) {
+  p->set_state(ProcState::kBlocked);
+  ++stats_.blocks;
+}
+
+void CfsScheduler::wake(Process* p) {
+  if (p->state() != ProcState::kBlocked)
+    throw std::logic_error("CfsScheduler: waking a non-blocked process");
+  // Sleeper fairness: a long sleeper resumes near the current minimum, not
+  // with a huge credit that would starve everyone else.
+  auto& v = vrun_.at(p);
+  v = std::max(v, min_vruntime_ > cfg_.sched_latency / 2
+                      ? min_vruntime_ - cfg_.sched_latency / 2
+                      : 0);
+  p->set_state(ProcState::kReady);
+  ready_.push_back(p);
+  ++stats_.wakes;
+}
+
+const Process* CfsScheduler::peek_next() const {
+  if (ready_.empty()) return nullptr;
+  return *min_ready();
+}
+
+its::Duration CfsScheduler::slice_for(const Process& p) const {
+  if (weight_sum_ == 0) return cfg_.min_granularity;
+  its::Duration share = cfg_.sched_latency * weight_of(p) / weight_sum_;
+  return std::max(share, cfg_.min_granularity);
+}
+
+void CfsScheduler::account(Process& p, its::Duration d) {
+  auto it = vrun_.find(&p);
+  if (it == vrun_.end()) throw std::logic_error("CfsScheduler: unknown process");
+  it->second += d * kBaseWeight / weight_of(p);
+}
+
+its::Duration CfsScheduler::vruntime(const Process& p) const {
+  return vrun_.at(&p);
+}
+
+}  // namespace its::sched

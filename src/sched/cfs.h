@@ -1,0 +1,58 @@
+// CFS-style fair scheduler — an alternative discipline for ablations.
+//
+// Not part of the paper's setup (which uses SCHED_RR); included to study
+// how the ITS priority-aware selection behaves under weighted fair
+// scheduling: minimum-vruntime dispatch, priority-proportional weights,
+// sleeper fairness on wake-up, and a latency-target slice
+// (`sched_latency` split by weight share).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace its::sched {
+
+struct CfsConfig {
+  its::Duration sched_latency = 24'000'000;  ///< Target rotation period (24 ms).
+  its::Duration min_granularity = 50'000;    ///< Slice floor (50 µs, mini-scale).
+};
+
+class CfsScheduler final : public Scheduler {
+ public:
+  explicit CfsScheduler(const CfsConfig& cfg = {}) : cfg_(cfg) {}
+
+  void add(Process* p) override;
+  Process* pick() override;
+  void yield(Process* p) override;
+  void block(Process* p) override;
+  void wake(Process* p) override;
+  const Process* peek_next() const override;
+  its::Duration slice_for(const Process& p) const override;
+
+  /// Charges weighted virtual runtime: vruntime += d × base / weight(p).
+  void account(Process& p, its::Duration d) override;
+
+  bool any_ready() const override { return !ready_.empty(); }
+  std::size_t ready_count() const override { return ready_.size(); }
+
+  /// Virtual runtime of a process (test hook).
+  its::Duration vruntime(const Process& p) const;
+
+  /// Weight grows with priority; proportional share follows Linux's
+  /// intent (higher priority ⇒ more CPU), simplified to weight = priority.
+  static std::uint64_t weight_of(const Process& p);
+
+ private:
+  std::vector<Process*>::iterator min_ready();
+  std::vector<Process*>::const_iterator min_ready() const;
+
+  CfsConfig cfg_;
+  std::vector<Process*> ready_;
+  std::unordered_map<const Process*, its::Duration> vrun_;
+  its::Duration min_vruntime_ = 0;
+  std::uint64_t weight_sum_ = 0;  ///< Weights of all registered processes.
+};
+
+}  // namespace its::sched

@@ -1,0 +1,22 @@
+#include "sched/process.h"
+
+#include <stdexcept>
+
+namespace its::sched {
+
+namespace {
+std::vector<its::Vpn> footprint_of(const trace::Trace& t) { return t.touched_pages(); }
+}  // namespace
+
+Process::Process(its::Pid pid, std::string name, int priority,
+                 std::shared_ptr<const trace::Trace> trace)
+    : pid_(pid),
+      name_(std::move(name)),
+      priority_(priority),
+      trace_(std::move(trace)),
+      mm_(pid, footprint_of(*trace_)) {
+  if (!trace_ || trace_->empty())
+    throw std::invalid_argument("Process: trace must be non-empty");
+}
+
+}  // namespace its::sched

@@ -1,0 +1,64 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+// RRScheduler implementation; see sched/cfs.cpp for the CFS alternative.
+
+namespace its::sched {
+
+void RRScheduler::add(Process* p) {
+  if (p == nullptr) throw std::invalid_argument("RRScheduler: null process");
+  if (!have_prio_) {
+    prio_lo_ = prio_hi_ = p->priority();
+    have_prio_ = true;
+  } else {
+    prio_lo_ = std::min(prio_lo_, p->priority());
+    prio_hi_ = std::max(prio_hi_, p->priority());
+  }
+  p->set_state(ProcState::kReady);
+  queue_.push_back(p);
+}
+
+Process* RRScheduler::pick() {
+  if (queue_.empty()) return nullptr;
+  Process* p = queue_.front();
+  queue_.pop_front();
+  p->set_state(ProcState::kRunning);
+  p->set_slice(slice_for(*p));
+  ++stats_.picks;
+  return p;
+}
+
+void RRScheduler::yield(Process* p) {
+  p->set_state(ProcState::kReady);
+  queue_.push_back(p);
+  ++stats_.yields;
+}
+
+void RRScheduler::block(Process* p) {
+  p->set_state(ProcState::kBlocked);
+  ++stats_.blocks;
+}
+
+void RRScheduler::wake(Process* p) {
+  if (p->state() != ProcState::kBlocked)
+    throw std::logic_error("RRScheduler: waking a non-blocked process");
+  p->set_state(ProcState::kReady);
+  queue_.push_back(p);
+  ++stats_.wakes;
+}
+
+const Process* RRScheduler::peek_next() const {
+  return queue_.empty() ? nullptr : queue_.front();
+}
+
+its::Duration RRScheduler::slice_for(const Process& p) const {
+  if (!have_prio_ || prio_hi_ == prio_lo_) return slice_max_;
+  double f = static_cast<double>(p.priority() - prio_lo_) /
+             static_cast<double>(prio_hi_ - prio_lo_);
+  return slice_min_ +
+         static_cast<its::Duration>(f * static_cast<double>(slice_max_ - slice_min_));
+}
+
+}  // namespace its::sched

@@ -1,0 +1,100 @@
+// Schedulers.
+//
+// The paper's mini-kernel uses SCHED_RR with NICE-derived time slices
+// (§4.1): "the time slice allocated to the highest and lowest priority
+// processes is set to 800 ms and 5 ms", one FIFO run queue for all runnable
+// processes.  `RRScheduler` implements that; `Scheduler` is the interface
+// the simulator and the I/O-mode policies program against, so alternative
+// disciplines (see sched/cfs.h) can be swapped in for ablations.
+//
+// `peek_next()` exposes the next-to-be-run process — the comparison point
+// of the priority-aware thread selection policy (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/process.h"
+#include "util/types.h"
+
+namespace its::sched {
+
+struct SchedulerStats {
+  std::uint64_t picks = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t wakes = 0;
+};
+
+/// Scheduling discipline interface (single CPU).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Registers a process and makes it runnable.
+  virtual void add(Process* p) = 0;
+
+  /// Dequeues the next runnable process, grants it a fresh slice, and marks
+  /// it running; nullptr if nothing is runnable.
+  virtual Process* pick() = 0;
+
+  /// Returns a running process to the runnable set (slice expiry / yield).
+  virtual void yield(Process* p) = 0;
+
+  /// Marks a (previously picked) process blocked.
+  virtual void block(Process* p) = 0;
+
+  /// Makes a blocked process runnable again.
+  virtual void wake(Process* p) = 0;
+
+  /// The process `pick()` would return next, without dequeuing.
+  virtual const Process* peek_next() const = 0;
+
+  /// The slice `pick()` would grant this process right now.
+  virtual its::Duration slice_for(const Process& p) const = 0;
+
+  /// Charges `d` of CPU consumption to `p` (needed by disciplines that
+  /// track virtual runtime; RR ignores it).
+  virtual void account(Process& p, its::Duration d) { (void)p, (void)d; }
+
+  virtual bool any_ready() const = 0;
+  virtual std::size_t ready_count() const = 0;
+
+  const SchedulerStats& stats() const { return stats_; }
+
+ protected:
+  SchedulerStats stats_;
+};
+
+/// SCHED_RR: one FIFO queue, NICE-style slices linearly interpolated
+/// between the registered priority extremes.
+class RRScheduler final : public Scheduler {
+ public:
+  RRScheduler(its::Duration slice_min = 5'000'000, its::Duration slice_max = 800'000'000)
+      : slice_min_(slice_min), slice_max_(slice_max) {}
+
+  void add(Process* p) override;
+  Process* pick() override;
+  void yield(Process* p) override;
+  void block(Process* p) override;
+  void wake(Process* p) override;
+  const Process* peek_next() const override;
+
+  /// NICE-style slice: linear interpolation between the registered
+  /// priority extremes.  A single-priority batch gets slice_max.
+  its::Duration slice_for(const Process& p) const override;
+
+  bool any_ready() const override { return !queue_.empty(); }
+  std::size_t ready_count() const override { return queue_.size(); }
+
+ private:
+  its::Duration slice_min_;
+  its::Duration slice_max_;
+  int prio_lo_ = 0;
+  int prio_hi_ = 0;
+  bool have_prio_ = false;
+  std::deque<Process*> queue_;
+};
+
+}  // namespace its::sched

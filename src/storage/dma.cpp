@@ -1,0 +1,24 @@
+#include "storage/dma.h"
+
+namespace its::storage {
+
+DmaController::DmaController(const UllConfig& dev, const PcieConfig& link)
+    : dev_(dev), link_(link) {}
+
+its::SimTime DmaController::post(its::SimTime now, Dir dir, std::uint64_t bytes) {
+  if (dir == Dir::kRead) {
+    // Media read, then host transfer over the (serialising) link.
+    its::SimTime media_done = dev_.schedule(now, /*write=*/false);
+    return link_.schedule(media_done, bytes);
+  }
+  // Swap-out: move data over the link first, then program the media.
+  its::SimTime link_done = link_.schedule(now, bytes);
+  return dev_.schedule(link_done, /*write=*/true);
+}
+
+void DmaController::reset() {
+  dev_.reset();
+  link_.reset();
+}
+
+}  // namespace its::storage

@@ -1,0 +1,45 @@
+// DMA controller: composes the ULL device and the PCIe link.
+//
+// The page-fault handler (and the ITS page-prefetch policy) post page-sized
+// transfers here; the controller returns the completion timestamp so the
+// simulator can enqueue a wake-up/arrival event.  Reads traverse
+// media-then-link; writes (swap-out) traverse link-then-media.  The CPU is
+// never charged for DMA time — that is the whole point of the design.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/pcie_link.h"
+#include "storage/ull_device.h"
+#include "util/types.h"
+
+namespace its::storage {
+
+enum class Dir : std::uint8_t { kRead, kWrite };  ///< kRead = storage → DRAM.
+
+class DmaController {
+ public:
+  DmaController(const UllConfig& dev = {}, const PcieConfig& link = {});
+
+  /// Posts one transfer of `bytes` at time `now`; returns completion time.
+  its::SimTime post(its::SimTime now, Dir dir, std::uint64_t bytes);
+
+  /// Posts a page-sized (4 KiB) transfer.
+  its::SimTime post_page(its::SimTime now, Dir dir) {
+    return post(now, dir, its::kPageSize);
+  }
+
+  const UllDevice& device() const { return dev_; }
+  const PcieLink& link() const { return link_; }
+
+  std::uint64_t page_reads() const { return dev_.reads(); }
+  std::uint64_t page_writes() const { return dev_.writes(); }
+
+  void reset();
+
+ private:
+  UllDevice dev_;
+  PcieLink link_;
+};
+
+}  // namespace its::storage

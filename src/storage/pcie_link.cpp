@@ -1,0 +1,35 @@
+#include "storage/pcie_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace its::storage {
+
+PcieLink::PcieLink(const PcieConfig& cfg) {
+  if (cfg.lanes == 0 || cfg.gbytes_per_sec_per_lane <= 0.0)
+    throw std::invalid_argument("PcieLink: lanes and bandwidth must be positive");
+  // 1 GB/s == 1 byte/ns.
+  bytes_per_ns_ = static_cast<double>(cfg.lanes) * cfg.gbytes_per_sec_per_lane;
+}
+
+its::Duration PcieLink::transfer_time(std::uint64_t bytes) const {
+  return static_cast<its::Duration>(
+      std::ceil(static_cast<double>(bytes) / bytes_per_ns_));
+}
+
+its::SimTime PcieLink::schedule(its::SimTime ready, std::uint64_t bytes) {
+  its::SimTime start = std::max(ready, busy_until_);
+  busy_until_ = start + transfer_time(bytes);
+  bytes_moved_ += bytes;
+  ++transfers_;
+  return busy_until_;
+}
+
+void PcieLink::reset() {
+  busy_until_ = 0;
+  bytes_moved_ = 0;
+  transfers_ = 0;
+}
+
+}  // namespace its::storage

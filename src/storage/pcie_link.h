@@ -1,0 +1,47 @@
+// PCIe host-interface bandwidth model.
+//
+// The paper models "a 4-lane PCIe 5.x host interface between the DRAM and
+// ULL devices, providing approximately 3.983 GB/s bandwidth per lane".
+// Transfers serialise on the link; the DMA controller asks this class when
+// a queued transfer of N bytes, ready at time T, finishes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace its::storage {
+
+struct PcieConfig {
+  unsigned lanes = 4;
+  double gbytes_per_sec_per_lane = 3.983;  ///< GB/s per lane (paper §4.1).
+};
+
+class PcieLink {
+ public:
+  explicit PcieLink(const PcieConfig& cfg = {});
+
+  /// Pure function: time to move `bytes` at full link bandwidth.
+  its::Duration transfer_time(std::uint64_t bytes) const;
+
+  /// Schedules a transfer that becomes ready at `ready`; returns its
+  /// completion time.  Transfers are serialised in call order (FIFO link).
+  its::SimTime schedule(its::SimTime ready, std::uint64_t bytes);
+
+  its::SimTime busy_until() const { return busy_until_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  std::uint64_t transfers() const { return transfers_; }
+
+  /// Effective link bandwidth in bytes per nanosecond.
+  double bytes_per_ns() const { return bytes_per_ns_; }
+
+  void reset();
+
+ private:
+  double bytes_per_ns_;
+  its::SimTime busy_until_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace its::storage

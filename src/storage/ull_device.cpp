@@ -1,0 +1,35 @@
+#include "storage/ull_device.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace its::storage {
+
+UllDevice::UllDevice(const UllConfig& cfg) : cfg_(cfg) {
+  if (cfg.channels == 0) throw std::invalid_argument("UllDevice: channels must be > 0");
+  channel_free_.assign(cfg.channels, 0);
+}
+
+its::SimTime UllDevice::schedule(its::SimTime ready, bool write) {
+  auto it = std::min_element(channel_free_.begin(), channel_free_.end());
+  its::SimTime start = std::max(ready, *it);
+  its::Duration lat = write ? cfg_.write_latency : cfg_.read_latency;
+  *it = start + lat;
+  if (write)
+    ++writes_;
+  else
+    ++reads_;
+  return *it;
+}
+
+its::SimTime UllDevice::earliest_free() const {
+  return *std::min_element(channel_free_.begin(), channel_free_.end());
+}
+
+void UllDevice::reset() {
+  std::fill(channel_free_.begin(), channel_free_.end(), 0);
+  reads_ = 0;
+  writes_ = 0;
+}
+
+}  // namespace its::storage

@@ -1,0 +1,47 @@
+// Ultra-Low-Latency storage device model (Samsung Z-NAND class).
+//
+// The device exposes `channels` independent media channels; each channel
+// serves one request at a time with a fixed media latency (3 µs read per
+// the paper).  Channel-level parallelism is what makes batched page
+// prefetching profitable: n pages posted together overlap their media time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace its::storage {
+
+struct UllConfig {
+  its::Duration read_latency = 3000;   ///< ns — paper: Z-NAND ~3 µs.
+  its::Duration write_latency = 3000;  ///< ns — program latency, same class.
+  unsigned channels = 8;               ///< Internal parallelism.
+};
+
+class UllDevice {
+ public:
+  explicit UllDevice(const UllConfig& cfg = {});
+
+  /// Schedules a media access that becomes ready at `ready`; returns the
+  /// time the media access completes (data available for the host link).
+  /// Requests pick the earliest-free channel.
+  its::SimTime schedule(its::SimTime ready, bool write);
+
+  const UllConfig& config() const { return cfg_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+  /// Earliest time any channel is free.
+  its::SimTime earliest_free() const;
+
+  void reset();
+
+ private:
+  UllConfig cfg_;
+  std::vector<its::SimTime> channel_free_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace its::storage

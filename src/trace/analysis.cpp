@@ -1,0 +1,132 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace its::trace {
+
+std::uint64_t PageProfile::working_set_bytes(double coverage) const {
+  if (total_accesses == 0) return 0;
+  coverage = std::clamp(coverage, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(coverage * static_cast<double>(total_accesses));
+  std::uint64_t seen = 0;
+  std::uint64_t pages = 0;
+  for (std::uint64_t c : counts_desc) {
+    if (seen >= target) break;
+    seen += c;
+    ++pages;
+  }
+  return pages * its::kPageSize;
+}
+
+PageProfile profile_pages(const Trace& t) {
+  std::unordered_map<its::Vpn, std::uint64_t> counts;
+  for (const auto& in : t.records()) {
+    if (!in.is_mem()) continue;
+    ++counts[its::vpn_of(in.addr)];
+  }
+  PageProfile p;
+  p.distinct_pages = counts.size();
+  p.counts_desc.reserve(counts.size());
+  for (const auto& [vpn, c] : counts) {
+    p.counts_desc.push_back(c);
+    p.total_accesses += c;
+  }
+  std::sort(p.counts_desc.begin(), p.counts_desc.end(), std::greater<>());
+  return p;
+}
+
+LocalityStats analyze_locality(const Trace& t) {
+  LocalityStats s;
+  std::map<std::int64_t, std::uint64_t> strides;
+  bool have_prev = false;
+  its::VirtAddr prev = 0;
+  for (const auto& in : t.records()) {
+    if (!in.is_mem()) continue;
+    ++s.mem_refs;
+    if (have_prev) {
+      auto delta = static_cast<std::int64_t>(in.addr) - static_cast<std::int64_t>(prev);
+      std::uint64_t mag = delta < 0 ? static_cast<std::uint64_t>(-delta)
+                                    : static_cast<std::uint64_t>(delta);
+      if (mag <= its::kCacheLineSize) s.sequentiality += 1.0;
+      its::Vpn pv = its::vpn_of(prev);
+      its::Vpn cv = its::vpn_of(in.addr);
+      if (cv == pv || cv == pv + 1) s.page_locality += 1.0;
+      ++strides[delta];
+    }
+    prev = in.addr;
+    have_prev = true;
+  }
+  if (s.mem_refs > 1) {
+    double pairs = static_cast<double>(s.mem_refs - 1);
+    s.sequentiality /= pairs;
+    s.page_locality /= pairs;
+    s.distinct_strides = std::min<std::size_t>(strides.size(), 64);
+    std::uint64_t top = 0;
+    for (const auto& [d, c] : strides) top = std::max(top, c);
+    s.dominant_stride_share = static_cast<double>(top) / pairs;
+  }
+  return s;
+}
+
+namespace {
+/// Fenwick tree over access indices, used for exact LRU stack distances at
+/// page granularity.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+  void add(std::size_t i, std::int64_t v) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) tree_[i] += v;
+  }
+  std::int64_t prefix(std::size_t i) const {  // sum of [0, i]
+    std::int64_t s = 0;
+    for (++i; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+  std::int64_t total() const { return prefix(tree_.size() - 2); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+}  // namespace
+
+ReuseProfile analyze_reuse(const Trace& t) {
+  // Classic Mattson stack-distance computation: one marker per page at its
+  // most recent access index; the reuse distance of a re-access is the
+  // number of markers strictly after the page's previous access.
+  std::uint64_t refs = 0;
+  for (const auto& in : t.records()) refs += in.is_mem() ? 1 : 0;
+
+  ReuseProfile r;
+  Fenwick fw(refs + 1);
+  std::unordered_map<its::Vpn, std::size_t> last;  // page → access index
+  std::size_t idx = 0;
+  for (const auto& in : t.records()) {
+    if (!in.is_mem()) continue;
+    its::Vpn vpn = its::vpn_of(in.addr);
+    auto it = last.find(vpn);
+    if (it == last.end()) {
+      ++r.cold_accesses;
+    } else {
+      // Markers after the previous access, excluding the page's own marker.
+      std::int64_t after = fw.total() - fw.prefix(it->second);
+      r.distances.push_back(static_cast<std::uint64_t>(after));
+      fw.add(it->second, -1);
+    }
+    fw.add(idx, +1);
+    last[vpn] = idx;
+    ++idx;
+  }
+  return r;
+}
+
+std::uint64_t ReuseProfile::quantile_pages(double q) const {
+  if (distances.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<std::uint64_t> sorted = distances;
+  std::sort(sorted.begin(), sorted.end());
+  auto i = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[i];
+}
+
+}  // namespace its::trace

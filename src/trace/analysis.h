@@ -1,0 +1,73 @@
+// Trace analysis — address-stream statistics the paper's methodology
+// depends on.
+//
+// §4.1 defines the *working set* as "the minimum memory size capable of
+// capturing over 99% of accesses resulting from CPU cache misses" and the
+// *memory footprint* as "the total size of memory pages accessed by a
+// process"; DRAM is sized to the working set.  This module measures both
+// directly from a trace, plus the locality statistics (sequentiality,
+// stride distribution, page reuse) that explain why the VA-walk prefetcher
+// works on some workloads and not others.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/types.h"
+
+namespace its::trace {
+
+/// Page-granularity access profile of one trace.
+struct PageProfile {
+  /// Access count per touched page, descending (hottest first).
+  std::vector<std::uint64_t> counts_desc;
+  std::uint64_t total_accesses = 0;
+  std::uint64_t distinct_pages = 0;
+
+  /// Bytes of the hottest pages needed to cover `coverage` (0..1] of all
+  /// page touches — the paper's working-set definition at page
+  /// granularity.  Returns 0 for an empty profile.
+  std::uint64_t working_set_bytes(double coverage) const;
+
+  /// Memory footprint in bytes (distinct pages × page size).
+  std::uint64_t footprint_bytes() const { return distinct_pages * its::kPageSize; }
+};
+
+/// Builds the page profile in one pass over the trace.
+PageProfile profile_pages(const Trace& t);
+
+/// Locality statistics over the memory-reference stream.
+struct LocalityStats {
+  std::uint64_t mem_refs = 0;
+  /// Fraction of consecutive refs whose addresses are within one cache
+  /// line (spatially sequential).
+  double sequentiality = 0.0;
+  /// Fraction of consecutive refs landing on the same or the next virtual
+  /// page — what the VA-walk prefetcher can exploit.
+  double page_locality = 0.0;
+  /// Distinct stride values among consecutive refs (clipped to the
+  /// most-common 64); fewer ⇒ more regular.
+  std::size_t distinct_strides = 0;
+  /// Share of the single most common stride.
+  double dominant_stride_share = 0.0;
+};
+
+LocalityStats analyze_locality(const Trace& t);
+
+/// Page-granularity reuse-distance histogram: for each re-access, the
+/// number of distinct pages touched since the previous access to the same
+/// page.  `quantile(q)` of the result approximates the resident-set size
+/// needed to keep q of re-accesses DRAM hits under LRU.
+struct ReuseProfile {
+  std::vector<std::uint64_t> distances;  ///< One entry per re-access, unsorted.
+  std::uint64_t cold_accesses = 0;       ///< First touches (infinite distance).
+
+  /// q-quantile of reuse distances in pages (0 if no re-accesses).
+  std::uint64_t quantile_pages(double q) const;
+};
+
+ReuseProfile analyze_reuse(const Trace& t);
+
+}  // namespace its::trace

@@ -1,0 +1,106 @@
+// Trace instruction record.
+//
+// The simulator is trace-driven: each process is a finite sequence of
+// instruction records captured (in the paper, via Valgrind) or synthesised
+// (in this reproduction) ahead of time.  A record carries just enough
+// architectural information for the fault-aware pre-execute engine to do
+// INV-bit dependence tracking: an opcode, destination/source registers, and
+// the virtual address touched by memory operations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace its::trace {
+
+/// Number of architectural registers modelled. Register 0 is a hard-wired
+/// zero register and is always valid (never poisoned by pre-execution).
+inline constexpr unsigned kNumRegs = 32;
+
+enum class Op : std::uint8_t {
+  kCompute = 0,  ///< ALU work; `repeat` consecutive 1-cycle ops folded into one record.
+  kLoad = 1,     ///< Memory read of `size` bytes at `addr` into `dst`.
+  kStore = 2,    ///< Memory write of `size` bytes at `addr` from `src1`.
+  // File I/O path (§1 footnote 1): read/write system calls served through
+  // the filesystem + page cache.  `addr` is the byte offset inside the
+  // file identified by `src2`.
+  kFileRead = 3,   ///< read(fd=src2, offset=addr, len=size) into `dst`.
+  kFileWrite = 4,  ///< write(fd=src2, offset=addr, len=size) from `src1`.
+};
+
+/// One trace record (16 bytes, trivially copyable — traces are serialised
+/// as flat arrays of these).
+struct Instr {
+  its::VirtAddr addr = 0;   ///< Virtual address (loads/stores; 0 for compute).
+  Op op = Op::kCompute;
+  std::uint8_t dst = 0;     ///< Destination register (loads/compute).
+  std::uint8_t src1 = 0;    ///< Source register (store data / addr base).
+  std::uint8_t src2 = 0;    ///< Second source register (addr index).
+  std::uint16_t size = 0;   ///< Access size in bytes (loads/stores).
+  std::uint16_t repeat = 1; ///< Folded op count (compute only; >= 1).
+
+  static Instr compute(std::uint16_t repeat, std::uint8_t dst, std::uint8_t s1,
+                       std::uint8_t s2) {
+    Instr i;
+    i.op = Op::kCompute;
+    i.repeat = repeat ? repeat : 1;
+    i.dst = dst;
+    i.src1 = s1;
+    i.src2 = s2;
+    return i;
+  }
+  static Instr load(its::VirtAddr a, std::uint16_t size, std::uint8_t dst,
+                    std::uint8_t addr_base, std::uint8_t addr_index = 0) {
+    Instr i;
+    i.op = Op::kLoad;
+    i.addr = a;
+    i.size = size;
+    i.dst = dst;
+    i.src1 = addr_base;
+    i.src2 = addr_index;
+    return i;
+  }
+  static Instr store(its::VirtAddr a, std::uint16_t size, std::uint8_t data_src,
+                     std::uint8_t addr_base = 0) {
+    Instr i;
+    i.op = Op::kStore;
+    i.addr = a;
+    i.size = size;
+    i.src1 = data_src;
+    i.src2 = addr_base;
+    return i;
+  }
+
+  static Instr file_read(std::uint8_t file, std::uint64_t offset, std::uint16_t size,
+                         std::uint8_t dst) {
+    Instr i;
+    i.op = Op::kFileRead;
+    i.addr = offset;
+    i.size = size;
+    i.dst = dst;
+    i.src2 = file;
+    return i;
+  }
+  static Instr file_write(std::uint8_t file, std::uint64_t offset, std::uint16_t size,
+                          std::uint8_t data_src) {
+    Instr i;
+    i.op = Op::kFileWrite;
+    i.addr = offset;
+    i.size = size;
+    i.src1 = data_src;
+    i.src2 = file;
+    return i;
+  }
+
+  /// Virtual-memory data access (load/store) — *not* file I/O.
+  bool is_mem() const { return op == Op::kLoad || op == Op::kStore; }
+  /// File-I/O system call.
+  bool is_file() const { return op == Op::kFileRead || op == Op::kFileWrite; }
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+static_assert(sizeof(Instr) == 16, "Instr must stay 16 bytes (trace file ABI)");
+
+}  // namespace its::trace

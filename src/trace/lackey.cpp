@@ -1,0 +1,136 @@
+#include "trace/lackey.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace its::trace {
+
+namespace {
+
+/// Parses "ADDR,SIZE" with ADDR hex and SIZE decimal.  Returns false on
+/// malformed input.
+bool parse_access(std::string_view s, its::VirtAddr& addr, std::uint32_t& size) {
+  auto comma = s.find(',');
+  if (comma == std::string_view::npos) return false;
+  std::string_view a = s.substr(0, comma);
+  std::string_view z = s.substr(comma + 1);
+  if (a.starts_with("0x") || a.starts_with("0X")) a.remove_prefix(2);
+  auto r1 = std::from_chars(a.data(), a.data() + a.size(), addr, 16);
+  if (r1.ec != std::errc{} || r1.ptr != a.data() + a.size()) return false;
+  // Size may be followed by trailing junk (lackey pads); parse the prefix.
+  auto r2 = std::from_chars(z.data(), z.data() + z.size(), size, 10);
+  return r2.ec == std::errc{} && size > 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\r' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+Trace parse_lackey(std::istream& is, const std::string& name,
+                   const LackeyOptions& opts) {
+  Trace t(name);
+  std::string line;
+  unsigned pending_instrs = 0;
+  std::uint8_t reg = 1;
+  auto next_reg = [&reg]() {
+    std::uint8_t r = reg;
+    reg = reg == 31 ? 1 : reg + 1;
+    return r;
+  };
+  auto flush_instrs = [&]() {
+    if (pending_instrs == 0) return;
+    t.push_back(Instr::compute(static_cast<std::uint16_t>(pending_instrs),
+                               next_reg(), 0, 0));
+    pending_instrs = 0;
+  };
+  const unsigned fold = opts.instr_fold ? opts.instr_fold : 1;
+
+  std::uint64_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (opts.max_records && t.size() >= opts.max_records) break;
+    std::string_view s = trim(line);
+    if (s.empty()) continue;
+    char kind = s.front();
+    if (kind != 'I' && kind != 'L' && kind != 'S' && kind != 'M') {
+      if (opts.lenient) continue;
+      throw LackeyParseError("lackey line " + std::to_string(lineno) +
+                             ": unknown record kind");
+    }
+    std::string_view rest = trim(s.substr(1));
+    its::VirtAddr addr = 0;
+    std::uint32_t size = 0;
+    if (!parse_access(rest, addr, size)) {
+      if (opts.lenient) continue;
+      throw LackeyParseError("lackey line " + std::to_string(lineno) +
+                             ": malformed access");
+    }
+    auto sz = static_cast<std::uint16_t>(size > 0xffff ? 0xffff : size);
+    switch (kind) {
+      case 'I':
+        if (++pending_instrs >= fold) flush_instrs();
+        break;
+      case 'L':
+        flush_instrs();
+        t.push_back(Instr::load(addr, sz, next_reg(), 0));
+        break;
+      case 'S':
+        flush_instrs();
+        t.push_back(Instr::store(addr, sz, next_reg()));
+        break;
+      case 'M': {  // modify = load + store of the same location
+        flush_instrs();
+        std::uint8_t r = next_reg();
+        t.push_back(Instr::load(addr, sz, r, 0));
+        t.push_back(Instr::store(addr, sz, r));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  flush_instrs();
+  return t;
+}
+
+Trace load_lackey_file(const std::string& path, const LackeyOptions& opts) {
+  std::ifstream f(path);
+  if (!f) throw LackeyParseError("cannot open lackey file: " + path);
+  auto slash = path.find_last_of('/');
+  return parse_lackey(f, slash == std::string::npos ? path : path.substr(slash + 1),
+                      opts);
+}
+
+void write_lackey(std::ostream& os, const Trace& t) {
+  char buf[64];
+  for (const auto& in : t.records()) {
+    switch (in.op) {
+      case Op::kCompute:
+        for (unsigned k = 0; k < in.repeat; ++k) os << "I  1000,4\n";
+        break;
+      case Op::kLoad:
+        std::snprintf(buf, sizeof buf, " L %llx,%u\n",
+                      static_cast<unsigned long long>(in.addr), in.size);
+        os << buf;
+        break;
+      case Op::kStore:
+        std::snprintf(buf, sizeof buf, " S %llx,%u\n",
+                      static_cast<unsigned long long>(in.addr), in.size);
+        os << buf;
+        break;
+      case Op::kFileRead:
+      case Op::kFileWrite:
+        // Lackey has no syscall records; file I/O is dropped on export.
+        break;
+    }
+  }
+}
+
+}  // namespace its::trace

@@ -1,0 +1,72 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+namespace its::trace {
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.records = instrs_.size();
+  std::unordered_set<its::Vpn> pages;
+  bool first_mem = true;
+  for (const auto& i : instrs_) {
+    if (i.op == Op::kCompute) {
+      s.instructions += i.repeat;
+      continue;
+    }
+    ++s.instructions;
+    if (i.is_file()) {
+      if (i.op == Op::kFileRead)
+        ++s.file_reads;
+      else
+        ++s.file_writes;
+      s.file_bytes += i.size;
+      continue;  // file offsets are not virtual addresses
+    }
+    ++s.mem_refs;
+    if (i.op == Op::kLoad)
+      ++s.loads;
+    else
+      ++s.stores;
+    its::VirtAddr last = i.addr + (i.size ? i.size - 1 : 0);
+    if (first_mem) {
+      s.min_addr = i.addr;
+      s.max_addr = last;
+      first_mem = false;
+    } else {
+      s.min_addr = std::min(s.min_addr, i.addr);
+      s.max_addr = std::max(s.max_addr, last);
+    }
+    for (its::Vpn p = its::vpn_of(i.addr); p <= its::vpn_of(last); ++p) pages.insert(p);
+  }
+  s.footprint_pages = pages.size();
+  return s;
+}
+
+std::vector<std::pair<std::uint8_t, std::uint64_t>> Trace::file_sizes() const {
+  std::array<std::uint64_t, 256> ends{};
+  for (const auto& i : instrs_) {
+    if (!i.is_file()) continue;
+    ends[i.src2] = std::max<std::uint64_t>(ends[i.src2], i.addr + i.size);
+  }
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> out;
+  for (unsigned f = 0; f < ends.size(); ++f)
+    if (ends[f] != 0) out.emplace_back(static_cast<std::uint8_t>(f), ends[f]);
+  return out;
+}
+
+std::vector<its::Vpn> Trace::touched_pages() const {
+  std::unordered_set<its::Vpn> pages;
+  for (const auto& i : instrs_) {
+    if (!i.is_mem()) continue;
+    its::VirtAddr last = i.addr + (i.size ? i.size - 1 : 0);
+    for (its::Vpn p = its::vpn_of(i.addr); p <= its::vpn_of(last); ++p) pages.insert(p);
+  }
+  std::vector<its::Vpn> out(pages.begin(), pages.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace its::trace

@@ -1,0 +1,64 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace its::trace {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x0001435254535449ull;  // "ITSTRC\1\0"
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw TraceIoError("trace stream truncated");
+  return v;
+}
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& t) {
+  put(os, kMagic);
+  auto name_len = static_cast<std::uint32_t>(t.name().size());
+  put(os, name_len);
+  os.write(t.name().data(), name_len);
+  put(os, static_cast<std::uint64_t>(t.size()));
+  auto recs = t.records();
+  os.write(reinterpret_cast<const char*>(recs.data()),
+           static_cast<std::streamsize>(recs.size_bytes()));
+  if (!os) throw TraceIoError("trace write failed");
+}
+
+Trace read_trace(std::istream& is) {
+  if (get<std::uint64_t>(is) != kMagic) throw TraceIoError("bad trace magic");
+  auto name_len = get<std::uint32_t>(is);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  if (!is) throw TraceIoError("trace stream truncated");
+  auto count = get<std::uint64_t>(is);
+  Trace t(std::move(name));
+  t.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) t.push_back(get<Instr>(is));
+  return t;
+}
+
+void save_trace_file(const std::string& path, const Trace& t) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw TraceIoError("cannot open for write: " + path);
+  write_trace(f, t);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw TraceIoError("cannot open for read: " + path);
+  return read_trace(f);
+}
+
+}  // namespace its::trace

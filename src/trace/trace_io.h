@@ -1,0 +1,32 @@
+// Binary trace (de)serialisation.
+//
+// Format (little-endian):
+//   magic     u64  'ITSTRC\1\0'
+//   name_len  u32, name bytes
+//   count     u64, count * sizeof(Instr) record bytes
+//
+// The paper captures traces with Valgrind and feeds them to its simulator;
+// this module gives the same decoupling — generate once, re-run many times.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace its::trace {
+
+/// Thrown on malformed input or I/O failure.
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_trace(std::ostream& os, const Trace& t);
+Trace read_trace(std::istream& is);
+
+void save_trace_file(const std::string& path, const Trace& t);
+Trace load_trace_file(const std::string& path);
+
+}  // namespace its::trace

@@ -1,0 +1,69 @@
+// Synthetic workload generators — the paper's nine Valgrind-captured traces.
+//
+// §4.1 of the paper evaluates nine traces: six general-purpose processes
+// (Caffe inference, SPEC Wrf / Blender / Xz / DeepSjeng, GraphChi community
+// detection) and three data-intensive processes (Graph500 single-shortest-
+// path, GraphChi random walk and PageRank).  We reproduce each as a
+// parameterised generator that matches the workload's access-pattern *class*
+// — streaming, stencil, window reuse, pointer chasing, interval-based graph
+// processing, frontier expansion — along with its footprint and working-set
+// ratio.  See DESIGN.md "Substitutions" for why this preserves the
+// evaluation's behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "trace/trace.h"
+
+namespace its::trace {
+
+enum class WorkloadId : std::uint8_t {
+  kCaffe = 0,      ///< CaffeNet inference over 160 images: weight streaming + hot activations.
+  kWrf,            ///< SPEC CPU2006 Wrf: 3-D stencil sweeps.
+  kBlender,        ///< SPEC CPU2017 Blender: sequential scene scan + Zipf texture lookups.
+  kXz,             ///< SPEC CPU2017 Xz: sequential input + sliding-window match finding.
+  kDeepSjeng,      ///< SPEC CPU2017 DeepSjeng: pointer-chasing transposition table, small WS.
+  kCommunity,      ///< GraphChi community detection: interval-sequential edges + vertex window.
+  kRandomWalk,     ///< GraphChi random walk: dependent random vertex hops (data-intensive).
+  kPageRank,       ///< GraphChi PageRank: sequential edges + scattered rank updates (data-intensive).
+  kGraph500Sssp,   ///< Graph500 SSSP: frontier bursts over a huge graph (data-intensive).
+};
+
+inline constexpr std::size_t kNumWorkloads = 9;
+
+/// Static description of a workload's mini-scale shape.
+struct WorkloadSpec {
+  WorkloadId id;
+  std::string_view name;
+  bool data_intensive;
+  std::uint64_t footprint_bytes;  ///< Total region touched (memory footprint).
+  std::uint64_t hot_bytes;        ///< Working set (≥99 % of post-cache-miss refs).
+  std::uint64_t records;          ///< Trace records to emit at scale 1.0.
+};
+
+/// Scaling knobs applied on top of a WorkloadSpec.
+struct GeneratorConfig {
+  double footprint_scale = 1.0;  ///< Multiplies footprint/hot sizes.
+  double length_scale = 1.0;     ///< Multiplies record count.
+  std::uint64_t seed = 1;        ///< RNG seed; same seed → identical trace.
+};
+
+/// All nine workload specs, in WorkloadId order.
+std::span<const WorkloadSpec> all_workloads();
+
+/// Spec for one workload.
+const WorkloadSpec& spec_for(WorkloadId id);
+
+/// Case-sensitive lookup by name ("caffe", "wrf", ...).
+std::optional<WorkloadId> find_workload(std::string_view name);
+
+/// Generates the trace for `id` under `cfg`.
+Trace generate(WorkloadId id, const GeneratorConfig& cfg = {});
+
+/// The virtual address at which generated heaps start.
+inline constexpr its::VirtAddr kHeapBase = 0x560000000000ull;
+
+}  // namespace its::trace

@@ -1,0 +1,81 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace its::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.emplace_back(a);
+      continue;
+    }
+    a.remove_prefix(2);
+    auto eq = a.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.push_back({std::string(a.substr(0, eq)), std::string(a.substr(eq + 1))});
+      continue;
+    }
+    // `--key value` if the next token is not itself a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_.push_back({std::string(a), std::string(argv[++i])});
+    } else {
+      flags_.push_back({std::string(a), std::nullopt});
+    }
+  }
+}
+
+std::optional<std::string> Args::get(std::string_view name) const {
+  for (const auto& f : flags_)
+    if (f.name == name) return f.value;
+  return std::nullopt;
+}
+
+bool Args::has(std::string_view name) const {
+  return std::any_of(flags_.begin(), flags_.end(),
+                     [&](const Flag& f) { return f.name == name; });
+}
+
+std::uint64_t Args::get_u64(std::string_view name, std::uint64_t def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  try {
+    std::size_t pos = 0;
+    std::uint64_t out = std::stoull(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + std::string(name) + ": not an integer: " + *v);
+  }
+}
+
+double Args::get_double(std::string_view name, double def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  try {
+    std::size_t pos = 0;
+    double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + std::string(name) + ": not a number: " + *v);
+  }
+}
+
+std::string Args::get_string(std::string_view name, std::string def) const {
+  auto v = get(name);
+  return v ? *v : def;
+}
+
+std::vector<std::string> Args::unknown(
+    std::initializer_list<std::string_view> known) const {
+  std::vector<std::string> out;
+  for (const auto& f : flags_)
+    if (std::find(known.begin(), known.end(), f.name) == known.end())
+      out.push_back(f.name);
+  return out;
+}
+
+}  // namespace its::util

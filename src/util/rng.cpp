@@ -1,0 +1,84 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace its::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling over the top of the range to remove modulo bias.
+  std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-inversion (Hörmann & Derflinger 1996) for the Zipf(s) law on
+  // {1..n}; returns a 0-based rank.
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    // integral of x^-s
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double u) {
+    if (s == 1.0) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    double u = hx0 + next_double() * (hn - hx0);
+    double x = h_inv(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) return k - 1;
+  }
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) p = 1e-12;
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+}
+
+}  // namespace its::util

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// PCG32 (O'Neill, 2014): small state, excellent statistical quality, and —
+// critically for a simulator — fully deterministic across platforms so every
+// experiment is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace its::util {
+
+/// PCG32 generator.  Deterministic, seedable, copyable.
+class Rng {
+ public:
+  /// Seeds the generator.  Two Rngs with equal (seed, stream) produce
+  /// identical sequences.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull,
+               std::uint64_t stream = 0xda3e39cb94b95bdbull);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s.  Uses the rejection
+  /// method of Hörmann & Derflinger; O(1) per draw, no precomputed tables,
+  /// so it is usable for very large n (graph workload generators).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Geometric draw: number of failures before first success, success
+  /// probability p in (0, 1].
+  std::uint64_t geometric(double p);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace its::util

@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace its::util {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  double delta = o.mean_ - mean_;
+  std::uint64_t n = n_ + o.n_;
+  double nd = static_cast<double>(n);
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / nd;
+  mean_ = (mean_ * static_cast<double>(n_) + o.mean_ * static_cast<double>(o.n_)) / nd;
+  n_ = n;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+namespace {
+std::size_t bucket_index(std::uint64_t v) {
+  return v < 2 ? 0 : static_cast<std::size_t>(std::bit_width(v) - 1);
+}
+}  // namespace
+
+void LogHistogram::add(std::uint64_t v) {
+  std::size_t i = bucket_index(v);
+  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  ++buckets_[i];
+  ++total_;
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] > target) {
+      std::uint64_t lo = i == 0 ? 0 : (1ull << i);
+      std::uint64_t hi = (i >= 63) ? ~0ull : (1ull << (i + 1)) - 1;
+      double frac = static_cast<double>(target - seen) / static_cast<double>(buckets_[i]);
+      return lo + static_cast<std::uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += buckets_[i];
+  }
+  return 1ull << (buckets_.size() - 1);
+}
+
+void LogHistogram::merge(const LogHistogram& o) {
+  if (o.buckets_.size() > buckets_.size()) buckets_.resize(o.buckets_.size(), 0);
+  for (std::size_t i = 0; i < o.buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  total_ += o.total_;
+}
+
+void LogHistogram::reset() {
+  buckets_.clear();
+  total_ = 0;
+}
+
+}  // namespace its::util

@@ -1,0 +1,72 @@
+// Lightweight statistics primitives used by every simulator module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace its::util {
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance; 0 if fewer than 2 samples.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat& other);
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two bucketed histogram for latency-like values.
+/// Bucket i holds values v with 2^i <= v < 2^(i+1); bucket 0 holds {0, 1}.
+class LogHistogram {
+ public:
+  void add(std::uint64_t v);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return i < buckets_.size() ? buckets_[i] : 0; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket.  Returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+
+  void merge(const LogHistogram& other);
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// A named monotonically increasing counter.
+struct Counter {
+  std::string name;
+  std::uint64_t value = 0;
+
+  Counter& operator+=(std::uint64_t d) {
+    value += d;
+    return *this;
+  }
+  void inc() { ++value; }
+};
+
+}  // namespace its::util

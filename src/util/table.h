@@ -1,0 +1,39 @@
+// Minimal fixed-width table printer for benchmark harness output.
+//
+// The bench binaries print the same rows/series the paper's figures report;
+// this helper keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace its::util {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"batch", "Async", "Sync", "ITS"});
+///   t.add_row({"0_intensive", "2.59", "1.21", "1.00"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string fmt(double v, int precision = 3);
+  /// Formats an integer with thousands separators.
+  static std::string fmt(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace its::util

@@ -1,0 +1,67 @@
+// Fundamental simulator-wide types and constants.
+//
+// Every latency and timestamp in the simulator is an integer count of
+// nanoseconds (SimTime).  Virtual and physical addresses are 64-bit, pages
+// are the x86-64 4 KiB base pages the paper's mini-kernel manages.
+#pragma once
+
+#include <cstdint>
+
+namespace its {
+
+/// Simulation time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in nanoseconds.
+using Duration = std::uint64_t;
+
+/// A virtual address in some process's address space.
+using VirtAddr = std::uint64_t;
+
+/// A physical (DRAM) address.
+using PhysAddr = std::uint64_t;
+
+/// Virtual page number (VirtAddr >> kPageShift).
+using Vpn = std::uint64_t;
+
+/// Physical frame number (PhysAddr >> kPageShift).
+using Pfn = std::uint64_t;
+
+/// Process identifier.
+using Pid = std::uint32_t;
+
+inline constexpr std::uint64_t kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;  // 4 KiB
+inline constexpr std::uint64_t kPageOffsetMask = kPageSize - 1;
+
+inline constexpr std::uint64_t kCacheLineShift = 6;
+inline constexpr std::uint64_t kCacheLineSize = 1ull << kCacheLineShift;  // 64 B
+
+/// Convenience literals for sizes.
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/// Convenience literals for durations (all convert to nanoseconds).
+inline constexpr Duration operator""_ns(unsigned long long v) { return v; }
+inline constexpr Duration operator""_us(unsigned long long v) { return v * 1000ull; }
+inline constexpr Duration operator""_ms(unsigned long long v) { return v * 1000000ull; }
+inline constexpr Duration operator""_s(unsigned long long v) { return v * 1000000000ull; }
+
+constexpr Vpn vpn_of(VirtAddr a) { return a >> kPageShift; }
+constexpr Pfn pfn_of(PhysAddr a) { return a >> kPageShift; }
+constexpr VirtAddr page_base(VirtAddr a) { return a & ~kPageOffsetMask; }
+constexpr std::uint64_t line_of(std::uint64_t a) { return a >> kCacheLineShift; }
+
+/// An invalid sentinel for page/frame numbers.
+inline constexpr std::uint64_t kInvalidPage = ~0ull;
+
+/// Packs a process id with a 48-bit page number or virtual address into one
+/// key (TLB tags, swap slots, pre-execute cache keys, arrival maps).
+/// Canonical x86-64 user addresses keep the payload below 2^48; the mask
+/// guards imported traces with exotic addresses from aliasing across pids.
+constexpr std::uint64_t pid_key(Pid pid, std::uint64_t addr_or_vpn) {
+  return (addr_or_vpn & ((1ull << 48) - 1)) | (static_cast<std::uint64_t>(pid) << 48);
+}
+
+}  // namespace its

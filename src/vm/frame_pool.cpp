@@ -1,0 +1,78 @@
+#include "vm/frame_pool.h"
+
+#include <stdexcept>
+
+namespace its::vm {
+
+FramePool::FramePool(std::uint64_t dram_bytes) {
+  std::uint64_t n = dram_bytes >> its::kPageShift;
+  if (n == 0) throw std::invalid_argument("FramePool: DRAM must hold >= 1 frame");
+  frames_.assign(n, FrameInfo{});
+  free_.reserve(n);
+  // Hand out low frames first for reproducibility.
+  for (std::uint64_t i = n; i-- > 0;) free_.push_back(i);
+}
+
+FrameInfo& FramePool::at(its::Pfn pfn) {
+  if (pfn >= frames_.size()) throw std::out_of_range("FramePool: bad pfn");
+  return frames_[pfn];
+}
+
+const FrameInfo& FramePool::info(its::Pfn pfn) const {
+  return const_cast<FramePool*>(this)->at(pfn);
+}
+
+std::optional<its::Pfn> FramePool::try_alloc(its::Pid owner, its::Vpn vpn) {
+  if (free_.empty()) return std::nullopt;
+  its::Pfn pfn = free_.back();
+  free_.pop_back();
+  FrameInfo& f = frames_[pfn];
+  f = FrameInfo{};
+  f.in_use = true;
+  f.owner = owner;
+  f.vpn = vpn;
+  ++stats_.allocations;
+  return pfn;
+}
+
+std::optional<its::Pfn> FramePool::clock_victim() {
+  const std::uint64_t n = frames_.size();
+  // Two full sweeps suffice: the first may clear every reference bit, the
+  // second must then find an unreferenced, unpinned frame if one exists.
+  for (std::uint64_t scanned = 0; scanned < 2 * n; ++scanned) {
+    FrameInfo& f = frames_[hand_];
+    std::uint64_t current = hand_;
+    hand_ = (hand_ + 1) % n;
+    ++stats_.clock_scans;
+    if (!f.in_use || f.pinned) continue;
+    if (f.referenced) {
+      f.referenced = false;  // second chance
+      continue;
+    }
+    return current;
+  }
+  return std::nullopt;
+}
+
+void FramePool::release(its::Pfn pfn) {
+  FrameInfo& f = at(pfn);
+  if (!f.in_use) throw std::logic_error("FramePool: releasing free frame");
+  f = FrameInfo{};
+  free_.push_back(pfn);
+  ++stats_.releases;
+}
+
+void FramePool::assign(its::Pfn pfn, its::Pid owner, its::Vpn vpn) {
+  FrameInfo& f = at(pfn);
+  if (!f.in_use) throw std::logic_error("FramePool: assigning free frame");
+  f.owner = owner;
+  f.vpn = vpn;
+  f.referenced = false;
+  f.pinned = false;
+}
+
+void FramePool::pin(its::Pfn pfn) { at(pfn).pinned = true; }
+void FramePool::unpin(its::Pfn pfn) { at(pfn).pinned = false; }
+void FramePool::mark_referenced(its::Pfn pfn) { at(pfn).referenced = true; }
+
+}  // namespace its::vm

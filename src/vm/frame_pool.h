@@ -1,0 +1,72 @@
+// Physical DRAM frame pool with CLOCK (second-chance) replacement.
+//
+// The paper sizes DRAM "to match the working set" of the batch; when every
+// frame is in use, allocating for a fault or a prefetch evicts the CLOCK
+// victim.  The pool tracks ownership (which process/virtual page holds each
+// frame) so the simulator can unmap, invalidate caches, and schedule the
+// swap-out write.  Frames receiving an in-flight DMA transfer are pinned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace its::vm {
+
+struct FrameInfo {
+  bool in_use = false;
+  bool pinned = false;
+  bool referenced = false;  ///< CLOCK reference bit.
+  its::Pid owner = 0;
+  its::Vpn vpn = its::kInvalidPage;
+};
+
+struct FramePoolStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t clock_scans = 0;  ///< Frames examined by the CLOCK hand.
+};
+
+class FramePool {
+ public:
+  explicit FramePool(std::uint64_t dram_bytes);
+
+  std::uint64_t num_frames() const { return frames_.size(); }
+  std::uint64_t free_frames() const { return free_.size(); }
+  std::uint64_t used_frames() const { return num_frames() - free_frames(); }
+
+  /// Takes a free frame, or nullopt if DRAM is full (caller must evict).
+  std::optional<its::Pfn> try_alloc(its::Pid owner, its::Vpn vpn);
+
+  /// Picks the next eviction victim by CLOCK: skips pinned frames, gives a
+  /// second chance to referenced ones.  Returns nullopt only if every
+  /// in-use frame is pinned.
+  std::optional<its::Pfn> clock_victim();
+
+  /// Returns a frame to the free list.
+  void release(its::Pfn pfn);
+
+  /// Re-assigns an in-use frame to a new owner (after eviction).
+  void assign(its::Pfn pfn, its::Pid owner, its::Vpn vpn);
+
+  void pin(its::Pfn pfn);
+  void unpin(its::Pfn pfn);
+  void mark_referenced(its::Pfn pfn);
+
+  const FrameInfo& info(its::Pfn pfn) const;
+  const FramePoolStats& stats() const { return stats_; }
+
+  its::PhysAddr phys_base(its::Pfn pfn) const { return pfn << its::kPageShift; }
+
+ private:
+  FrameInfo& at(its::Pfn pfn);
+
+  std::vector<FrameInfo> frames_;
+  std::vector<its::Pfn> free_;
+  std::uint64_t hand_ = 0;
+  FramePoolStats stats_;
+};
+
+}  // namespace its::vm

@@ -1,0 +1,36 @@
+#include "vm/mm.h"
+
+namespace its::vm {
+
+MemoryDescriptor::MemoryDescriptor(its::Pid pid, std::span<const its::Vpn> footprint)
+    : pid_(pid) {
+  for (its::Vpn vpn : footprint) {
+    pt_.ensure(vpn << its::kPageShift);  // slot exists, raw == 0 ⇒ swapped out
+    ++footprint_pages_;
+  }
+}
+
+PageState MemoryDescriptor::state(its::Vpn vpn) const {
+  const Pte* p = pte(vpn);
+  if (p == nullptr) return PageState::kUnmapped;
+  if (p->present()) return PageState::kMapped;
+  if (p->in_flight()) return PageState::kInFlight;
+  if (p->swap_cached()) return PageState::kSwapCache;
+  return PageState::kSwapped;
+}
+
+FaultType MemoryDescriptor::classify(its::Vpn vpn) const {
+  switch (state(vpn)) {
+    case PageState::kMapped:
+      return FaultType::kNone;
+    case PageState::kSwapCache:
+      return FaultType::kMinor;
+    case PageState::kInFlight:
+    case PageState::kSwapped:
+    case PageState::kUnmapped:
+      return FaultType::kMajor;
+  }
+  return FaultType::kMajor;
+}
+
+}  // namespace its::vm

@@ -1,0 +1,62 @@
+// Per-process memory descriptor (the mini-kernel's mm_struct).
+//
+// Owns the process's page table and classifies touches into the fault
+// taxonomy the paper uses: major faults move data between storage and
+// memory; minor faults only adjust metadata (§3.1 footnote 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.h"
+#include "vm/page_table.h"
+
+namespace its::vm {
+
+/// State of one virtual page, derived from its PTE.
+enum class PageState : std::uint8_t {
+  kUnmapped,   ///< Never part of the address space (no PTE slot).
+  kSwapped,    ///< Data only in the swap area — touch ⇒ major fault.
+  kSwapCache,  ///< Data in a DRAM frame, not mapped — touch ⇒ minor fault.
+  kInFlight,   ///< DMA into the frame in progress — touch waits, then maps.
+  kMapped,     ///< Present; regular translation.
+};
+
+/// Classification of one memory touch.
+enum class FaultType : std::uint8_t { kNone, kMinor, kMajor };
+
+class MemoryDescriptor {
+ public:
+  /// Builds the address space: every page in `footprint` gets a PTE slot in
+  /// the swap-resident state (cold, swap-backed heap — see DESIGN.md).
+  MemoryDescriptor(its::Pid pid, std::span<const its::Vpn> footprint);
+
+  its::Pid pid() const { return pid_; }
+  PageTable& page_table() { return pt_; }
+  const PageTable& page_table() const { return pt_; }
+
+  /// PTE slot for `vpn`, or nullptr if outside the address space.
+  Pte* pte(its::Vpn vpn) { return pt_.lookup(vpn << its::kPageShift); }
+  const Pte* pte(its::Vpn vpn) const { return pt_.lookup(vpn << its::kPageShift); }
+
+  PageState state(its::Vpn vpn) const;
+
+  /// Fault classification for touching `vpn` right now.  kInFlight pages
+  /// classify as major (the process must wait for I/O).
+  FaultType classify(its::Vpn vpn) const;
+
+  std::uint64_t footprint_pages() const { return footprint_pages_; }
+  std::uint64_t resident_pages() const { return resident_; }
+
+  /// Residency bookkeeping — called by the kernel on map/unmap.
+  void note_mapped() { ++resident_; }
+  void note_unmapped() { --resident_; }
+
+ private:
+  its::Pid pid_;
+  PageTable pt_;
+  std::uint64_t footprint_pages_ = 0;
+  std::uint64_t resident_ = 0;
+};
+
+}  // namespace its::vm

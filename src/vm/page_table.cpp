@@ -1,0 +1,61 @@
+#include "vm/page_table.h"
+
+namespace its::vm {
+
+PageTable::PageTable() : pgd_(std::make_unique<Pgd>()) {}
+PageTable::~PageTable() = default;
+
+Pte* PageTable::lookup(its::VirtAddr va) {
+  Pud* pud = pgd_->t[pgd_index(va)].get();
+  if (!pud) return nullptr;
+  Pmd* pmd = pud->t[pud_index(va)].get();
+  if (!pmd) return nullptr;
+  Pt* pt = pmd->t[pmd_index(va)].get();
+  if (!pt) return nullptr;
+  return &pt->e[pte_index(va)];
+}
+
+const Pte* PageTable::lookup(its::VirtAddr va) const {
+  return const_cast<PageTable*>(this)->lookup(va);
+}
+
+Pte& PageTable::ensure(its::VirtAddr va) {
+  auto& pud = pgd_->t[pgd_index(va)];
+  if (!pud) {
+    pud = std::make_unique<Pud>();
+    ++tables_;
+  }
+  auto& pmd = pud->t[pud_index(va)];
+  if (!pmd) {
+    pmd = std::make_unique<Pmd>();
+    ++tables_;
+  }
+  auto& pt = pmd->t[pmd_index(va)];
+  if (!pt) {
+    pt = std::make_unique<Pt>();
+    ++tables_;
+  }
+  return pt->e[pte_index(va)];
+}
+
+unsigned PageTable::levels_mapped(its::VirtAddr va) const {
+  const Pud* pud = pgd_->t[pgd_index(va)].get();
+  if (!pud) return 1;
+  const Pmd* pmd = pud->t[pud_index(va)].get();
+  if (!pmd) return 2;
+  const Pt* pt = pmd->t[pmd_index(va)].get();
+  if (!pt) return 3;
+  return 4;
+}
+
+Pte* PageTable::Cursor::next(its::Vpn& vpn_out) {
+  its::VirtAddr va = vpn_ << its::kPageShift;
+  ++examined_;
+  Pte* pte = pt_->lookup(va);
+  if (pte == nullptr) return nullptr;  // left populated tables — give up
+  vpn_out = vpn_;
+  ++vpn_;
+  return pte;
+}
+
+}  // namespace its::vm

@@ -1,0 +1,68 @@
+#include "vm/prefetch.h"
+
+namespace its::vm {
+
+PrefetchResult VaPrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) const {
+  PrefetchResult r;
+  r.pages.reserve(cfg_.degree);
+  auto cur = mm.page_table().cursor_at(victim + 1);
+  its::Vpn vpn = 0;
+  while (r.pages.size() < cfg_.degree && cur.slots_examined() < cfg_.max_slots) {
+    Pte* pte = cur.next(vpn);
+    if (pte == nullptr) break;  // walked off the populated tables
+    // Present-bit check (Fig. 2 step 6): skip pages already in DRAM or on
+    // their way there.
+    if (Pte{pte->raw}.swapped_out()) r.pages.push_back(vpn);
+  }
+  r.slots_examined = cur.slots_examined();
+  r.walk_cost = r.slots_examined * cfg_.per_slot_cost;
+  return r;
+}
+
+PrefetchResult StridePrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) {
+  PrefetchResult r;
+  State& st = state_[mm.pid()];
+  if (st.last != its::kInvalidPage) {
+    auto delta = static_cast<std::int64_t>(victim) - static_cast<std::int64_t>(st.last);
+    if (delta == st.stride && delta != 0) {
+      ++st.confidence;
+    } else {
+      st.stride = delta;
+      st.confidence = 1;
+    }
+  }
+  st.last = victim;
+  if (st.confidence >= cfg_.min_confidence && st.stride != 0) {
+    for (unsigned k = 1; k <= cfg_.degree; ++k) {
+      auto cand = static_cast<std::int64_t>(victim) + static_cast<std::int64_t>(k) * st.stride;
+      if (cand < 0) break;
+      ++r.slots_examined;
+      const Pte* pte = mm.pte(static_cast<its::Vpn>(cand));
+      if (pte != nullptr && pte->swapped_out())
+        r.pages.push_back(static_cast<its::Vpn>(cand));
+    }
+  }
+  r.walk_cost = r.slots_examined * cfg_.per_slot_cost;
+  return r;
+}
+
+std::int64_t StridePrefetcher::stride_for(its::Pid pid) const {
+  auto it = state_.find(pid);
+  if (it == state_.end() || it->second.confidence < cfg_.min_confidence) return 0;
+  return it->second.stride;
+}
+
+PrefetchResult PopPrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) const {
+  PrefetchResult r;
+  const its::Vpn base = victim - (victim % cfg_.unit_pages);
+  for (its::Vpn vpn = base; vpn < base + cfg_.unit_pages; ++vpn) {
+    ++r.slots_examined;
+    if (vpn == victim) continue;
+    const Pte* pte = mm.pte(vpn);
+    if (pte != nullptr && pte->swapped_out()) r.pages.push_back(vpn);
+  }
+  r.walk_cost = r.slots_examined * cfg_.per_slot_cost;
+  return r;
+}
+
+}  // namespace its::vm

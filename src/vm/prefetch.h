@@ -1,0 +1,104 @@
+// Page prefetchers.
+//
+// VaPrefetcher — the paper's virtual-address-based page prefetcher (§3.4.1,
+// Fig. 2): during a synchronous fault wait it walks the faulting process's
+// page table starting right after the victim page, skips pages already in
+// DRAM (present-bit check), and collects up to `degree` swap-resident
+// candidates; hitting the end of a PT it continues through the next PMD
+// entry.  The walk itself costs CPU time — time stolen from the busy wait.
+//
+// PopPrefetcher — the Sync_Prefetch baseline (§4.1 footnote 5): "groups a
+// static number of pages with continuous page id into a page-on-page unit
+// and fetches an entire unit during handling a page fault" — an aligned
+// unit around the victim, no locality judgement.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+#include "vm/mm.h"
+
+namespace its::vm {
+
+struct PrefetchResult {
+  std::vector<its::Vpn> pages;       ///< Swap-resident candidates to fetch.
+  its::Duration walk_cost = 0;       ///< CPU ns spent finding them.
+  std::uint64_t slots_examined = 0;  ///< PTE slots inspected.
+};
+
+struct VaPrefetcherConfig {
+  unsigned degree = 4;           ///< Candidate pages per fault (n in Fig. 2).
+  std::uint64_t max_slots = 256; ///< Walk bound — give up on sparse spaces.
+  its::Duration per_slot_cost = 6;  ///< ns per PTE slot examined.
+};
+
+class VaPrefetcher {
+ public:
+  explicit VaPrefetcher(const VaPrefetcherConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Collects candidates after `victim` in `mm`'s virtual address space.
+  PrefetchResult collect(MemoryDescriptor& mm, its::Vpn victim) const;
+
+  const VaPrefetcherConfig& config() const { return cfg_; }
+
+ private:
+  VaPrefetcherConfig cfg_;
+};
+
+struct PopPrefetcherConfig {
+  unsigned unit_pages = 4;          ///< Pages per page-on-page unit.
+  its::Duration per_slot_cost = 6;  ///< ns per PTE inspected.
+};
+
+class PopPrefetcher {
+ public:
+  explicit PopPrefetcher(const PopPrefetcherConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// The victim's aligned unit, minus pages already in DRAM and the victim
+  /// itself (it is being fetched by the fault handler already).
+  PrefetchResult collect(MemoryDescriptor& mm, its::Vpn victim) const;
+
+  const PopPrefetcherConfig& config() const { return cfg_; }
+
+ private:
+  PopPrefetcherConfig cfg_;
+};
+
+struct StridePrefetcherConfig {
+  unsigned degree = 4;              ///< Predictions per confident fault.
+  unsigned min_confidence = 2;      ///< Consecutive equal deltas required.
+  its::Duration per_slot_cost = 6;  ///< ns per PTE inspected.
+};
+
+/// Stride prefetcher — an alternative to the paper's VA-walk prefetcher
+/// (ablation `abl_prefetcher_kind`): learns the per-process delta between
+/// consecutive fault victims and, once confident, fetches victim + k·stride.
+/// Unlike the VA walk it can follow negative and multi-page strides, but it
+/// needs training faults per stride change and predicts nothing on random
+/// streams.
+class StridePrefetcher {
+ public:
+  explicit StridePrefetcher(const StridePrefetcherConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Observes `victim` for `mm`'s process and returns confident
+  /// predictions (swap-resident pages only).  Stateful per pid.
+  PrefetchResult collect(MemoryDescriptor& mm, its::Vpn victim);
+
+  const StridePrefetcherConfig& config() const { return cfg_; }
+
+  /// Learned (confident) stride for a process, 0 if untrained; test hook.
+  std::int64_t stride_for(its::Pid pid) const;
+
+ private:
+  struct State {
+    its::Vpn last = its::kInvalidPage;
+    std::int64_t stride = 0;
+    unsigned confidence = 0;
+  };
+  StridePrefetcherConfig cfg_;
+  std::unordered_map<its::Pid, State> state_;
+};
+
+}  // namespace its::vm

@@ -1,0 +1,84 @@
+// Page Table Entry — x86-64-style bit layout.
+//
+// Matches the layout the paper leans on: the physical frame number lives in
+// bits 12..47 ("the policy retrieves its physical address located between
+// bit positions 12 and 48 in the PT entry"), and the INV bit proposed in
+// §3.4.2 occupies one of the spare control bits (we use bit 9; Linux keeps
+// bits 9–11 software-defined).
+//
+// Additional software states used by the mini-kernel:
+//   swap-cache : the page's data is in a DRAM frame (prefetched) but the
+//                mapping is not yet established → touching it is a minor
+//                fault (mapping cost, no I/O);
+//   in-flight  : a DMA transfer into the frame is in progress → touching it
+//                waits for the remaining transfer time.
+// A PTE that is all-clear in these bits represents a swap-resident page
+// (major fault on touch); every generated page starts swap-resident.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace its::vm {
+
+struct Pte {
+  std::uint64_t raw = 0;
+
+  static constexpr std::uint64_t kPresent = 1ull << 0;
+  static constexpr std::uint64_t kAccessed = 1ull << 5;
+  static constexpr std::uint64_t kDirty = 1ull << 6;
+  static constexpr std::uint64_t kInv = 1ull << 9;        ///< Pre-execute poison.
+  static constexpr std::uint64_t kSwapCache = 1ull << 10; ///< Data in frame, unmapped.
+  static constexpr std::uint64_t kInFlight = 1ull << 11;  ///< DMA to frame in progress.
+  static constexpr unsigned kPfnShift = 12;
+  static constexpr std::uint64_t kPfnMask = ((1ull << 36) - 1) << kPfnShift;
+
+  bool present() const { return raw & kPresent; }
+  bool accessed() const { return raw & kAccessed; }
+  bool dirty() const { return raw & kDirty; }
+  bool inv() const { return raw & kInv; }
+  bool swap_cached() const { return raw & kSwapCache; }
+  bool in_flight() const { return raw & kInFlight; }
+
+  /// True if the page's data lives only in the swap area (major fault).
+  bool swapped_out() const {
+    return (raw & (kPresent | kSwapCache | kInFlight)) == 0;
+  }
+
+  its::Pfn pfn() const { return (raw & kPfnMask) >> kPfnShift; }
+
+  void set_present(bool v) { set(kPresent, v); }
+  void set_accessed(bool v) { set(kAccessed, v); }
+  void set_dirty(bool v) { set(kDirty, v); }
+  void set_inv(bool v) { set(kInv, v); }
+  void set_swap_cache(bool v) { set(kSwapCache, v); }
+  void set_in_flight(bool v) { set(kInFlight, v); }
+
+  void set_pfn(its::Pfn pfn) {
+    raw = (raw & ~kPfnMask) | ((pfn << kPfnShift) & kPfnMask);
+  }
+
+  /// Map the PTE to `pfn` and mark it present (clears transfer states,
+  /// preserves accessed/dirty/INV management to the caller).
+  void map(its::Pfn pfn) {
+    set_pfn(pfn);
+    raw &= ~(kSwapCache | kInFlight);
+    raw |= kPresent;
+  }
+
+  /// Return the PTE to the swap-resident state (eviction).
+  void unmap() { raw &= ~(kPresent | kSwapCache | kInFlight | kAccessed | kDirty | kPfnMask); }
+
+ private:
+  void set(std::uint64_t bit, bool v) {
+    if (v)
+      raw |= bit;
+    else
+      raw &= ~bit;
+  }
+};
+
+static_assert(sizeof(Pte) == 8);
+
+}  // namespace its::vm

@@ -1,0 +1,33 @@
+#include "vm/swap.h"
+
+#include <stdexcept>
+
+namespace its::vm {
+
+std::uint64_t SwapArea::slot_for(its::Pid pid, its::Vpn vpn) {
+  auto k = key(pid, vpn);
+  auto it = slots_.find(k);
+  if (it != slots_.end()) return it->second;
+  if (capacity_ != 0 && slots_.size() >= capacity_)
+    throw std::runtime_error("SwapArea: device full");
+  std::uint64_t s = next_slot_++;
+  slots_.emplace(k, s);
+  ++stats_.slots_allocated;
+  return s;
+}
+
+bool SwapArea::has_slot(its::Pid pid, its::Vpn vpn) const {
+  return slots_.contains(key(pid, vpn));
+}
+
+void SwapArea::record_swap_in(its::Pid pid, its::Vpn vpn) {
+  if (!has_slot(pid, vpn)) throw std::logic_error("SwapArea: swap-in of unallocated slot");
+  ++stats_.swap_ins;
+}
+
+void SwapArea::record_swap_out(its::Pid pid, its::Vpn vpn) {
+  slot_for(pid, vpn);
+  ++stats_.swap_outs;
+}
+
+}  // namespace its::vm

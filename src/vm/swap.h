@@ -1,0 +1,56 @@
+// Swap area — the ULL device's block space backing anonymous pages.
+//
+// The mini-kernel swaps process pages (the paper's "process I/O / swap
+// I/O"): each (pid, vpn) owns one slot.  Content is not modelled (the
+// simulator is trace-driven); the slot map exists so swap-in/out pairs can
+// be validated and counted, and so device occupancy can be reported.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace its::vm {
+
+struct SwapStats {
+  std::uint64_t slots_allocated = 0;
+  std::uint64_t swap_ins = 0;   ///< Page reads from the device.
+  std::uint64_t swap_outs = 0;  ///< Page writes to the device.
+};
+
+class SwapArea {
+ public:
+  /// `capacity_pages` bounds the device size (0 = unbounded).
+  explicit SwapArea(std::uint64_t capacity_pages = 0)
+      : capacity_(capacity_pages) {}
+
+  /// Slot for (pid, vpn), allocating on first use.  Throws if the device
+  /// is full.
+  std::uint64_t slot_for(its::Pid pid, its::Vpn vpn);
+
+  /// True if (pid, vpn) already owns a slot.
+  bool has_slot(its::Pid pid, its::Vpn vpn) const;
+
+  /// Records a page read (swap-in) of an existing slot.
+  void record_swap_in(its::Pid pid, its::Vpn vpn);
+
+  /// Records a page write (swap-out); allocates the slot if missing.
+  void record_swap_out(its::Pid pid, its::Vpn vpn);
+
+  std::uint64_t slots_in_use() const { return slots_.size(); }
+  std::uint64_t capacity_pages() const { return capacity_; }
+  const SwapStats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t key(its::Pid pid, its::Vpn vpn) {
+    return its::pid_key(pid, vpn);
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t next_slot_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> slots_;
+  SwapStats stats_;
+};
+
+}  // namespace its::vm

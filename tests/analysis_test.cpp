@@ -1,0 +1,142 @@
+// Tests for trace analysis: page profiles / working-set estimation (the
+// paper's §4.1 definition), locality statistics, and exact page-granularity
+// reuse distances.
+#include <gtest/gtest.h>
+
+#include "trace/analysis.h"
+#include "trace/instr.h"
+#include "trace/workloads.h"
+
+namespace its::trace {
+namespace {
+
+Trace loads_at(std::initializer_list<its::VirtAddr> addrs) {
+  Trace t;
+  for (auto a : addrs) t.push_back(Instr::load(a, 8, 1, 0));
+  return t;
+}
+
+constexpr its::VirtAddr kP0 = 0x100000;  // page 0x100
+constexpr its::VirtAddr kP1 = 0x101000;
+constexpr its::VirtAddr kP2 = 0x102000;
+constexpr its::VirtAddr kP3 = 0x103000;
+
+TEST(PageProfile, CountsPerPage) {
+  Trace t = loads_at({kP0, kP0, kP0, kP1, kP1, kP2});
+  PageProfile p = profile_pages(t);
+  EXPECT_EQ(p.total_accesses, 6u);
+  EXPECT_EQ(p.distinct_pages, 3u);
+  ASSERT_EQ(p.counts_desc.size(), 3u);
+  EXPECT_EQ(p.counts_desc[0], 3u);  // sorted descending
+  EXPECT_EQ(p.counts_desc[2], 1u);
+  EXPECT_EQ(p.footprint_bytes(), 3 * its::kPageSize);
+}
+
+TEST(PageProfile, WorkingSetCoverage) {
+  // 90 accesses to one page, 10 spread over ten pages.
+  Trace t;
+  for (int i = 0; i < 90; ++i) t.push_back(Instr::load(kP0, 8, 1, 0));
+  for (int i = 0; i < 10; ++i)
+    t.push_back(Instr::load(kP1 + static_cast<its::VirtAddr>(i) * its::kPageSize, 8, 1, 0));
+  PageProfile p = profile_pages(t);
+  // 90% of accesses are covered by the single hot page.
+  EXPECT_EQ(p.working_set_bytes(0.90), its::kPageSize);
+  // Full coverage needs all 11 pages.
+  EXPECT_EQ(p.working_set_bytes(1.0), 11 * its::kPageSize);
+  // Degenerate coverages clamp.
+  EXPECT_EQ(p.working_set_bytes(0.0), 0u);
+}
+
+TEST(PageProfile, EmptyTrace) {
+  PageProfile p = profile_pages(Trace{});
+  EXPECT_EQ(p.working_set_bytes(0.99), 0u);
+  EXPECT_EQ(p.footprint_bytes(), 0u);
+}
+
+TEST(Locality, SequentialStreamScoresHigh) {
+  Trace t;
+  for (int i = 0; i < 1000; ++i)
+    t.push_back(Instr::load(kP0 + static_cast<its::VirtAddr>(i) * 64, 64, 1, 0));
+  LocalityStats s = analyze_locality(t);
+  EXPECT_GT(s.sequentiality, 0.99);
+  EXPECT_GT(s.page_locality, 0.99);
+  EXPECT_EQ(s.distinct_strides, 1u);
+  EXPECT_GT(s.dominant_stride_share, 0.99);
+}
+
+TEST(Locality, RandomStreamScoresLow) {
+  Trace t;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    t.push_back(Instr::load(kP0 + (x % (1u << 26)), 8, 1, 0));
+  }
+  LocalityStats s = analyze_locality(t);
+  EXPECT_LT(s.sequentiality, 0.05);
+  EXPECT_LT(s.page_locality, 0.05);
+  EXPECT_GT(s.distinct_strides, 10u);
+}
+
+TEST(Locality, EmptyAndSingleRef) {
+  EXPECT_EQ(analyze_locality(Trace{}).mem_refs, 0u);
+  LocalityStats s = analyze_locality(loads_at({kP0}));
+  EXPECT_EQ(s.mem_refs, 1u);
+  EXPECT_EQ(s.sequentiality, 0.0);
+}
+
+TEST(Reuse, ColdAccessesCounted) {
+  ReuseProfile r = analyze_reuse(loads_at({kP0, kP1, kP2}));
+  EXPECT_EQ(r.cold_accesses, 3u);
+  EXPECT_TRUE(r.distances.empty());
+}
+
+TEST(Reuse, ExactStackDistances) {
+  // Access pattern P0 P1 P2 P0: the P0 re-access saw 2 distinct pages since.
+  ReuseProfile r = analyze_reuse(loads_at({kP0, kP1, kP2, kP0}));
+  ASSERT_EQ(r.distances.size(), 1u);
+  EXPECT_EQ(r.distances[0], 2u);
+}
+
+TEST(Reuse, ImmediateReuseIsZeroDistance) {
+  ReuseProfile r = analyze_reuse(loads_at({kP0, kP0}));
+  ASSERT_EQ(r.distances.size(), 1u);
+  EXPECT_EQ(r.distances[0], 0u);
+}
+
+TEST(Reuse, RepeatedCycleDistances) {
+  // P0 P1 P0 P1: both re-accesses have distance 1.
+  ReuseProfile r = analyze_reuse(loads_at({kP0, kP1, kP0, kP1}));
+  ASSERT_EQ(r.distances.size(), 2u);
+  EXPECT_EQ(r.distances[0], 1u);
+  EXPECT_EQ(r.distances[1], 1u);
+}
+
+TEST(Reuse, QuantileMonotone) {
+  ReuseProfile r = analyze_reuse(loads_at({kP0, kP1, kP2, kP3, kP0, kP3}));
+  EXPECT_LE(r.quantile_pages(0.0), r.quantile_pages(1.0));
+  EXPECT_EQ(ReuseProfile{}.quantile_pages(0.5), 0u);
+}
+
+TEST(Analysis, WorkloadClassesSeparate) {
+  // The analyzers must tell the workload classes apart: streaming caffe
+  // scans vs pointer-chasing randwalk.
+  GeneratorConfig cfg;
+  cfg.length_scale = 0.05;
+  LocalityStats caffe = analyze_locality(generate(WorkloadId::kCaffe, cfg));
+  LocalityStats rw = analyze_locality(generate(WorkloadId::kRandomWalk, cfg));
+  EXPECT_GT(caffe.page_locality, rw.page_locality);
+  EXPECT_GT(caffe.sequentiality, rw.sequentiality);
+}
+
+TEST(Analysis, WorkingSetOrderingMatchesSpecs) {
+  // deepsjeng's measured working set must be far below randwalk's.
+  GeneratorConfig cfg;
+  cfg.length_scale = 0.25;
+  auto ws = [&](WorkloadId id) {
+    return profile_pages(generate(id, cfg)).working_set_bytes(0.99);
+  };
+  EXPECT_LT(ws(WorkloadId::kDeepSjeng), ws(WorkloadId::kRandomWalk));
+}
+
+}  // namespace
+}  // namespace its::trace

@@ -1,0 +1,172 @@
+// Tests for batch construction and the experiment runner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/batch.h"
+#include "core/experiment.h"
+
+namespace its::core {
+namespace {
+
+TEST(Batch, FourPaperBatches) {
+  auto batches = paper_batches();
+  ASSERT_EQ(batches.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(batches[i].data_intensive, i);
+    EXPECT_EQ(batches[i].members.size(), 6u);
+  }
+}
+
+TEST(Batch, AllBatchesShareWrfBlenderCommunity) {
+  // §4.1: "All four process batches comprise Wrf, Blender, and community
+  // detection."
+  for (const auto& b : paper_batches()) {
+    std::set<trace::WorkloadId> members(b.members.begin(), b.members.end());
+    EXPECT_TRUE(members.contains(trace::WorkloadId::kWrf)) << b.name;
+    EXPECT_TRUE(members.contains(trace::WorkloadId::kBlender)) << b.name;
+    EXPECT_TRUE(members.contains(trace::WorkloadId::kCommunity)) << b.name;
+    EXPECT_EQ(members.size(), 6u) << b.name << ": members must be distinct";
+  }
+}
+
+TEST(Batch, DataIntensiveCountMatchesMembers) {
+  for (const auto& b : paper_batches()) {
+    unsigned di = 0;
+    for (auto id : b.members) di += trace::spec_for(id).data_intensive ? 1 : 0;
+    EXPECT_EQ(di, b.data_intensive) << b.name;
+  }
+}
+
+TEST(Batch, DramSizedToWorkingSets) {
+  const BatchSpec& b = paper_batches()[0];
+  std::uint64_t hot = 0;
+  for (auto id : b.members) hot += trace::spec_for(id).hot_bytes;
+  std::uint64_t dram = dram_bytes_for(b, 1.10);
+  EXPECT_GE(dram, hot);
+  EXPECT_LE(dram, hot + hot / 5);
+  EXPECT_EQ(dram % its::kPageSize, 0u);
+}
+
+TEST(Batch, DramScalesWithFootprintScale) {
+  const BatchSpec& b = paper_batches()[0];
+  EXPECT_LT(dram_bytes_for(b, 1.1, 0.25), dram_bytes_for(b, 1.1, 1.0));
+}
+
+TEST(Batch, TracesMatchMembers) {
+  trace::GeneratorConfig gen;
+  gen.length_scale = 0.01;
+  auto traces = batch_traces(paper_batches()[1], gen);
+  ASSERT_EQ(traces.size(), 6u);
+  EXPECT_EQ(traces[0]->name(), "wrf");
+  EXPECT_EQ(traces[5]->name(), "randwalk");
+}
+
+TEST(Batch, ProcessesGetDistinctShuffledPriorities) {
+  trace::GeneratorConfig gen;
+  gen.length_scale = 0.01;
+  const BatchSpec& b = paper_batches()[0];
+  auto traces = batch_traces(b, gen);
+  auto procs = build_processes(b, traces, /*seed=*/123);
+  ASSERT_EQ(procs.size(), 6u);
+  std::set<int> prios;
+  for (const auto& p : procs) prios.insert(p->priority());
+  EXPECT_EQ(prios.size(), 6u);
+  EXPECT_EQ(*prios.begin(), 10);
+  EXPECT_EQ(*prios.rbegin(), 60);
+  // Pids dense in insertion order — the Simulator requires this.
+  for (unsigned i = 0; i < 6; ++i) EXPECT_EQ(procs[i]->pid(), i);
+}
+
+TEST(Batch, PriorityShuffleDeterministicInSeed) {
+  trace::GeneratorConfig gen;
+  gen.length_scale = 0.01;
+  const BatchSpec& b = paper_batches()[0];
+  auto traces = batch_traces(b, gen);
+  auto a = build_processes(b, traces, 7);
+  auto c = build_processes(b, traces, 7);
+  for (unsigned i = 0; i < 6; ++i) EXPECT_EQ(a[i]->priority(), c[i]->priority());
+}
+
+TEST(Batch, MismatchedTraceCountThrows) {
+  trace::GeneratorConfig gen;
+  gen.length_scale = 0.01;
+  auto traces = batch_traces(paper_batches()[0], gen);
+  traces.pop_back();
+  EXPECT_THROW(build_processes(paper_batches()[0], traces, 1), std::invalid_argument);
+}
+
+class ScaledExperiment : public ::testing::Test {
+ protected:
+  static ExperimentConfig tiny() {
+    ExperimentConfig cfg;
+    cfg.gen.length_scale = 0.02;
+    cfg.gen.footprint_scale = 0.25;
+    return cfg;
+  }
+};
+
+TEST_F(ScaledExperiment, AllPoliciesComplete) {
+  BatchResult r = run_batch_all(paper_batches()[1], tiny());
+  for (PolicyKind k : kAllPolicies) {
+    const SimMetrics& m = r.by_policy.at(k);
+    EXPECT_EQ(m.processes.size(), 6u) << policy_name(k);
+    for (const auto& p : m.processes)
+      EXPECT_GT(p.metrics.finish_time, 0u) << policy_name(k) << "/" << p.name;
+    EXPECT_GT(m.idle.total(), 0u);
+    EXPECT_GT(m.major_faults, 0u);
+  }
+}
+
+TEST_F(ScaledExperiment, PolicyInvariantsHold) {
+  BatchResult r = run_batch_all(paper_batches()[1], tiny());
+  const SimMetrics& async = r.by_policy.at(PolicyKind::kAsync);
+  const SimMetrics& sync = r.by_policy.at(PolicyKind::kSync);
+  const SimMetrics& its = r.by_policy.at(PolicyKind::kIts);
+  const SimMetrics& pre = r.by_policy.at(PolicyKind::kSyncPrefetch);
+
+  EXPECT_EQ(async.stolen_time, 0u);
+  EXPECT_EQ(sync.stolen_time, 0u);
+  EXPECT_EQ(sync.async_switches, 0u);
+  EXPECT_EQ(async.async_switches, async.major_faults);
+  EXPECT_GT(its.prefetch_issued, 0u);
+  EXPECT_GT(pre.prefetch_issued, 0u);
+  // Prefetching policies convert majors into minors.
+  EXPECT_LT(its.major_faults, sync.major_faults);
+  EXPECT_LT(pre.major_faults, sync.major_faults);
+  // Async busy-waits never.
+  EXPECT_EQ(async.idle.busy_wait, 0u);
+}
+
+TEST_F(ScaledExperiment, NormalizedIsOneForIts) {
+  BatchResult r = run_batch_all(paper_batches()[0], tiny());
+  EXPECT_DOUBLE_EQ(r.normalized(PolicyKind::kIts, total_idle_ns), 1.0);
+  EXPECT_GT(r.normalized(PolicyKind::kAsync, total_idle_ns), 1.0);
+}
+
+TEST_F(ScaledExperiment, ExtractorsMatchMetrics) {
+  ExperimentConfig cfg = tiny();
+  SimMetrics m = run_batch_policy(paper_batches()[0], PolicyKind::kSync, cfg);
+  EXPECT_DOUBLE_EQ(total_idle_ns(m), static_cast<double>(m.idle.total()));
+  EXPECT_DOUBLE_EQ(major_faults(m), static_cast<double>(m.major_faults));
+  EXPECT_DOUBLE_EQ(llc_misses(m), static_cast<double>(m.llc_misses));
+  EXPECT_GT(top_half_finish(m), 0.0);
+  EXPECT_GT(bottom_half_finish(m), 0.0);
+}
+
+TEST_F(ScaledExperiment, TopBottomSplitUsesPriorities) {
+  SimMetrics m;
+  for (int i = 0; i < 6; ++i) {
+    ProcessOutcome o;
+    o.pid = static_cast<its::Pid>(i);
+    o.priority = 10 * (i + 1);
+    o.metrics.finish_time = 100 * (i + 1);  // higher priority finished later
+    m.processes.push_back(o);
+  }
+  // Top half = priorities 60, 50, 40 → finishes 600, 500, 400 → mean 500.
+  EXPECT_DOUBLE_EQ(m.avg_finish_top_half(), 500.0);
+  EXPECT_DOUBLE_EQ(m.avg_finish_bottom_half(), 200.0);
+}
+
+}  // namespace
+}  // namespace its::core

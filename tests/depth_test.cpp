@@ -1,0 +1,230 @@
+// Depth tests: corner cases across substrates that the per-module suites
+// do not reach — parameterised cache geometries, DMA saturation, engine
+// edge conditions, scheduler fairness, and analysis on real generators.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/preexec_engine.h"
+#include "mem/hierarchy.h"
+#include "sched/scheduler.h"
+#include "storage/dma.h"
+#include "trace/analysis.h"
+#include "trace/workloads.h"
+#include "util/types.h"
+#include "vm/mm.h"
+
+namespace its {
+namespace {
+
+// --- Cache geometry sweeps -------------------------------------------------
+
+class LlcGeometry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LlcGeometry, WorkingSetFitsExactly) {
+  mem::HierarchyConfig cfg;
+  cfg.llc = {GetParam() << 20, 16, 64, 14};
+  mem::CacheHierarchy h(cfg);
+  const std::uint64_t lines = (GetParam() << 20) / 64;
+  // Fill exactly to capacity, then re-scan: everything must still hit the
+  // LLC (no conflict evictions for a sequential fill of a 16-way cache).
+  for (std::uint64_t i = 0; i < lines; ++i) h.access(i * 64, 8);
+  std::uint64_t before = h.llc_misses();
+  for (std::uint64_t i = 0; i < lines; ++i) h.access(i * 64, 8);
+  EXPECT_EQ(h.llc_misses(), before);
+  // One line beyond capacity starts evicting.
+  h.access(lines * 64, 8);
+  EXPECT_EQ(h.llc_misses(), before + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LlcGeometry, ::testing::Values(1, 2, 4, 8));
+
+TEST(Hierarchy, RepeatedAccessStaysInL1) {
+  mem::CacheHierarchy h;
+  h.access(0x1000, 8);
+  for (int i = 0; i < 100; ++i) {
+    auto r = h.access(0x1000, 8);
+    EXPECT_EQ(r.level, mem::HitLevel::kL1);
+  }
+  EXPECT_EQ(h.l1().stats().hits, 100u);
+}
+
+// --- DMA saturation ----------------------------------------------------------
+
+TEST(DmaDepth, LinkSaturationSpacesCompletions) {
+  // With all channels busy-free, back-to-back page reads complete spaced by
+  // the link transfer time once the media phase overlaps.
+  storage::DmaController dma({.read_latency = 3000, .write_latency = 3000,
+                              .channels = 8},
+                             {.lanes = 4, .gbytes_per_sec_per_lane = 3.983});
+  its::Duration xfer = dma.link().transfer_time(its::kPageSize);
+  its::SimTime prev = dma.post_page(0, storage::Dir::kRead);
+  for (int i = 1; i < 8; ++i) {
+    its::SimTime t = dma.post_page(0, storage::Dir::kRead);
+    EXPECT_EQ(t - prev, xfer);
+    prev = t;
+  }
+}
+
+TEST(DmaDepth, ReadsAndWritesShareTheLink) {
+  storage::DmaController dma;
+  its::SimTime r1 = dma.post_page(0, storage::Dir::kRead);
+  // A swap-out posted at t=0 grabs the link first (its link phase precedes
+  // the media write), delaying nothing for the read's media phase but
+  // contending for the link afterwards.
+  storage::DmaController dma2;
+  dma2.post_page(0, storage::Dir::kWrite);
+  its::SimTime r2 = dma2.post_page(0, storage::Dir::kRead);
+  EXPECT_GE(r2, r1);  // write traffic cannot make reads faster
+}
+
+TEST(DmaDepth, LargeTransfersScaleLinearly) {
+  storage::DmaController dma;
+  its::SimTime one = dma.post(0, storage::Dir::kRead, its::kPageSize);
+  storage::DmaController dma2;
+  its::SimTime sixteen = dma2.post(0, storage::Dir::kRead, 16 * its::kPageSize);
+  // Media latency is shared; the transfer part scales ~16x.
+  EXPECT_GT(sixteen, one);
+  EXPECT_LT(sixteen, 16 * one);
+}
+
+// --- Pre-execute engine edges ------------------------------------------------
+
+class EngineEdge : public ::testing::Test {
+ protected:
+  EngineEdge() : mm_(1, {{0x100, 0x101}}) { mm_.pte(0x100)->map(1); }
+  mem::CacheHierarchy caches_;
+  mem::PreexecCache px_;
+  cpu::RegisterFile rf_;
+  vm::MemoryDescriptor mm_;
+};
+
+TEST_F(EngineEdge, EmptyLookaheadStillRestores) {
+  // Fault on the last record: no lookahead exists, but checkpoint/restore
+  // must stay balanced.
+  trace::Trace t;
+  t.push_back(trace::Instr::load(0x101000, 8, 1, 0));
+  cpu::PreexecEngine eng({}, caches_, px_);
+  rf_.set_invalid(9, true);
+  auto ep = eng.run(t, 0, rf_, mm_, 3000);
+  EXPECT_TRUE(ep.ran);
+  EXPECT_EQ(ep.records, 0u);
+  EXPECT_TRUE(rf_.is_invalid(9));   // restored
+  EXPECT_FALSE(rf_.is_invalid(1));  // poison rolled back
+}
+
+TEST_F(EngineEdge, StoreWithPoisonedAddressBaseIsSkippedEntirely) {
+  trace::Trace t;
+  t.push_back(trace::Instr::load(0x101000, 8, 1, 0));        // fault → r1 INV
+  t.push_back(trace::Instr::store(0x100000, 8, 0, /*base=*/1));  // addr via r1
+  cpu::PreexecEngine eng({}, caches_, px_);
+  auto ep = eng.run(t, 0, rf_, mm_, 3000);
+  EXPECT_GE(ep.invalid_ops, 1u);
+  // Nothing may have been allocated anywhere for an unknown address.
+  EXPECT_EQ(px_.lines_resident(), 0u);
+  EXPECT_EQ(ep.stores_buffered, 0u);
+}
+
+TEST_F(EngineEdge, FaultOnStoreRecordPoisonsNothing) {
+  trace::Trace t;
+  t.push_back(trace::Instr::store(0x101000, 8, 2, 0));  // faulting store
+  t.push_back(trace::Instr::load(0x100000, 8, 3, 0));   // independent load
+  cpu::PreexecEngine eng({}, caches_, px_);
+  auto ep = eng.run(t, 0, rf_, mm_, 3000);
+  EXPECT_EQ(ep.lines_warmed, 1u);  // the load proceeds
+}
+
+TEST_F(EngineEdge, RepeatCapInComputeRespectsBudget) {
+  trace::Trace t;
+  t.push_back(trace::Instr::load(0x101000, 8, 1, 0));
+  t.push_back(trace::Instr::compute(60000, 2, 0, 0));  // huge folded burst
+  cpu::PreexecEngine eng({}, caches_, px_);
+  auto ep = eng.run(t, 0, rf_, mm_, 500);
+  EXPECT_LE(ep.used, 500u);
+}
+
+// --- Scheduler fairness -------------------------------------------------------
+
+TEST(RRDepth, EqualPrioritiesRotateFairly) {
+  auto trace_ptr = [] {
+    auto t = std::make_shared<trace::Trace>("t");
+    t->push_back(trace::Instr::compute(1, 1, 0, 0));
+    return t;
+  }();
+  sched::RRScheduler s(100, 200);
+  std::vector<std::unique_ptr<sched::Process>> procs;
+  for (int i = 0; i < 4; ++i) {
+    procs.push_back(std::make_unique<sched::Process>(static_cast<its::Pid>(i),
+                                                     "p", 20, trace_ptr));
+    s.add(procs.back().get());
+  }
+  // Three full rotations must visit everyone equally, in FIFO order.
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < 4; ++i) {
+      sched::Process* p = s.pick();
+      EXPECT_EQ(p, procs[static_cast<std::size_t>(i)].get());
+      s.yield(p);
+    }
+}
+
+// --- Analysis over real generators ---------------------------------------------
+
+TEST(AnalysisDepth, ReuseDistancesSeparateCacheFriendliness) {
+  trace::GeneratorConfig cfg;
+  cfg.length_scale = 0.05;
+  auto q90 = [&](trace::WorkloadId id) {
+    return trace::analyze_reuse(trace::generate(id, cfg)).quantile_pages(0.9);
+  };
+  // deepsjeng's tight transposition table reuses pages at far shorter
+  // distances than randwalk's dependent random hops.
+  EXPECT_LT(q90(trace::WorkloadId::kDeepSjeng), q90(trace::WorkloadId::kRandomWalk));
+}
+
+TEST(AnalysisDepth, StreamingWorkloadsDominatedByOneStride) {
+  trace::GeneratorConfig cfg;
+  cfg.length_scale = 0.05;
+  auto caffe = trace::analyze_locality(trace::generate(trace::WorkloadId::kCaffe, cfg));
+  auto g500 =
+      trace::analyze_locality(trace::generate(trace::WorkloadId::kGraph500Sssp, cfg));
+  EXPECT_GT(caffe.dominant_stride_share, g500.dominant_stride_share);
+}
+
+TEST(AnalysisDepth, WorkingSetBelowFootprintForSkewedWorkloads) {
+  trace::GeneratorConfig cfg;
+  cfg.length_scale = 0.25;
+  trace::PageProfile p =
+      trace::profile_pages(trace::generate(trace::WorkloadId::kDeepSjeng, cfg));
+  // Zipf-hot probes: 99% of touches need far fewer pages than the footprint.
+  EXPECT_LT(p.working_set_bytes(0.99), p.footprint_bytes());
+  EXPECT_LT(p.working_set_bytes(0.50), p.working_set_bytes(0.99));
+}
+
+// --- PTE / page-table depth -----------------------------------------------------
+
+TEST(VmDepth, LevelsMappedProgresses) {
+  vm::PageTable pt;
+  its::VirtAddr va = 0x7fff12345000ull;
+  EXPECT_EQ(pt.levels_mapped(va), 1u);
+  pt.ensure(va);
+  EXPECT_EQ(pt.levels_mapped(va), 4u);
+  // A sibling VA sharing only the PGD entry sees partial depth.
+  its::VirtAddr sibling = va + (1ull << 30);  // different PUD entry
+  EXPECT_EQ(pt.levels_mapped(sibling), 2u);
+}
+
+TEST(VmDepth, PteFlagOrthogonality) {
+  vm::Pte p;
+  p.set_pfn(0xABCDE);
+  p.set_accessed(true);
+  p.set_dirty(true);
+  p.set_inv(true);
+  EXPECT_EQ(p.pfn(), 0xABCDEu);
+  p.set_pfn(0x11111);
+  EXPECT_TRUE(p.accessed());
+  EXPECT_TRUE(p.dirty());
+  EXPECT_TRUE(p.inv());
+  EXPECT_EQ(p.pfn(), 0x11111u);
+}
+
+}  // namespace
+}  // namespace its

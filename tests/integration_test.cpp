@@ -1,0 +1,162 @@
+// Cross-module integration tests: experiment runner (parallel vs serial),
+// swap clustering, CSV export of real runs, file-op trace plumbing, and
+// split-LLC effects.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/experiment.h"
+#include "trace/instr.h"
+
+namespace its::core {
+namespace {
+
+using trace::Instr;
+
+constexpr its::VirtAddr kBase = 0x560000000000ull;
+
+ExperimentConfig tiny_experiment() {
+  ExperimentConfig cfg;
+  cfg.gen.length_scale = 0.02;
+  cfg.gen.footprint_scale = 0.25;
+  return cfg;
+}
+
+TEST(Experiment, ParallelEqualsSerial) {
+  // The parallel runner must be a pure performance feature: identical
+  // deterministic results.
+  ExperimentConfig par = tiny_experiment();
+  par.parallel = true;
+  ExperimentConfig ser = tiny_experiment();
+  ser.parallel = false;
+  BatchResult a = run_batch_all(paper_batches()[0], par);
+  BatchResult b = run_batch_all(paper_batches()[0], ser);
+  for (PolicyKind k : kAllPolicies) {
+    const SimMetrics& ma = a.by_policy.at(k);
+    const SimMetrics& mb = b.by_policy.at(k);
+    EXPECT_EQ(ma.idle.total(), mb.idle.total()) << policy_name(k);
+    EXPECT_EQ(ma.major_faults, mb.major_faults) << policy_name(k);
+    EXPECT_EQ(ma.makespan, mb.makespan) << policy_name(k);
+    EXPECT_EQ(ma.llc_misses, mb.llc_misses) << policy_name(k);
+  }
+}
+
+TEST(Experiment, RepeatedRunsVaryOnlyByPriorityShuffle) {
+  ExperimentConfig cfg = tiny_experiment();
+  RepeatedMetrics r =
+      run_batch_policy_repeated(paper_batches()[0], PolicyKind::kSync, cfg, 4);
+  EXPECT_EQ(r.idle_total.count(), 4u);
+  EXPECT_GT(r.idle_total.mean(), 0.0);
+  // Priorities only change scheduling, not the workload: fault counts vary
+  // little (capacity effects only).
+  EXPECT_LT(r.major_faults.stddev() / r.major_faults.mean(), 0.25);
+}
+
+TEST(Simulator, SwapClusterTurnsSiblingsIntoMinorFaults) {
+  SimConfig cfg;
+  cfg.slice_min = 50'000;
+  cfg.slice_max = 8'000'000;
+  cfg.swap_cluster_pages = 4;
+  Simulator sim(cfg, PolicyKind::kSync);
+  auto t = std::make_shared<trace::Trace>("cluster");
+  // Touch 8 consecutive pages with compute gaps: pages 1-3 of each aligned
+  // 4-cluster ride along with page 0's fault.
+  for (unsigned i = 0; i < 8; ++i) {
+    t->push_back(Instr::load(kBase + i * its::kPageSize, 8, 1, 0));
+    t->push_back(Instr::compute(5000, 2, 0, 0));
+  }
+  sim.add_process(std::make_unique<sched::Process>(0, "p", 30, t));
+  SimMetrics m = sim.run();
+  EXPECT_EQ(m.major_faults, 2u);  // one per aligned cluster
+  EXPECT_EQ(m.minor_faults, 6u);  // siblings arrive as swap-cache pages
+}
+
+TEST(Simulator, ClusterOneIsPlainFaulting) {
+  SimConfig cfg;
+  cfg.swap_cluster_pages = 1;
+  Simulator sim(cfg, PolicyKind::kSync);
+  auto t = std::make_shared<trace::Trace>("nocluster");
+  for (unsigned i = 0; i < 4; ++i)
+    t->push_back(Instr::load(kBase + i * its::kPageSize, 8, 1, 0));
+  sim.add_process(std::make_unique<sched::Process>(0, "p", 30, t));
+  SimMetrics m = sim.run();
+  EXPECT_EQ(m.major_faults, 4u);
+  EXPECT_EQ(m.minor_faults, 0u);
+}
+
+TEST(Simulator, SplitLlcCostsItsSomeMisses) {
+  // The pre-execute cache carve-out halves the LLC: with prefetch and
+  // pre-execution disabled, ITS-with-carve-out must miss at least as often
+  // as plain Sync on an LLC-straining scan.
+  auto run_with = [](std::unique_ptr<IoPolicy> policy) {
+    SimConfig cfg;
+    Simulator sim(cfg, std::move(policy));
+    auto t = std::make_shared<trace::Trace>("scan");
+    // Working set ~6 MiB: fits 8 MiB LLC, strains the halved 4 MiB one.
+    for (int round = 0; round < 3; ++round)
+      for (unsigned i = 0; i < 6 * 1024 * 1024 / 64; i += 1)
+        t->push_back(Instr::load(kBase + (i * 64) % (6u << 20), 64, 1, 0));
+    sim.add_process(std::make_unique<sched::Process>(0, "p", 30, t));
+    return sim.run();
+  };
+  SimMetrics sync = run_with(make_policy(PolicyKind::kSync));
+  SimMetrics carved = run_with(make_its_policy(
+      {.self_sacrificing = false, .page_prefetch = false, .pre_execute = true}));
+  EXPECT_GT(carved.llc_misses, sync.llc_misses);
+}
+
+TEST(Report, RealGridRoundTripsThroughCsv) {
+  ExperimentConfig cfg = tiny_experiment();
+  BatchResult r = run_batch_all(paper_batches()[0], cfg);
+  std::string csv = metrics_csv({&r, 1});
+  // One header + five policy rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+  for (PolicyKind k : kAllPolicies)
+    EXPECT_NE(csv.find(std::string(policy_name(k))), std::string::npos);
+  std::ostringstream procs;
+  write_processes_csv(procs, {&r, 1});
+  std::string pcsv = procs.str();
+  // 5 policies × 6 processes + header.
+  EXPECT_EQ(std::count(pcsv.begin(), pcsv.end(), '\n'), 31);
+}
+
+TEST(TraceFileOps, StatsAndFactories) {
+  trace::Trace t;
+  t.push_back(Instr::file_read(3, 4096, 512, 7));
+  t.push_back(Instr::file_write(3, 8192, 256, 2));
+  t.push_back(Instr::load(kBase, 8, 1, 0));
+  trace::TraceStats s = t.stats();
+  EXPECT_EQ(s.file_reads, 1u);
+  EXPECT_EQ(s.file_writes, 1u);
+  EXPECT_EQ(s.file_bytes, 768u);
+  EXPECT_EQ(s.mem_refs, 1u);               // file ops are not memory refs
+  EXPECT_EQ(s.footprint_pages, 1u);        // file offsets are not VAs
+  auto sizes = t.file_sizes();
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0].first, 3);
+  EXPECT_EQ(sizes[0].second, 8192u + 256u);
+  EXPECT_TRUE(t[0].is_file());
+  EXPECT_FALSE(t[0].is_mem());
+}
+
+TEST(Simulator, GrindingHaltsAreImpossible) {
+  // A pathological trace — every record faults on the same evicted page
+  // under a one-frame DRAM — must still terminate.
+  SimConfig cfg;
+  cfg.dram_bytes = 1 * its::kPageSize;  // one frame: every switch evicts
+  Simulator sim(cfg, PolicyKind::kSync);
+  auto t = std::make_shared<trace::Trace>("pathological");
+  for (int i = 0; i < 50; ++i) {
+    t->push_back(Instr::load(kBase, 8, 1, 0));
+    t->push_back(Instr::load(kBase + 4 * its::kPageSize, 8, 1, 0));
+  }
+  sim.add_process(std::make_unique<sched::Process>(0, "p", 30, t));
+  SimMetrics m = sim.run();
+  EXPECT_GE(m.major_faults, 99u);  // thrash: nearly every touch refaults
+}
+
+}  // namespace
+}  // namespace its::core

@@ -1,0 +1,115 @@
+// Tests for Valgrind Lackey trace ingestion.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/lackey.h"
+
+namespace its::trace {
+namespace {
+
+TEST(Lackey, ParsesAllRecordKinds) {
+  std::istringstream is(
+      "I  0400d7d4,8\n"
+      " L 04842f60,8\n"
+      " S 04842f68,4\n"
+      " M 0484ab50,4\n");
+  Trace t = parse_lackey(is, "t", {.instr_fold = 1});
+  // 1 compute + 1 load + 1 store + (load + store) from M.
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].op, Op::kCompute);
+  EXPECT_EQ(t[1].op, Op::kLoad);
+  EXPECT_EQ(t[1].addr, 0x04842f60u);
+  EXPECT_EQ(t[1].size, 8);
+  EXPECT_EQ(t[2].op, Op::kStore);
+  EXPECT_EQ(t[3].op, Op::kLoad);
+  EXPECT_EQ(t[4].op, Op::kStore);
+  EXPECT_EQ(t[3].addr, t[4].addr);
+}
+
+TEST(Lackey, FoldsInstructionFetches) {
+  std::istringstream is(
+      "I 1000,4\nI 1004,4\nI 1008,4\nI 100c,4\n L 2000,8\nI 1010,4\n");
+  Trace t = parse_lackey(is, "t", {.instr_fold = 4});
+  // 4 I-lines fold into one compute(4); the trailing single I flushes at EOF.
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].op, Op::kCompute);
+  EXPECT_EQ(t[0].repeat, 4);
+  EXPECT_EQ(t[1].op, Op::kLoad);
+  EXPECT_EQ(t[2].op, Op::kCompute);
+  EXPECT_EQ(t[2].repeat, 1);
+}
+
+TEST(Lackey, PartialFoldFlushesBeforeMemoryOp) {
+  std::istringstream is("I 1000,4\nI 1004,4\n S 3000,8\n");
+  Trace t = parse_lackey(is, "t", {.instr_fold = 8});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].repeat, 2);  // flushed early so ordering is preserved
+  EXPECT_EQ(t[1].op, Op::kStore);
+}
+
+TEST(Lackey, LenientSkipsGarbage) {
+  std::istringstream is(
+      "==12345== lackey output header\n"
+      "program printed something\n"
+      " L 4000,8\n"
+      " L deadbeef\n"  // malformed: no size
+      " L 5000,8\n");
+  Trace t = parse_lackey(is, "t");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x4000u);
+  EXPECT_EQ(t[1].addr, 0x5000u);
+}
+
+TEST(Lackey, StrictThrowsOnGarbage) {
+  std::istringstream is("X 4000,8\n");
+  EXPECT_THROW(parse_lackey(is, "t", {.lenient = false}), LackeyParseError);
+  std::istringstream is2(" L nonsense\n");
+  EXPECT_THROW(parse_lackey(is2, "t", {.lenient = false}), LackeyParseError);
+}
+
+TEST(Lackey, MaxRecordsBound) {
+  std::ostringstream gen;
+  for (int i = 0; i < 1000; ++i) gen << " L " << std::hex << 0x1000 + i * 8 << ",8\n";
+  std::istringstream is(gen.str());
+  Trace t = parse_lackey(is, "t", {.max_records = 100});
+  EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(Lackey, HexPrefixAccepted) {
+  std::istringstream is(" L 0x7fff0000,8\n");
+  Trace t = parse_lackey(is, "t");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].addr, 0x7fff0000u);
+}
+
+TEST(Lackey, OversizeAccessClamped) {
+  std::istringstream is(" L 1000,100000\n");
+  Trace t = parse_lackey(is, "t");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].size, 0xffff);
+}
+
+TEST(Lackey, RoundTripThroughWriter) {
+  std::istringstream is(
+      "I 1000,4\nI 1004,4\n L 2000,8\n S 3000,16\n");
+  Trace t = parse_lackey(is, "orig", {.instr_fold = 2});
+  std::stringstream out;
+  write_lackey(out, t);
+  Trace back = parse_lackey(out, "back", {.instr_fold = 2});
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].op, t[i].op) << i;
+    if (t[i].is_mem()) {
+      EXPECT_EQ(back[i].addr, t[i].addr) << i;
+      EXPECT_EQ(back[i].size, t[i].size) << i;
+    }
+  }
+}
+
+TEST(Lackey, MissingFileThrows) {
+  EXPECT_THROW(load_lackey_file("/no/such/file.lk"), LackeyParseError);
+}
+
+}  // namespace
+}  // namespace its::trace

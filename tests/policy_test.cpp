@@ -1,0 +1,149 @@
+// Tests for src/core policies: the five I/O-mode policies' fault plans, the
+// §3.2 priority test, and the ITS ablation knock-outs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy.h"
+#include "trace/instr.h"
+
+namespace its::core {
+namespace {
+
+std::shared_ptr<const trace::Trace> tiny_trace() {
+  auto t = std::make_shared<trace::Trace>("tiny");
+  t->push_back(trace::Instr::load(0x560000000000ull, 8, 1, 0));
+  return t;
+}
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : low_(0, "low", 10, tiny_trace()),
+        high_(1, "high", 50, tiny_trace()),
+        sched_(1000, 2000) {}
+
+  sched::Process low_;
+  sched::Process high_;
+  sched::RRScheduler sched_;
+};
+
+TEST_F(PolicyTest, PolicyNamesMatchPaper) {
+  EXPECT_EQ(policy_name(PolicyKind::kAsync), "Async");
+  EXPECT_EQ(policy_name(PolicyKind::kSync), "Sync");
+  EXPECT_EQ(policy_name(PolicyKind::kSyncRunahead), "Sync_Runahead");
+  EXPECT_EQ(policy_name(PolicyKind::kSyncPrefetch), "Sync_Prefetch");
+  EXPECT_EQ(policy_name(PolicyKind::kIts), "ITS");
+}
+
+TEST_F(PolicyTest, FactoryProducesMatchingKinds) {
+  for (PolicyKind k : kAllPolicies) {
+    auto p = make_policy(k);
+    EXPECT_EQ(p->kind(), k);
+    EXPECT_EQ(p->name(), policy_name(k));
+  }
+}
+
+TEST_F(PolicyTest, IsLowPriorityComparesAgainstNextToBeRun) {
+  // §3.2: the current process is low-priority iff its priority is lower
+  // than the next-to-be-run process's.
+  sched_.add(&high_);  // head of queue: priority 50
+  EXPECT_TRUE(is_low_priority(low_, sched_));
+  EXPECT_FALSE(is_low_priority(high_, sched_));
+}
+
+TEST_F(PolicyTest, EmptyQueueMeansHighPriority) {
+  EXPECT_FALSE(is_low_priority(low_, sched_));
+}
+
+TEST_F(PolicyTest, AsyncAlwaysGivesWay) {
+  auto p = make_policy(PolicyKind::kAsync);
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_TRUE(plan.go_async);
+  EXPECT_FALSE(p->uses_preexec_cache());
+  EXPECT_FALSE(p->runahead_on_llc_miss());
+}
+
+TEST_F(PolicyTest, SyncBusyWaits) {
+  auto p = make_policy(PolicyKind::kSync);
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_FALSE(plan.go_async);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kNone);
+  EXPECT_FALSE(plan.preexec);
+}
+
+TEST_F(PolicyTest, SyncRunaheadRunsOnLlcMissesOnly) {
+  auto p = make_policy(PolicyKind::kSyncRunahead);
+  EXPECT_TRUE(p->runahead_on_llc_miss());
+  EXPECT_TRUE(p->uses_preexec_cache());
+  // §4.1 footnote 4: traditional runahead does NOT work the fault window.
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_FALSE(plan.preexec);
+  EXPECT_FALSE(plan.go_async);
+}
+
+TEST_F(PolicyTest, SyncPrefetchUsesPageOnPageUnits) {
+  auto p = make_policy(PolicyKind::kSyncPrefetch);
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kPop);
+  EXPECT_FALSE(plan.preexec);
+  EXPECT_FALSE(p->uses_preexec_cache());
+}
+
+TEST_F(PolicyTest, ItsSelfImprovingForHighPriority) {
+  auto p = make_policy(PolicyKind::kIts);
+  sched_.add(&low_);  // next-to-be-run has priority 10
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_FALSE(plan.go_async);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kVa);
+  EXPECT_TRUE(plan.preexec);
+  EXPECT_TRUE(p->uses_preexec_cache());
+}
+
+TEST_F(PolicyTest, ItsSelfSacrificingForLowPriority) {
+  auto p = make_policy(PolicyKind::kIts);
+  sched_.add(&high_);
+  FaultPlan plan = p->plan_major_fault(low_, sched_);
+  EXPECT_TRUE(plan.go_async);
+}
+
+TEST_F(PolicyTest, ItsAloneActsSelfImproving) {
+  // After higher-priority processes finish, a low-priority process gets
+  // the self-improving treatment ("more concentrated attention", §1).
+  auto p = make_policy(PolicyKind::kIts);
+  FaultPlan plan = p->plan_major_fault(low_, sched_);
+  EXPECT_FALSE(plan.go_async);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kVa);
+}
+
+TEST_F(PolicyTest, ItsKnockoutNoSacrifice) {
+  auto p = make_its_policy({.self_sacrificing = false});
+  sched_.add(&high_);
+  FaultPlan plan = p->plan_major_fault(low_, sched_);
+  EXPECT_FALSE(plan.go_async);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kVa);
+}
+
+TEST_F(PolicyTest, ItsKnockoutNoPrefetch) {
+  auto p = make_its_policy({.page_prefetch = false});
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kNone);
+  EXPECT_TRUE(plan.preexec);
+}
+
+TEST_F(PolicyTest, ItsKnockoutNoPreexec) {
+  auto p = make_its_policy({.pre_execute = false});
+  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  EXPECT_FALSE(plan.preexec);
+  // No pre-execute cache ⇒ the LLC is not halved.
+  EXPECT_FALSE(p->uses_preexec_cache());
+}
+
+TEST_F(PolicyTest, EqualPriorityIsNotLow) {
+  sched::Process peer(2, "peer", 10, tiny_trace());
+  sched_.add(&peer);  // same priority as low_
+  EXPECT_FALSE(is_low_priority(low_, sched_));
+}
+
+}  // namespace
+}  // namespace its::core

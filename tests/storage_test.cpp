@@ -1,0 +1,152 @@
+// Tests for src/storage: PCIe link model, ULL device channels, and the DMA
+// controller composition.
+#include <gtest/gtest.h>
+
+#include "storage/dma.h"
+#include "storage/pcie_link.h"
+#include "storage/ull_device.h"
+#include "util/types.h"
+
+namespace its::storage {
+namespace {
+
+TEST(PcieLink, TransferTimeMatchesBandwidth) {
+  PcieLink link({.lanes = 4, .gbytes_per_sec_per_lane = 3.983});
+  // 4 KiB over 15.932 B/ns ≈ 258 ns (ceil).
+  EXPECT_EQ(link.transfer_time(4096), 258u);
+  EXPECT_EQ(link.transfer_time(0), 0u);
+  EXPECT_NEAR(link.bytes_per_ns(), 15.932, 1e-9);
+}
+
+TEST(PcieLink, SingleLane) {
+  PcieLink link({.lanes = 1, .gbytes_per_sec_per_lane = 1.0});
+  EXPECT_EQ(link.transfer_time(1000), 1000u);
+}
+
+TEST(PcieLink, TransfersSerialise) {
+  PcieLink link({.lanes = 1, .gbytes_per_sec_per_lane = 1.0});
+  its::SimTime t1 = link.schedule(0, 100);    // [0, 100)
+  its::SimTime t2 = link.schedule(0, 100);    // queued: [100, 200)
+  its::SimTime t3 = link.schedule(500, 100);  // link idle at 200: [500, 600)
+  EXPECT_EQ(t1, 100u);
+  EXPECT_EQ(t2, 200u);
+  EXPECT_EQ(t3, 600u);
+  EXPECT_EQ(link.bytes_moved(), 300u);
+  EXPECT_EQ(link.transfers(), 3u);
+}
+
+TEST(PcieLink, ResetClearsState) {
+  PcieLink link;
+  link.schedule(0, 4096);
+  link.reset();
+  EXPECT_EQ(link.busy_until(), 0u);
+  EXPECT_EQ(link.bytes_moved(), 0u);
+}
+
+TEST(PcieLink, RejectsZeroLanes) {
+  EXPECT_THROW(PcieLink({.lanes = 0}), std::invalid_argument);
+  EXPECT_THROW(PcieLink({.lanes = 4, .gbytes_per_sec_per_lane = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(UllDevice, SingleReadTakesMediaLatency) {
+  UllDevice dev({.read_latency = 3000, .write_latency = 5000, .channels = 4});
+  EXPECT_EQ(dev.schedule(100, false), 3100u);
+  EXPECT_EQ(dev.reads(), 1u);
+  EXPECT_EQ(dev.writes(), 0u);
+}
+
+TEST(UllDevice, WritesUseWriteLatency) {
+  UllDevice dev({.read_latency = 3000, .write_latency = 5000, .channels = 4});
+  EXPECT_EQ(dev.schedule(0, true), 5000u);
+  EXPECT_EQ(dev.writes(), 1u);
+}
+
+TEST(UllDevice, ChannelsOverlapRequests) {
+  UllDevice dev({.read_latency = 3000, .write_latency = 3000, .channels = 4});
+  // Four simultaneous reads: all finish at 3000 (one per channel).
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dev.schedule(0, false), 3000u);
+  // Fifth queues behind the earliest channel.
+  EXPECT_EQ(dev.schedule(0, false), 6000u);
+}
+
+TEST(UllDevice, EarliestFreeTracksChannels) {
+  UllDevice dev({.read_latency = 1000, .write_latency = 1000, .channels = 2});
+  EXPECT_EQ(dev.earliest_free(), 0u);
+  dev.schedule(0, false);
+  EXPECT_EQ(dev.earliest_free(), 0u);  // second channel still free
+  dev.schedule(0, false);
+  EXPECT_EQ(dev.earliest_free(), 1000u);
+}
+
+TEST(UllDevice, RejectsZeroChannels) {
+  EXPECT_THROW(UllDevice({.read_latency = 1, .write_latency = 1, .channels = 0}),
+               std::invalid_argument);
+}
+
+TEST(UllDevice, ResetClearsChannels) {
+  UllDevice dev;
+  dev.schedule(0, false);
+  dev.reset();
+  EXPECT_EQ(dev.earliest_free(), 0u);
+  EXPECT_EQ(dev.reads(), 0u);
+}
+
+TEST(Dma, ReadIsMediaThenLink) {
+  DmaController dma({.read_latency = 3000, .write_latency = 3000, .channels = 8},
+                    {.lanes = 4, .gbytes_per_sec_per_lane = 3.983});
+  // 3000 media + 258 link.
+  EXPECT_EQ(dma.post_page(0, Dir::kRead), 3258u);
+  EXPECT_EQ(dma.page_reads(), 1u);
+}
+
+TEST(Dma, WriteIsLinkThenMedia) {
+  DmaController dma({.read_latency = 3000, .write_latency = 4000, .channels = 8},
+                    {.lanes = 4, .gbytes_per_sec_per_lane = 3.983});
+  EXPECT_EQ(dma.post_page(0, Dir::kWrite), 4258u);
+  EXPECT_EQ(dma.page_writes(), 1u);
+}
+
+TEST(Dma, BatchedReadsOverlapOnChannels) {
+  DmaController dma({.read_latency = 3000, .write_latency = 3000, .channels = 8},
+                    {.lanes = 4, .gbytes_per_sec_per_lane = 3.983});
+  // 8 pages posted together: media times overlap; the link serialises the
+  // eight 258 ns transfers after the shared 3 µs media phase.
+  its::SimTime last = 0;
+  for (int i = 0; i < 8; ++i) last = dma.post_page(0, Dir::kRead);
+  EXPECT_EQ(last, 3000u + 8 * 258u);
+  // Far cheaper than 8 serial reads (8 × 3258).
+  EXPECT_LT(last, 8 * 3258u);
+}
+
+TEST(Dma, ChannelQueueingDelaysNinthRead) {
+  DmaController dma({.read_latency = 3000, .write_latency = 3000, .channels = 8},
+                    {.lanes = 4, .gbytes_per_sec_per_lane = 3.983});
+  for (int i = 0; i < 8; ++i) dma.post_page(0, Dir::kRead);
+  // Ninth read waits for a channel: media done at 6000, link free by then.
+  EXPECT_EQ(dma.post_page(0, Dir::kRead), 6258u);
+}
+
+TEST(Dma, ResetRestoresIdle) {
+  DmaController dma;
+  dma.post_page(0, Dir::kRead);
+  dma.reset();
+  EXPECT_EQ(dma.page_reads(), 0u);
+  EXPECT_EQ(dma.post_page(0, Dir::kRead), dma.device().config().read_latency +
+                                              dma.link().transfer_time(its::kPageSize));
+}
+
+class DmaLatencySweep : public ::testing::TestWithParam<its::Duration> {};
+
+TEST_P(DmaLatencySweep, ReadLatencyScalesWithMedia) {
+  its::Duration media = GetParam();
+  DmaController dma({.read_latency = media, .write_latency = media, .channels = 8}, {});
+  its::SimTime done = dma.post_page(0, Dir::kRead);
+  EXPECT_EQ(done, media + dma.link().transfer_time(its::kPageSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(MediaLatencies, DmaLatencySweep,
+                         ::testing::Values(1000, 3000, 10000, 25000));
+
+}  // namespace
+}  // namespace its::storage

@@ -1,0 +1,228 @@
+// Tests for src/util: RNG determinism and distributions, statistics
+// accumulators, table formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace its::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123, 7), b(123, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiverge) {
+  Rng a(1, 1), b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng r(5);
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    auto v = r.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    lo |= v == 3;
+    hi |= v == 6;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.zipf(1000, 0.9), 1000u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng r(23);
+  std::uint64_t low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) low += r.zipf(10000, 1.0) < 100;
+  // Under Zipf(1.0), ranks < 100 of 10000 carry roughly half the mass.
+  EXPECT_GT(low, static_cast<std::uint64_t>(n) * 35 / 100);
+}
+
+TEST(Rng, ZipfDegenerateN) {
+  Rng r(29);
+  EXPECT_EQ(r.zipf(1, 1.0), 0u);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng r(31);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(0.25));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double v = i * 0.7 - 3;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat copy = a;
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), copy.count());
+  EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(LogHistogram, BucketsByPowerOfTwo) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);  // {0,1}
+  EXPECT_EQ(h.bucket(1), 2u);  // {2,3}
+  EXPECT_EQ(h.bucket(2), 1u);  // {4..7}
+}
+
+TEST(LogHistogram, QuantileMonotone) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+  EXPECT_EQ(h.quantile(0.0), h.quantile(-1.0));  // clamped
+}
+
+TEST(LogHistogram, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a, b;
+  a.add(10);
+  b.add(1000);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, RejectsBadRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(Table::fmt(std::uint64_t{999}), "999");
+}
+
+TEST(Types, LiteralsAndHelpers) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_us, 2000u);
+  EXPECT_EQ(1_ms, 1000000u);
+  EXPECT_EQ(its::vpn_of(0x12345), 0x12u);
+  EXPECT_EQ(its::page_base(0x12345), 0x12000u);
+  EXPECT_EQ(its::line_of(0x87), 0x2u);
+}
+
+}  // namespace
+}  // namespace its::util

@@ -1,0 +1,427 @@
+// Tests for src/vm: PTE bit layout, the 4-level page table and its cursor,
+// the frame pool's CLOCK policy, the swap area, the memory descriptor's
+// fault taxonomy, and both prefetchers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/types.h"
+#include "vm/frame_pool.h"
+#include "vm/mm.h"
+#include "vm/page_table.h"
+#include "vm/prefetch.h"
+#include "vm/pte.h"
+#include "vm/swap.h"
+
+namespace its::vm {
+namespace {
+
+TEST(Pte, DefaultIsSwappedOut) {
+  Pte p;
+  EXPECT_TRUE(p.swapped_out());
+  EXPECT_FALSE(p.present());
+  EXPECT_FALSE(p.swap_cached());
+  EXPECT_FALSE(p.in_flight());
+}
+
+TEST(Pte, MapSetsPresentAndClearsTransferStates) {
+  Pte p;
+  p.set_in_flight(true);
+  p.set_pfn(42);
+  p.map(42);
+  EXPECT_TRUE(p.present());
+  EXPECT_FALSE(p.in_flight());
+  EXPECT_FALSE(p.swap_cached());
+  EXPECT_EQ(p.pfn(), 42u);
+}
+
+TEST(Pte, UnmapClearsEverythingTransient) {
+  Pte p;
+  p.map(7);
+  p.set_accessed(true);
+  p.set_dirty(true);
+  p.unmap();
+  EXPECT_TRUE(p.swapped_out());
+  EXPECT_FALSE(p.accessed());
+  EXPECT_FALSE(p.dirty());
+  EXPECT_EQ(p.pfn(), 0u);
+}
+
+TEST(Pte, InvBitIndependent) {
+  Pte p;
+  p.map(3);
+  p.set_inv(true);
+  EXPECT_TRUE(p.inv());
+  EXPECT_TRUE(p.present());
+  p.set_inv(false);
+  EXPECT_FALSE(p.inv());
+}
+
+TEST(Pte, PfnFieldBoundaries) {
+  Pte p;
+  its::Pfn big = (1ull << 36) - 1;  // bits 12..47
+  p.set_pfn(big);
+  EXPECT_EQ(p.pfn(), big);
+  EXPECT_FALSE(p.present());  // set_pfn must not disturb flags
+}
+
+TEST(PageTableIndices, MatchX86Layout) {
+  its::VirtAddr va = 0;
+  va |= 0x1ull << 39;  // pgd index 1
+  va |= 0x2ull << 30;  // pud index 2
+  va |= 0x3ull << 21;  // pmd index 3
+  va |= 0x4ull << 12;  // pte index 4
+  EXPECT_EQ(pgd_index(va), 1u);
+  EXPECT_EQ(pud_index(va), 2u);
+  EXPECT_EQ(pmd_index(va), 3u);
+  EXPECT_EQ(pte_index(va), 4u);
+}
+
+TEST(PageTable, LookupOnEmptyIsNull) {
+  PageTable pt;
+  EXPECT_EQ(pt.lookup(0x123456789000ull), nullptr);
+  EXPECT_EQ(pt.levels_mapped(0x123456789000ull), 1u);
+}
+
+TEST(PageTable, EnsureCreatesAllLevels) {
+  PageTable pt;
+  its::VirtAddr va = 0x560000001000ull;
+  Pte& pte = pt.ensure(va);
+  EXPECT_EQ(pt.lookup(va), &pte);
+  EXPECT_EQ(pt.levels_mapped(va), 4u);
+  // PGD + PUD + PMD + PT = 4 tables beyond nothing.
+  EXPECT_EQ(pt.tables_allocated(), 4u);
+}
+
+TEST(PageTable, SiblingsShareIntermediateTables) {
+  PageTable pt;
+  pt.ensure(0x560000001000ull);
+  auto before = pt.tables_allocated();
+  pt.ensure(0x560000002000ull);  // same leaf table
+  EXPECT_EQ(pt.tables_allocated(), before);
+  pt.ensure(0x560000200000ull);  // next PMD entry: one new leaf PT
+  EXPECT_EQ(pt.tables_allocated(), before + 1);
+}
+
+TEST(PageTable, CursorWalksSequentialPtes) {
+  PageTable pt;
+  its::Vpn base = 0x560000000000ull >> 12;
+  for (its::Vpn v = base; v < base + 16; ++v) pt.ensure(v << 12).set_pfn(v - base);
+  auto cur = pt.cursor_at(base);
+  for (its::Vpn want = base; want < base + 16; ++want) {
+    its::Vpn got = 0;
+    Pte* pte = cur.next(got);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(cur.slots_examined(), 16u);
+}
+
+TEST(PageTable, CursorCrossesPmdBoundary) {
+  PageTable pt;
+  // Last PTE of one leaf table and first PTE of the next (Fig. 2 step 7).
+  its::VirtAddr last_in_pt = 0x5600001FF000ull;   // pte index 511
+  its::VirtAddr first_next = 0x560000200000ull;   // next PMD entry
+  pt.ensure(last_in_pt);
+  pt.ensure(first_next);
+  auto cur = pt.cursor_at(its::vpn_of(last_in_pt));
+  its::Vpn got = 0;
+  EXPECT_NE(cur.next(got), nullptr);
+  EXPECT_EQ(got, its::vpn_of(last_in_pt));
+  EXPECT_NE(cur.next(got), nullptr);
+  EXPECT_EQ(got, its::vpn_of(first_next));
+}
+
+TEST(PageTable, CursorStopsAtUnpopulatedTable) {
+  PageTable pt;
+  pt.ensure(0x5600001FF000ull);  // only this leaf table exists
+  auto cur = pt.cursor_at(its::vpn_of(0x5600001FF000ull));
+  its::Vpn got = 0;
+  EXPECT_NE(cur.next(got), nullptr);
+  EXPECT_EQ(cur.next(got), nullptr);  // next PMD entry absent → give up
+}
+
+TEST(FramePool, AllocUntilFull) {
+  FramePool pool(4 * its::kPageSize);
+  EXPECT_EQ(pool.num_frames(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(pool.try_alloc(1, i).has_value());
+  EXPECT_FALSE(pool.try_alloc(1, 99).has_value());
+  EXPECT_EQ(pool.used_frames(), 4u);
+}
+
+TEST(FramePool, ReleaseRecycles) {
+  FramePool pool(2 * its::kPageSize);
+  auto a = pool.try_alloc(1, 10);
+  pool.try_alloc(1, 11);
+  pool.release(*a);
+  EXPECT_EQ(pool.free_frames(), 1u);
+  auto b = pool.try_alloc(2, 20);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(pool.info(*b).owner, 2u);
+  EXPECT_EQ(pool.info(*b).vpn, 20u);
+}
+
+TEST(FramePool, ClockSkipsPinned) {
+  FramePool pool(2 * its::kPageSize);
+  auto a = pool.try_alloc(1, 1);
+  auto b = pool.try_alloc(1, 2);
+  pool.pin(*a);
+  auto victim = pool.clock_victim();
+  ASSERT_TRUE(victim);
+  EXPECT_EQ(*victim, *b);
+}
+
+TEST(FramePool, ClockGivesSecondChance) {
+  FramePool pool(2 * its::kPageSize);
+  auto a = pool.try_alloc(1, 1);
+  auto b = pool.try_alloc(1, 2);
+  pool.mark_referenced(*a);
+  // a is referenced: first victim must be b (a gets its second chance).
+  auto victim = pool.clock_victim();
+  ASSERT_TRUE(victim);
+  EXPECT_EQ(*victim, *b);
+  (void)a;
+}
+
+TEST(FramePool, ClockEventuallyTakesReferencedFrame) {
+  FramePool pool(1 * its::kPageSize);
+  auto a = pool.try_alloc(1, 1);
+  pool.mark_referenced(*a);
+  auto victim = pool.clock_victim();  // clears ref bit, second sweep takes it
+  ASSERT_TRUE(victim);
+  EXPECT_EQ(*victim, *a);
+}
+
+TEST(FramePool, AllPinnedMeansNoVictim) {
+  FramePool pool(2 * its::kPageSize);
+  pool.pin(*pool.try_alloc(1, 1));
+  pool.pin(*pool.try_alloc(1, 2));
+  EXPECT_FALSE(pool.clock_victim().has_value());
+}
+
+TEST(FramePool, DoubleReleaseThrows) {
+  FramePool pool(its::kPageSize);
+  auto a = pool.try_alloc(1, 1);
+  pool.release(*a);
+  EXPECT_THROW(pool.release(*a), std::logic_error);
+}
+
+TEST(FramePool, RejectsZeroSize) { EXPECT_THROW(FramePool(0), std::invalid_argument); }
+
+TEST(SwapArea, SlotAllocationStable) {
+  SwapArea swap;
+  auto s1 = swap.slot_for(1, 100);
+  auto s2 = swap.slot_for(1, 101);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(swap.slot_for(1, 100), s1);  // idempotent
+  EXPECT_EQ(swap.slots_in_use(), 2u);
+}
+
+TEST(SwapArea, PerProcessNamespaces) {
+  SwapArea swap;
+  EXPECT_NE(swap.slot_for(1, 100), swap.slot_for(2, 100));
+}
+
+TEST(SwapArea, CapacityEnforced) {
+  SwapArea swap(2);
+  swap.slot_for(1, 1);
+  swap.slot_for(1, 2);
+  EXPECT_THROW(swap.slot_for(1, 3), std::runtime_error);
+}
+
+TEST(SwapArea, SwapInRequiresSlot) {
+  SwapArea swap;
+  EXPECT_THROW(swap.record_swap_in(1, 5), std::logic_error);
+  swap.slot_for(1, 5);
+  swap.record_swap_in(1, 5);
+  EXPECT_EQ(swap.stats().swap_ins, 1u);
+}
+
+TEST(SwapArea, SwapOutAllocatesSlot) {
+  SwapArea swap;
+  swap.record_swap_out(3, 9);
+  EXPECT_TRUE(swap.has_slot(3, 9));
+  EXPECT_EQ(swap.stats().swap_outs, 1u);
+}
+
+std::vector<its::Vpn> make_footprint(its::Vpn base, unsigned n) {
+  std::vector<its::Vpn> v;
+  for (unsigned i = 0; i < n; ++i) v.push_back(base + i);
+  return v;
+}
+
+TEST(MemoryDescriptor, ColdPagesAreMajorFaults) {
+  auto fp = make_footprint(0x1000, 8);
+  MemoryDescriptor mm(7, fp);
+  EXPECT_EQ(mm.pid(), 7u);
+  EXPECT_EQ(mm.footprint_pages(), 8u);
+  for (its::Vpn v : fp) {
+    EXPECT_EQ(mm.state(v), PageState::kSwapped);
+    EXPECT_EQ(mm.classify(v), FaultType::kMajor);
+  }
+}
+
+TEST(MemoryDescriptor, StateTransitions) {
+  auto fp = make_footprint(0x2000, 2);
+  MemoryDescriptor mm(1, fp);
+  Pte* pte = mm.pte(0x2000);
+  ASSERT_NE(pte, nullptr);
+
+  pte->set_pfn(5);
+  pte->set_in_flight(true);
+  EXPECT_EQ(mm.state(0x2000), PageState::kInFlight);
+  EXPECT_EQ(mm.classify(0x2000), FaultType::kMajor);
+
+  pte->set_in_flight(false);
+  pte->set_swap_cache(true);
+  EXPECT_EQ(mm.state(0x2000), PageState::kSwapCache);
+  EXPECT_EQ(mm.classify(0x2000), FaultType::kMinor);
+
+  pte->map(5);
+  EXPECT_EQ(mm.state(0x2000), PageState::kMapped);
+  EXPECT_EQ(mm.classify(0x2000), FaultType::kNone);
+}
+
+TEST(MemoryDescriptor, OutsideAddressSpaceIsUnmapped) {
+  MemoryDescriptor mm(1, make_footprint(0x3000, 1));
+  EXPECT_EQ(mm.state(0x900000), PageState::kUnmapped);
+  EXPECT_EQ(mm.classify(0x900000), FaultType::kMajor);
+}
+
+TEST(MemoryDescriptor, ResidencyBookkeeping) {
+  MemoryDescriptor mm(1, make_footprint(0x4000, 4));
+  EXPECT_EQ(mm.resident_pages(), 0u);
+  mm.note_mapped();
+  mm.note_mapped();
+  mm.note_unmapped();
+  EXPECT_EQ(mm.resident_pages(), 1u);
+}
+
+class VaPrefetcherTest : public ::testing::Test {
+ protected:
+  VaPrefetcherTest() : mm_(1, make_footprint(kBase, 32)) {}
+  static constexpr its::Vpn kBase = 0x560000000ull >> 0;  // arbitrary vpn base
+  MemoryDescriptor mm_;
+};
+
+TEST_F(VaPrefetcherTest, CollectsPagesAfterVictim) {
+  VaPrefetcher pf({.degree = 4});
+  PrefetchResult r = pf.collect(mm_, kBase + 2);
+  ASSERT_EQ(r.pages.size(), 4u);
+  EXPECT_EQ(r.pages[0], kBase + 3);
+  EXPECT_EQ(r.pages[3], kBase + 6);
+  EXPECT_GT(r.walk_cost, 0u);
+}
+
+TEST_F(VaPrefetcherTest, SkipsPresentPages) {
+  VaPrefetcher pf({.degree = 3});
+  mm_.pte(kBase + 3)->map(1);            // present
+  mm_.pte(kBase + 4)->set_swap_cache(true);  // already in DRAM
+  mm_.pte(kBase + 5)->set_in_flight(true);   // already in transit
+  PrefetchResult r = pf.collect(mm_, kBase + 2);
+  ASSERT_EQ(r.pages.size(), 3u);
+  EXPECT_EQ(r.pages[0], kBase + 6);
+  EXPECT_EQ(r.pages[1], kBase + 7);
+  EXPECT_EQ(r.pages[2], kBase + 8);
+}
+
+TEST_F(VaPrefetcherTest, WalkBoundStopsSearch) {
+  VaPrefetcher pf({.degree = 8, .max_slots = 4});
+  for (its::Vpn v = kBase + 3; v < kBase + 32; ++v) mm_.pte(v)->map(1);
+  PrefetchResult r = pf.collect(mm_, kBase + 2);
+  EXPECT_TRUE(r.pages.empty());
+  EXPECT_LE(r.slots_examined, 4u);
+}
+
+TEST_F(VaPrefetcherTest, WalkCostScalesWithSlots) {
+  VaPrefetcher pf({.degree = 2, .per_slot_cost = 10});
+  PrefetchResult r = pf.collect(mm_, kBase);
+  EXPECT_EQ(r.walk_cost, r.slots_examined * 10);
+}
+
+TEST(PopPrefetcher, FetchesAlignedUnitMinusVictim) {
+  MemoryDescriptor mm(1, make_footprint(0x8000, 16));
+  PopPrefetcher pf({.unit_pages = 4});
+  PrefetchResult r = pf.collect(mm, 0x8005);  // unit [0x8004, 0x8008)
+  ASSERT_EQ(r.pages.size(), 3u);
+  EXPECT_EQ(r.pages[0], 0x8004u);
+  EXPECT_EQ(r.pages[1], 0x8006u);
+  EXPECT_EQ(r.pages[2], 0x8007u);
+}
+
+TEST(PopPrefetcher, SkipsResidentPages) {
+  MemoryDescriptor mm(1, make_footprint(0x8000, 8));
+  mm.pte(0x8001)->map(2);
+  PopPrefetcher pf({.unit_pages = 4});
+  PrefetchResult r = pf.collect(mm, 0x8000);
+  ASSERT_EQ(r.pages.size(), 2u);  // 0x8002, 0x8003 (0x8001 present)
+}
+
+TEST(StridePrefetcher, NeedsTrainingBeforePredicting) {
+  MemoryDescriptor mm(1, make_footprint(0x9000, 64));
+  StridePrefetcher pf({.degree = 2, .min_confidence = 2});
+  EXPECT_TRUE(pf.collect(mm, 0x9000).pages.empty());  // first observation
+  EXPECT_TRUE(pf.collect(mm, 0x9002).pages.empty());  // one delta: confidence 1
+  PrefetchResult r = pf.collect(mm, 0x9004);          // confidence 2 → predict
+  ASSERT_EQ(r.pages.size(), 2u);
+  EXPECT_EQ(r.pages[0], 0x9006u);
+  EXPECT_EQ(r.pages[1], 0x9008u);
+  EXPECT_EQ(pf.stride_for(1), 2);
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfidence) {
+  MemoryDescriptor mm(1, make_footprint(0x9000, 64));
+  StridePrefetcher pf({.degree = 2, .min_confidence = 2});
+  pf.collect(mm, 0x9000);
+  pf.collect(mm, 0x9001);
+  pf.collect(mm, 0x9002);            // trained on stride 1
+  EXPECT_EQ(pf.stride_for(1), 1);
+  EXPECT_TRUE(pf.collect(mm, 0x9010).pages.empty());  // break: retrain
+  EXPECT_EQ(pf.stride_for(1), 0);
+}
+
+TEST(StridePrefetcher, SkipsResidentPages) {
+  MemoryDescriptor mm(1, make_footprint(0x9000, 64));
+  mm.pte(0x9006)->map(1);
+  StridePrefetcher pf({.degree = 2, .min_confidence = 2});
+  pf.collect(mm, 0x9000);
+  pf.collect(mm, 0x9002);
+  PrefetchResult r = pf.collect(mm, 0x9004);
+  ASSERT_EQ(r.pages.size(), 1u);  // 0x9006 resident, only 0x9008 collected
+  EXPECT_EQ(r.pages[0], 0x9008u);
+}
+
+TEST(StridePrefetcher, PerProcessState) {
+  MemoryDescriptor mm1(1, make_footprint(0x9000, 16));
+  MemoryDescriptor mm2(2, make_footprint(0x9000, 16));
+  StridePrefetcher pf({.degree = 1, .min_confidence = 2});
+  pf.collect(mm1, 0x9000);
+  pf.collect(mm1, 0x9001);
+  pf.collect(mm1, 0x9002);
+  EXPECT_EQ(pf.stride_for(1), 1);
+  EXPECT_EQ(pf.stride_for(2), 0);  // pid 2 never observed
+}
+
+TEST(StridePrefetcher, NegativeStride) {
+  MemoryDescriptor mm(1, make_footprint(0x9000, 64));
+  StridePrefetcher pf({.degree = 1, .min_confidence = 2});
+  pf.collect(mm, 0x9010);
+  pf.collect(mm, 0x900E);
+  PrefetchResult r = pf.collect(mm, 0x900C);
+  ASSERT_EQ(r.pages.size(), 1u);
+  EXPECT_EQ(r.pages[0], 0x900Au);
+  EXPECT_EQ(pf.stride_for(1), -2);
+}
+
+TEST(PopPrefetcher, UnitAtRegionEdgeHandlesMissingPtes) {
+  MemoryDescriptor mm(1, make_footprint(0x8000, 2));  // only 2 pages exist
+  PopPrefetcher pf({.unit_pages = 8});
+  PrefetchResult r = pf.collect(mm, 0x8000);
+  // Pages beyond the footprint may not exist — collect must not crash and
+  // may include 0x8001 only... (pages after 0x8001 exist as empty leaf
+  // slots in the same table, which are legitimate swap-resident targets).
+  for (its::Vpn v : r.pages) EXPECT_NE(v, 0x8000u);
+}
+
+}  // namespace
+}  // namespace its::vm
