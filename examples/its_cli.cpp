@@ -13,6 +13,8 @@
 
 #include "core/experiment.h"
 #include "core/simulator.h"
+#include "obs/invariant_checker.h"
+#include "obs/trace_json.h"
 #include "trace/lackey.h"
 #include "trace/trace_io.h"
 #include "core/report.h"
@@ -43,6 +45,7 @@ void print_one(const std::string& policy, const core::SimMetrics& m) {
     return util::Table::fmt(static_cast<double>(d) / 1e6, 2) + " ms";
   };
   t.add_row({"policy", policy});
+  t.add_row({"cpu busy", ms(m.cpu_busy)});
   t.add_row({"total CPU idle", ms(m.idle.total())});
   t.add_row({"  mem stall", ms(m.idle.mem_stall)});
   t.add_row({"  busy wait", ms(m.idle.busy_wait)});
@@ -62,6 +65,21 @@ void print_one(const std::string& policy, const core::SimMetrics& m) {
              ms(static_cast<its::Duration>(m.avg_finish_bottom_half()))});
   t.print(std::cout);
   std::cout << '\n';
+}
+
+/// Writes the event timeline as Chrome trace JSON and cross-checks it
+/// against the final metrics.  Returns 0, or 1 if an invariant failed.
+int emit_trace(const std::string& path, const obs::EventTrace& et,
+               const core::SimMetrics& m, const std::string& policy,
+               std::vector<std::string> names) {
+  obs::ExportOptions opts;
+  opts.policy = policy;
+  opts.process_names = std::move(names);
+  obs::save_chrome_trace(path, et, opts);
+  obs::CheckResult res = obs::check_invariants(et, m);
+  std::cout << "wrote " << path << " (" << et.size()
+            << " events); invariants: " << res.summary() << '\n';
+  return res.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -86,7 +104,8 @@ int run_cli(int argc, char** argv) {
 
   for (const auto& u : args.unknown({"batch", "policy", "scheduler", "seed", "degree",
                                      "media-us", "ctx-us", "length-scale", "csv",
-                                     "trace", "dram-mb", "list", "help"})) {
+                                     "trace", "trace-out", "dram-mb", "list",
+                                     "help"})) {
     std::cerr << "unknown flag --" << u << " (try --help)\n";
     return 2;
   }
@@ -94,10 +113,15 @@ int run_cli(int argc, char** argv) {
     std::cout << "usage: its_cli [--list] [--batch=N] [--policy=NAME|all] "
                  "[--scheduler=rr|cfs]\n               [--seed=N] [--degree=N] "
                  "[--media-us=N] [--ctx-us=N]\n               "
-                 "[--length-scale=F] [--csv=DIR]\n       its_cli "
+                 "[--length-scale=F] [--csv=DIR]\n               "
+                 "[--trace-out=FILE.json]\n       its_cli "
                  "--trace=FILE.trc|FILE.lk --policy=NAME [--dram-mb=N]\n"
                  "  (.trc = binary trace, anything else parses as Valgrind "
-                 "lackey output)\n";
+                 "lackey output)\n"
+                 "  --trace-out writes a Chrome trace_event JSON timeline "
+                 "(load in\n  chrome://tracing or ui.perfetto.dev) and runs "
+                 "the invariant checker;\n  needs a single --policy, not "
+                 "'all'.\n";
     return 0;
   }
   if (args.has("list")) return list_everything();
@@ -115,9 +139,15 @@ int run_cli(int argc, char** argv) {
     for (auto k : core::kAllPolicies) {
       if (core::policy_name(k) != pol) continue;
       core::Simulator sim(cfg, k);
+      obs::EventTrace etrace;
+      if (args.has("trace-out")) sim.set_trace(&etrace);
+      std::string name = t.name();
       sim.add_process(std::make_unique<sched::Process>(
           0, t.name(), 30, std::make_shared<const trace::Trace>(std::move(t))));
-      print_one(pol, sim.run());
+      core::SimMetrics m = sim.run();
+      print_one(pol, m);
+      if (auto out = args.get("trace-out"))
+        return emit_trace(*out, etrace, m, pol, {name});
       return 0;
     }
     std::cerr << "unknown --policy " << pol << " (see --list)\n";
@@ -148,9 +178,14 @@ int run_cli(int argc, char** argv) {
   }
 
   std::string policy = args.get_string("policy", "all");
+  if (args.has("trace-out") && policy == "all") {
+    std::cerr << "--trace-out needs a single --policy, not 'all'\n";
+    return 2;
+  }
   std::cout << "batch " << batch.name << ", scheduler " << sched << ", seed "
             << cfg.sim.seed << "\n\n";
 
+  int rc = 0;
   std::vector<core::BatchResult> grid;
   if (policy == "all") {
     grid.push_back(core::run_batch_all(batch, cfg));
@@ -162,8 +197,19 @@ int run_cli(int argc, char** argv) {
     r.spec = &batch;
     for (auto k : core::kAllPolicies) {
       if (core::policy_name(k) == policy) {
-        r.by_policy.emplace(k, core::run_batch_policy(batch, k, cfg));
+        obs::EventTrace etrace;
+        obs::EventTrace* et = args.has("trace-out") ? &etrace : nullptr;
+        r.by_policy.emplace(
+            k, core::run_batch_policy(batch, k, cfg,
+                                      core::batch_traces(batch, cfg.gen), et));
         print_one(policy, r.by_policy.at(k));
+        if (auto out = args.get("trace-out")) {
+          std::vector<std::string> names;
+          for (auto id : batch.members)
+            names.emplace_back(trace::spec_for(id).name);
+          rc = emit_trace(*out, etrace, r.by_policy.at(k), policy,
+                          std::move(names));
+        }
         found = true;
       }
     }
@@ -178,7 +224,7 @@ int run_cli(int argc, char** argv) {
     core::save_csv_files(*dir, grid);
     std::cout << "wrote " << *dir << "/its_metrics.csv and its_processes.csv\n";
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace

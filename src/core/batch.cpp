@@ -34,7 +34,10 @@ std::uint64_t dram_bytes_for(const BatchSpec& batch, double headroom,
   for (auto id : batch.members) hot += trace::spec_for(id).hot_bytes;
   auto bytes = static_cast<std::uint64_t>(static_cast<double>(hot) * headroom *
                                           footprint_scale);
-  return (bytes + its::kPageSize - 1) & ~its::kPageOffsetMask;
+  // Round up to a page boundary, but never below one page: an extreme
+  // footprint_scale must not hand the simulator a zero-frame DRAM.
+  std::uint64_t rounded = (bytes + its::kPageSize - 1) & ~its::kPageOffsetMask;
+  return std::max(rounded, its::kPageSize);
 }
 
 std::vector<std::shared_ptr<const trace::Trace>> batch_traces(

@@ -14,10 +14,12 @@ SimMetrics run_batch_policy(const BatchSpec& batch, PolicyKind policy,
 
 SimMetrics run_batch_policy(
     const BatchSpec& batch, PolicyKind policy, const ExperimentConfig& cfg,
-    const std::vector<std::shared_ptr<const trace::Trace>>& traces) {
+    const std::vector<std::shared_ptr<const trace::Trace>>& traces,
+    obs::EventTrace* etrace) {
   SimConfig sc = cfg.sim;
   sc.dram_bytes = dram_bytes_for(batch, cfg.dram_headroom, cfg.gen.footprint_scale);
   Simulator sim(sc, policy);
+  sim.set_trace(etrace);
   for (auto& p : build_processes(batch, traces, sc.seed)) sim.add_process(std::move(p));
   return sim.run();
 }

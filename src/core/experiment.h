@@ -15,6 +15,10 @@
 #include "trace/workloads.h"
 #include "util/stats.h"
 
+namespace its::obs {
+class EventTrace;
+}
+
 namespace its::core {
 
 struct ExperimentConfig {
@@ -37,10 +41,13 @@ struct ExperimentConfig {
 SimMetrics run_batch_policy(const BatchSpec& batch, PolicyKind policy,
                             const ExperimentConfig& cfg = {});
 
-/// Same, but with pre-generated traces (reuse across policies).
+/// Same, but with pre-generated traces (reuse across policies).  When
+/// `etrace` is non-null the simulator records its event timeline into it
+/// (see obs/event_trace.h); pass nullptr for the zero-overhead default.
 SimMetrics run_batch_policy(
     const BatchSpec& batch, PolicyKind policy, const ExperimentConfig& cfg,
-    const std::vector<std::shared_ptr<const trace::Trace>>& traces);
+    const std::vector<std::shared_ptr<const trace::Trace>>& traces,
+    obs::EventTrace* etrace = nullptr);
 
 struct BatchResult {
   const BatchSpec* spec = nullptr;

@@ -14,9 +14,13 @@ double avg_finish(const std::vector<ProcessOutcome>& procs, bool top) {
     if (a->priority != b->priority) return a->priority > b->priority;
     return a->pid < b->pid;
   });
-  std::size_t half = (sorted.size() + (top ? 1 : 0)) / 2;
-  std::size_t begin = top ? 0 : half;
-  std::size_t end = top ? half : sorted.size();
+  // Top half = the ceil(n/2) highest-priority processes, bottom half = the
+  // floor(n/2) remaining ones; the halves never overlap (for odd n the
+  // middle process belongs to the top half only).
+  std::size_t top_count = (sorted.size() + 1) / 2;
+  std::size_t begin = top ? 0 : top_count;
+  std::size_t end = top ? top_count : sorted.size();
+  if (begin == end) return 0.0;  // bottom half of a single-process list
   double sum = 0.0;
   for (std::size_t i = begin; i < end; ++i)
     sum += static_cast<double>(sorted[i]->metrics.finish_time);

@@ -39,6 +39,14 @@ struct SimMetrics {
   IdleBreakdown idle;
   its::SimTime makespan = 0;  ///< Time the last process finished.
 
+  /// Total time the CPU retired work on behalf of some process (compute,
+  /// fault handlers, syscalls, cache service).  Memory stalls are part of
+  /// this (mem_stall ⊆ cpu_busy); busy waits, context switches and
+  /// no-runnable gaps are not, so by construction
+  ///   cpu_busy + busy_wait + ctx_switch + no_runnable == makespan
+  /// — the reconciliation the obs::InvariantChecker enforces.
+  its::Duration cpu_busy = 0;
+
   // Batch-wide sums (Fig. 4b / 4c).
   std::uint64_t major_faults = 0;
   std::uint64_t minor_faults = 0;

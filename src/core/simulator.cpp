@@ -5,6 +5,7 @@
 
 namespace its::core {
 
+using obs::EventKind;
 using sched::ProcState;
 using sched::Process;
 using trace::Instr;
@@ -47,6 +48,19 @@ std::unique_ptr<sched::Scheduler> Simulator::make_scheduler(const SimConfig& cfg
   return std::make_unique<sched::RRScheduler>(cfg.slice_min, cfg.slice_max);
 }
 
+void Simulator::set_trace(obs::EventTrace* trace) {
+  trace_ = trace;
+  if (trace != nullptr)
+    trace->set_policy(static_cast<std::uint8_t>(policy_->kind()));
+  // Components that emit their own events share the recorder and the clock.
+  sched_->attach_trace(trace, &clock_);
+  swap_.attach_trace(trace, &clock_);
+  dma_.attach_trace(trace);
+  va_pf_.attach_trace(trace, &clock_);
+  pop_pf_.attach_trace(trace, &clock_);
+  stride_pf_.attach_trace(trace, &clock_);
+}
+
 void Simulator::add_process(std::unique_ptr<Process> p) {
   if (p->pid() != procs_.size())
     throw std::invalid_argument("Simulator: pids must be dense 0..n-1");
@@ -78,7 +92,7 @@ SimMetrics Simulator::run() {
     // further switch happened).
     const bool prepaid = switch_prepaid_;
     switch_prepaid_ = false;
-    if (any_ran_ && p->pid() != last_pid_ && !prepaid) charge_ctx_switch();
+    if (any_ran_ && p->pid() != last_pid_ && !prepaid) charge_ctx_switch(p->pid());
     any_ran_ = true;
     last_pid_ = p->pid();
     run_slice(*p);
@@ -143,6 +157,7 @@ bool Simulator::do_mem_access(Process& p, const Instr& in) {
         ++m_.minor_faults;
         ++p.metrics().prefetches_received;
         ++m_.prefetch_useful;
+        if (trace_) trace_->record(EventKind::kPrefetchHit, clock_, p.pid(), vpn);
         vm::Pte* pte = p.mm().pte(vpn);
         pte->map(pte->pfn());
         pte->set_inv(false);  // fresh-from-device data is valid
@@ -188,6 +203,11 @@ void Simulator::do_translated_access(Process& p, const Instr& in, its::Vpn vpn) 
         m_.stolen_time += stolen;
         ++m_.preexec_episodes;
         m_.preexec_lines_warmed += ep.lines_warmed;
+        if (trace_) {
+          trace_->record(EventKind::kPreexecBegin, clock_, p.pid(), p.pc());
+          trace_->record(EventKind::kPreexecEnd, clock_, p.pid(), p.pc(),
+                         ep.used, stolen);
+        }
       }
     }
   }
@@ -210,7 +230,9 @@ bool Simulator::do_file_op(Process& p, const trace::Instr& in) {
         its::Duration wait = look.ready_at - clock_;
         m_.idle.busy_wait += wait;
         p.metrics().busy_wait += wait;
-        advance(p, wait);
+        wait_in_place(p, wait);
+        if (trace_)
+          trace_->record(EventKind::kFileWait, clock_, p.pid(), key, wait, 0);
       }
       if (!read) {
         if (auto wb = pcache_.insert(key, clock_, /*dirty=*/true))
@@ -257,8 +279,9 @@ bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
     // as most-recently-used right before the syscall restarts (otherwise a
     // thrashing cache could evict it every round).
     push_event(done, EventType::kWakeFile, p.pid(), key);
+    if (trace_) trace_->record(EventKind::kAsyncConvert, clock_, p.pid(), key);
     sched_->block(&p);
-    charge_ctx_switch();
+    charge_ctx_switch(p.pid());
     switch_prepaid_ = true;
     ++m_.async_switches;
     return false;
@@ -281,6 +304,10 @@ bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
       if (auto wb = pcache_.insert(nkey, t))
         dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
       ++m_.prefetch_issued;
+      if (trace_)
+        trace_->record(EventKind::kPrefetchIssue, clock_, p.pid(), nkey,
+                       static_cast<std::uint64_t>(
+                           obs::PrefetchSource::kFileReadahead));
     }
   }
   if (plan.preexec && utilized < wait) {
@@ -289,6 +316,10 @@ bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
       utilized += ep.used;
       ++m_.preexec_episodes;
       m_.preexec_lines_warmed += ep.lines_warmed;
+      if (trace_) {
+        trace_->record(EventKind::kPreexecBegin, clock_, p.pid(), p.pc());
+        trace_->record(EventKind::kPreexecEnd, clock_, p.pid(), p.pc(), ep.used);
+      }
     }
   }
   utilized = std::min(utilized, wait);
@@ -297,9 +328,9 @@ bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
   m_.stolen_time += utilized;
   p.metrics().stolen += utilized;
 
-  clock_ += wait;
-  p.consume_slice(wait);
-  sched_->account(p, wait);
+  wait_in_place(p, wait);
+  if (trace_)
+    trace_->record(EventKind::kFileWait, clock_, p.pid(), key, wait, utilized);
   process_due_events();
   if (auto wb = pcache_.insert(key, clock_))
     dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
@@ -309,6 +340,7 @@ bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
 bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
   ++p.metrics().major_faults;
   ++m_.major_faults;
+  if (trace_) trace_->record(EventKind::kFaultBegin, clock_, p.pid(), vpn);
   advance(p, cfg_.major_fault_sw_cost);  // kernel entry + handler: real work
 
   vm::Pte* pte = p.mm().pte(vpn);
@@ -340,12 +372,17 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
       if (v != vpn) {
         push_event(done, EventType::kPageArrive, p.pid(), v);
         ++m_.prefetch_issued;
+        if (trace_)
+          trace_->record(EventKind::kPrefetchIssue, clock_, p.pid(), v,
+                         static_cast<std::uint64_t>(
+                             obs::PrefetchSource::kSwapCluster));
       }
     }
   }
 
   if (done <= clock_) {  // transfer already complete
     complete_swap_in(p, vpn);
+    if (trace_) trace_->record(EventKind::kFaultEnd, clock_, p.pid(), vpn);
     return true;
   }
 
@@ -357,8 +394,9 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
     // paper's measured 7 µs); the dispatch that follows is that same switch,
     // so it is marked prepaid.
     push_event(done, EventType::kWakeFault, p.pid(), vpn);
+    if (trace_) trace_->record(EventKind::kAsyncConvert, clock_, p.pid(), vpn);
     sched_->block(&p);
-    charge_ctx_switch();
+    charge_ctx_switch(p.pid());
     switch_prepaid_ = true;
     ++m_.async_switches;
     return false;
@@ -383,6 +421,10 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
       utilized += ep.used;
       ++m_.preexec_episodes;
       m_.preexec_lines_warmed += ep.lines_warmed;
+      if (trace_) {
+        trace_->record(EventKind::kPreexecBegin, clock_, p.pid(), p.pc());
+        trace_->record(EventKind::kPreexecEnd, clock_, p.pid(), p.pc(), ep.used);
+      }
     }
   }
   utilized = std::min(utilized, wait);
@@ -395,11 +437,11 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
   m_.stolen_time += utilized;
   p.metrics().stolen += utilized;
 
-  clock_ += wait;  // == done for interrupt trigger; later for polling
-  p.consume_slice(wait);
-  sched_->account(p, wait);
+  wait_in_place(p, wait);  // clock == done for interrupt trigger; later for polling
   process_due_events();  // prefetched siblings may have arrived meanwhile
   complete_swap_in(p, vpn);
+  if (trace_)
+    trace_->record(EventKind::kFaultEnd, clock_, p.pid(), vpn, wait, utilized);
   return true;
 }
 
@@ -429,6 +471,9 @@ void Simulator::issue_prefetches(Process& p, its::Vpn victim, PrefetchKind kind,
     arrival_[key_of(p.pid(), cand)] = t;
     push_event(t, EventType::kPageArrive, p.pid(), cand);
     ++m_.prefetch_issued;
+    if (trace_)
+      trace_->record(EventKind::kPrefetchIssue, clock_, p.pid(), cand,
+                     static_cast<std::uint64_t>(obs::PrefetchSource::kPolicy));
   }
 }
 
@@ -484,15 +529,24 @@ void Simulator::evict_frame(its::Pfn pfn) {
   caches_.invalidate_page(pfn << its::kPageShift);
   frames_.release(pfn);
   ++m_.evictions;
+  if (trace_)
+    trace_->record(EventKind::kEvict, clock_, owner.pid(), pfn, info.vpn);
 }
 
 void Simulator::advance(Process& p, its::Duration d) {
+  m_.cpu_busy += d;
+  wait_in_place(p, d);
+}
+
+void Simulator::wait_in_place(Process& p, its::Duration d) {
   clock_ += d;
   p.consume_slice(d);
   sched_->account(p, d);  // vruntime-style disciplines track consumption
 }
 
-void Simulator::charge_ctx_switch() {
+void Simulator::charge_ctx_switch(its::Pid pid) {
+  if (trace_)
+    trace_->record(EventKind::kCtxSwitch, clock_, pid, 0, cfg_.ctx_switch_cost);
   clock_ += cfg_.ctx_switch_cost;
   m_.idle.ctx_switch += cfg_.ctx_switch_cost;
   tlb_.flush();  // TLB shootdown — part of the hidden switch cost
@@ -515,6 +569,10 @@ void Simulator::process_due_events() {
     switch (e.type) {
       case EventType::kWakeFault:
         complete_swap_in(p, e.vpn);
+        // The asynchronous fault's window closes when the kernel notices
+        // the completion, i.e. now — stamped with clock_ so the pid's
+        // timeline stays append-ordered.
+        if (trace_) trace_->record(EventKind::kFaultEnd, clock_, e.pid, e.vpn);
         sched_->wake(&p);
         break;
       case EventType::kWakeFile:

@@ -27,6 +27,7 @@
 #include "mem/hierarchy.h"
 #include "mem/preexec_cache.h"
 #include "mem/tlb.h"
+#include "obs/event_trace.h"
 #include "sched/process.h"
 #include "sched/scheduler.h"
 #include "storage/dma.h"
@@ -51,6 +52,14 @@ class Simulator {
 
   /// Runs every process to completion and returns the metrics.
   SimMetrics run();
+
+  /// Attaches a structured event recorder (nullptr detaches).  Attach
+  /// before run(): the obs::InvariantChecker reconciles event counts
+  /// against the final metrics and a partial timeline will not balance.
+  /// With no trace attached the instrumentation is a null-pointer check
+  /// per site — benches are unaffected.
+  void set_trace(obs::EventTrace* trace);
+  obs::EventTrace* trace() const { return trace_; }
 
   // Introspection for tests.
   its::SimTime now() const { return clock_; }
@@ -112,8 +121,13 @@ class Simulator {
   its::Pfn alloc_frame(its::Pid pid, its::Vpn vpn);
   void evict_frame(its::Pfn pfn);
 
+  /// Charges `d` of useful CPU time (compute, handlers, cache service):
+  /// wait_in_place plus the cpu_busy accounting.
   void advance(sched::Process& p, its::Duration d);
-  void charge_ctx_switch();
+  /// Lets wall-clock pass for `p` without retiring work (busy waits).  The
+  /// caller accounts the time to the proper idle bucket.
+  void wait_in_place(sched::Process& p, its::Duration d);
+  void charge_ctx_switch(its::Pid pid);
   void charge_stall(sched::Process& p, its::Duration d);
   void push_event(its::SimTime t, EventType type, its::Pid pid, its::Vpn vpn);
   void process_due_events();
@@ -146,6 +160,7 @@ class Simulator {
   its::Pid last_pid_ = 0;
   unsigned finished_ = 0;
   SimMetrics m_;
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace its::core

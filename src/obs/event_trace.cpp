@@ -1,0 +1,49 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+std::string_view kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:    return "fault_begin";
+    case EventKind::kFaultEnd:      return "fault_end";
+    case EventKind::kFileWait:      return "file_wait";
+    case EventKind::kPrefetchIssue: return "prefetch_issue";
+    case EventKind::kPrefetchHit:   return "prefetch_hit";
+    case EventKind::kPreexecBegin:  return "preexec_begin";
+    case EventKind::kPreexecEnd:    return "preexec_end";
+    case EventKind::kCtxSwitch:     return "ctx_switch";
+    case EventKind::kAsyncConvert:  return "async_convert";
+    case EventKind::kDmaComplete:   return "dma_complete";
+    case EventKind::kSchedPick:     return "sched_pick";
+    case EventKind::kSchedBlock:    return "sched_block";
+    case EventKind::kSchedWake:     return "sched_wake";
+    case EventKind::kEvict:         return "evict";
+    case EventKind::kSwapIn:        return "swap_in";
+    case EventKind::kSwapOut:       return "swap_out";
+    case EventKind::kPrefetchWalk:  return "prefetch_walk";
+  }
+  return "unknown";
+}
+
+std::uint64_t EventTrace::count(EventKind k) const {
+  std::uint64_t n = 0;
+  for (const Event& e : buf_)
+    if (e.kind == k) ++n;
+  return n;
+}
+
+std::uint64_t EventTrace::sum_b(EventKind k) const {
+  std::uint64_t s = 0;
+  for (const Event& e : buf_)
+    if (e.kind == k) s += e.b;
+  return s;
+}
+
+std::uint64_t EventTrace::sum_c(EventKind k) const {
+  std::uint64_t s = 0;
+  for (const Event& e : buf_)
+    if (e.kind == k) s += e.c;
+  return s;
+}
+
+}  // namespace its::obs

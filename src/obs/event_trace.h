@@ -1,0 +1,120 @@
+// Structured event-trace recorder — the observability substrate.
+//
+// The simulator's hot paths emit typed events (fault windows, prefetch
+// issues/hits, pre-execute episodes, context switches, async conversions,
+// DMA completions, scheduler decisions, evictions) into a preallocated
+// vector buffer.  Recording is a pointer check plus a push_back into
+// reserved storage, and every call site is guarded with `if (trace_)` so a
+// simulation without an attached trace pays a single predictable branch.
+//
+// The recorded timeline is the ground truth the InvariantChecker replays
+// (obs/invariant_checker.h) and the Chrome trace_event exporter renders
+// (obs/trace_json.h): §4.2.1's idle-time accounting becomes checkable per
+// fault instead of only as end-of-run aggregates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace its::obs {
+
+enum class EventKind : std::uint8_t {
+  kFaultBegin,     ///< Major fault entered the handler.        a=vpn
+  kFaultEnd,       ///< Fault resolved (page mapped).           a=vpn b=busy-wait window c=stolen
+  kFileWait,       ///< Sync wait on a page-cache page.         a=page key b=wait c=stolen
+  kPrefetchIssue,  ///< Page posted to DMA by a prefetcher.     a=vpn/key b=source (PrefetchSource)
+  kPrefetchHit,    ///< Minor fault consumed a prefetched page. a=vpn
+  kPreexecBegin,   ///< Pre-execute episode started.            a=pc
+  kPreexecEnd,     ///< Episode ended.                          a=pc b=used ns c=stolen credit
+  kCtxSwitch,      ///< Context switch charged.                 b=cost ns
+  kAsyncConvert,   ///< Fault converted to asynchronous mode.   a=vpn/key
+  kDmaComplete,    ///< DMA transfer completion (device pid).   a=bytes b=issue time c=direction
+  kSchedPick,      ///< Scheduler dispatched the process.
+  kSchedBlock,     ///< Process blocked on I/O.
+  kSchedWake,      ///< Blocked process became runnable.
+  kEvict,          ///< Frame reclaimed under pressure.         a=pfn b=vpn
+  kSwapIn,         ///< Swap slot read back from the device.    a=vpn
+  kSwapOut,        ///< Swap slot written to the device.        a=vpn
+  kPrefetchWalk,   ///< Prefetcher candidate walk.              a=victim b=slots examined c=walk ns
+};
+
+inline constexpr std::size_t kNumEventKinds = 17;
+
+std::string_view kind_name(EventKind k);
+
+/// Origin of a kPrefetchIssue, carried in Event::b.
+enum class PrefetchSource : std::uint8_t {
+  kSwapCluster = 0,  ///< Sibling page of an aligned swap cluster.
+  kPolicy = 1,       ///< VA-walk / page-on-page / stride prefetcher.
+  kFileReadahead = 2,
+};
+
+/// Pid stamped on events that belong to no process (DMA completions).
+inline constexpr its::Pid kDevicePid = 0xFFFFFFFFu;
+
+struct Event {
+  its::SimTime ts;      ///< Sim-time at recording; kDmaComplete stamps the
+                        ///< (future) completion instead.
+  EventKind kind;
+  std::uint8_t policy;  ///< PolicyKind of the run, set once on the trace.
+  its::Pid pid;
+  std::uint64_t a = 0;  ///< Primary operand — see the per-kind legend.
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+class EventTrace {
+ public:
+  /// `reserve_hint` preallocates the buffer; `max_events` (0 = unbounded)
+  /// caps it — once full, further events are counted in dropped() instead
+  /// of recorded, and the invariant checker refuses the truncated trace.
+  explicit EventTrace(std::size_t reserve_hint = std::size_t{1} << 16,
+                      std::size_t max_events = 0)
+      : max_(max_events) {
+    buf_.reserve(reserve_hint);
+  }
+
+  /// PolicyKind of the producing run, stamped onto every event.
+  void set_policy(std::uint8_t policy) { policy_ = policy; }
+  std::uint8_t policy() const { return policy_; }
+
+  void record(EventKind k, its::SimTime ts, its::Pid pid, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint64_t c = 0) {
+    if (max_ != 0 && buf_.size() >= max_) {
+      ++dropped_;
+      return;
+    }
+    buf_.push_back(Event{ts, k, policy_, pid, a, b, c});
+  }
+
+  const std::vector<Event>& events() const { return buf_; }
+  /// Mutable view for tests that corrupt a trace on purpose.
+  std::vector<Event>& events_mut() { return buf_; }
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  std::uint64_t count(EventKind k) const;
+  /// Σ of the `b` operand over events of kind `k` (durations/costs).
+  std::uint64_t sum_b(EventKind k) const;
+  /// Σ of the `c` operand over events of kind `k` (stolen credits).
+  std::uint64_t sum_c(EventKind k) const;
+
+  void clear() {
+    buf_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t max_;
+  std::uint8_t policy_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Event> buf_;
+};
+
+}  // namespace its::obs

@@ -1,0 +1,173 @@
+#include "obs/invariant_checker.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace its::obs {
+
+namespace {
+
+/// printf-style convenience for violation strings.
+template <typename... Args>
+std::string fmt(const char* f, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, f, args...);
+  return std::string(buf);
+}
+
+struct OpenFault {
+  bool open = false;
+  its::Vpn vpn = 0;
+  its::SimTime begin = 0;
+};
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  if (violations.empty()) return "ok";
+  std::string s;
+  for (const auto& v : violations) {
+    if (!s.empty()) s += '\n';
+    s += v;
+  }
+  return s;
+}
+
+CheckResult check_invariants(const EventTrace& trace,
+                             const core::SimMetrics& m, const CheckConfig& cfg) {
+  CheckResult r;
+  auto fail = [&](std::string msg) {
+    // Cap the report: one broken invariant often floods every later event.
+    if (r.violations.size() < 64) r.violations.push_back(std::move(msg));
+  };
+
+  if (trace.dropped() != 0) {
+    fail(fmt("trace truncated: %" PRIu64 " events dropped by the buffer cap",
+             trace.dropped()));
+    return r;
+  }
+
+  std::unordered_map<its::Pid, its::SimTime> last_ts;
+  std::unordered_map<its::Pid, OpenFault> open;
+  std::size_t idx = 0;
+  for (const Event& e : trace.events()) {
+    // (1) per-pid time ordering, in recording order.
+    if (e.kind == EventKind::kDmaComplete) {
+      if (e.ts < e.b)
+        fail(fmt("event %zu: DMA completion at %" PRIu64
+                 " precedes its issue at %" PRIu64,
+                 idx, e.ts, e.b));
+    } else {
+      auto [it, fresh] = last_ts.try_emplace(e.pid, e.ts);
+      if (!fresh && e.ts < it->second)
+        fail(fmt("event %zu (%s, pid %u): time %" PRIu64
+                 " precedes the pid's previous event at %" PRIu64,
+                 idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
+                 it->second));
+      else
+        it->second = e.ts;
+      if (e.ts > m.makespan)
+        fail(fmt("event %zu (%s, pid %u): time %" PRIu64
+                 " is beyond the makespan %" PRIu64,
+                 idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
+                 m.makespan));
+    }
+
+    // (2) fault window matching.
+    switch (e.kind) {
+      case EventKind::kFaultBegin: {
+        OpenFault& f = open[e.pid];
+        if (f.open)
+          fail(fmt("event %zu: pid %u opens a fault on vpn %#" PRIx64
+                   " while vpn %#" PRIx64 " is still open",
+                   idx, e.pid, e.a, f.vpn));
+        f = {true, e.a, e.ts};
+        break;
+      }
+      case EventKind::kFaultEnd: {
+        OpenFault& f = open[e.pid];
+        if (!f.open)
+          fail(fmt("event %zu: pid %u ends a fault on vpn %#" PRIx64
+                   " that never began",
+                   idx, e.pid, e.a));
+        else if (f.vpn != e.a)
+          fail(fmt("event %zu: pid %u ends fault vpn %#" PRIx64
+                   " but vpn %#" PRIx64 " is the open one",
+                   idx, e.pid, e.a, f.vpn));
+        f.open = false;
+        // (3) stolen ⊆ wait window.
+        if (e.c > e.b)
+          fail(fmt("event %zu: fault on vpn %#" PRIx64 " stole %" PRIu64
+                   " ns from a %" PRIu64 " ns busy-wait window",
+                   idx, e.a, e.c, e.b));
+        break;
+      }
+      case EventKind::kFileWait:
+        if (e.c > e.b)
+          fail(fmt("event %zu: file wait on key %#" PRIx64 " stole %" PRIu64
+                   " ns from a %" PRIu64 " ns window",
+                   idx, e.a, e.c, e.b));
+        break;
+      default:
+        break;
+    }
+    ++idx;
+  }
+  for (const auto& [pid, f] : open)
+    if (f.open)
+      fail(fmt("pid %u: fault on vpn %#" PRIx64 " opened at %" PRIu64
+               " never ended",
+               pid, f.vpn, f.begin));
+
+  // (4) idle breakdown + utilized CPU time reconcile with the makespan.
+  const its::Duration accounted =
+      m.cpu_busy + m.idle.busy_wait + m.idle.ctx_switch + m.idle.no_runnable;
+  const its::Duration diff =
+      accounted > m.makespan ? accounted - m.makespan : m.makespan - accounted;
+  if (diff > cfg.granularity)
+    fail(fmt("accounting leak: cpu_busy + busy_wait + ctx_switch + "
+             "no_runnable = %" PRIu64 " but makespan = %" PRIu64,
+             accounted, m.makespan));
+  if (m.idle.mem_stall > m.cpu_busy)
+    fail(fmt("mem_stall %" PRIu64 " exceeds total busy CPU time %" PRIu64,
+             m.idle.mem_stall, m.cpu_busy));
+
+  // (5) event-derived totals == SimMetrics counters.
+  auto expect_count = [&](EventKind k, std::uint64_t want, const char* field) {
+    std::uint64_t got = trace.count(k);
+    if (got != want)
+      fail(fmt("%s: %" PRIu64 " %s events vs metrics %" PRIu64, field, got,
+               std::string(kind_name(k)).c_str(), want));
+  };
+  expect_count(EventKind::kFaultBegin, m.major_faults, "major_faults");
+  expect_count(EventKind::kFaultEnd, m.major_faults, "major_faults");
+  expect_count(EventKind::kPrefetchIssue, m.prefetch_issued, "prefetch_issued");
+  expect_count(EventKind::kPrefetchHit, m.prefetch_useful, "prefetch_useful");
+  expect_count(EventKind::kPreexecBegin, m.preexec_episodes, "preexec_episodes");
+  expect_count(EventKind::kPreexecEnd, m.preexec_episodes, "preexec_episodes");
+  expect_count(EventKind::kAsyncConvert, m.async_switches, "async_switches");
+  expect_count(EventKind::kEvict, m.evictions, "evictions");
+
+  const std::uint64_t ctx = trace.sum_b(EventKind::kCtxSwitch);
+  if (ctx != m.idle.ctx_switch)
+    fail(fmt("ctx-switch cost from events %" PRIu64 " != idle.ctx_switch %" PRIu64,
+             ctx, m.idle.ctx_switch));
+
+  const std::uint64_t waits = trace.sum_b(EventKind::kFaultEnd) +
+                              trace.sum_b(EventKind::kFileWait);
+  if (waits != m.idle.busy_wait)
+    fail(fmt("wait windows from events %" PRIu64 " != idle.busy_wait %" PRIu64,
+             waits, m.idle.busy_wait));
+
+  const std::uint64_t stolen = trace.sum_c(EventKind::kFaultEnd) +
+                               trace.sum_c(EventKind::kFileWait) +
+                               trace.sum_c(EventKind::kPreexecEnd);
+  if (stolen != m.stolen_time)
+    fail(fmt("stolen credits from events %" PRIu64 " != stolen_time %" PRIu64,
+             stolen, m.stolen_time));
+
+  return r;
+}
+
+}  // namespace its::obs

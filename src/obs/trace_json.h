@@ -1,0 +1,48 @@
+// Chrome trace_event JSON export for EventTrace.
+//
+// `write_chrome_trace` emits the JSON Array/Object format that
+// chrome://tracing and Perfetto (ui.perfetto.dev) load directly: fault and
+// pre-execute windows become duration (B/E) slices on a per-process track,
+// context switches and file waits become complete (X) slices, everything
+// else becomes instant (i) markers.  Sim-time nanoseconds are exported as
+// the microseconds the viewers expect (fractional, so no precision is lost).
+//
+// `parse_chrome_trace` reads back the subset this module writes — enough
+// for round-trip tests and for external tools that only need (name, phase,
+// timestamp, pid) tuples.  It is not a general JSON parser.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+struct ExportOptions {
+  std::string policy;  ///< Run's policy name, recorded in otherData.
+  /// Optional pid → process-name labels for the viewer's track headers.
+  std::vector<std::string> process_names;
+};
+
+void write_chrome_trace(std::ostream& os, const EventTrace& trace,
+                        const ExportOptions& opts = {});
+
+/// Convenience: writes the trace to `path`; throws std::runtime_error on
+/// I/O failure.
+void save_chrome_trace(const std::string& path, const EventTrace& trace,
+                       const ExportOptions& opts = {});
+
+/// One traceEvents entry as read back by parse_chrome_trace.  Metadata
+/// (ph == "M") entries are included; filter on `ph` as needed.
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  double ts_us = 0.0;
+  its::Pid pid = 0;
+};
+
+std::vector<ParsedEvent> parse_chrome_trace(std::istream& is);
+
+}  // namespace its::obs

@@ -49,6 +49,7 @@ Process* CfsScheduler::pick() {
   p->set_state(ProcState::kRunning);
   p->set_slice(slice_for(*p));
   ++stats_.picks;
+  note(obs::EventKind::kSchedPick, *p);
   return p;
 }
 
@@ -61,6 +62,7 @@ void CfsScheduler::yield(Process* p) {
 void CfsScheduler::block(Process* p) {
   p->set_state(ProcState::kBlocked);
   ++stats_.blocks;
+  note(obs::EventKind::kSchedBlock, *p);
 }
 
 void CfsScheduler::wake(Process* p) {
@@ -75,6 +77,7 @@ void CfsScheduler::wake(Process* p) {
   p->set_state(ProcState::kReady);
   ready_.push_back(p);
   ++stats_.wakes;
+  note(obs::EventKind::kSchedWake, *p);
 }
 
 const Process* CfsScheduler::peek_next() const {

@@ -27,6 +27,7 @@ Process* RRScheduler::pick() {
   p->set_state(ProcState::kRunning);
   p->set_slice(slice_for(*p));
   ++stats_.picks;
+  note(obs::EventKind::kSchedPick, *p);
   return p;
 }
 
@@ -39,6 +40,7 @@ void RRScheduler::yield(Process* p) {
 void RRScheduler::block(Process* p) {
   p->set_state(ProcState::kBlocked);
   ++stats_.blocks;
+  note(obs::EventKind::kSchedBlock, *p);
 }
 
 void RRScheduler::wake(Process* p) {
@@ -47,6 +49,7 @@ void RRScheduler::wake(Process* p) {
   p->set_state(ProcState::kReady);
   queue_.push_back(p);
   ++stats_.wakes;
+  note(obs::EventKind::kSchedWake, *p);
 }
 
 const Process* RRScheduler::peek_next() const {

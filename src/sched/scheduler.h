@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/event_trace.h"
 #include "sched/process.h"
 #include "util/types.h"
 
@@ -63,8 +64,23 @@ class Scheduler {
 
   const SchedulerStats& stats() const { return stats_; }
 
+  /// Connects the discipline to the simulator's event recorder and clock
+  /// (both owned by the caller; nullptr detaches).  Scheduling decisions
+  /// then emit kSchedPick/kSchedBlock/kSchedWake events.
+  void attach_trace(obs::EventTrace* trace, const its::SimTime* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
  protected:
+  /// Records a scheduling event for `p` at the current sim time.
+  void note(obs::EventKind k, const Process& p) const {
+    if (trace_ != nullptr) trace_->record(k, *clock_, p.pid());
+  }
+
   SchedulerStats stats_;
+  obs::EventTrace* trace_ = nullptr;
+  const its::SimTime* clock_ = nullptr;
 };
 
 /// SCHED_RR: one FIFO queue, NICE-style slices linearly interpolated

@@ -6,14 +6,20 @@ DmaController::DmaController(const UllConfig& dev, const PcieConfig& link)
     : dev_(dev), link_(link) {}
 
 its::SimTime DmaController::post(its::SimTime now, Dir dir, std::uint64_t bytes) {
+  its::SimTime done;
   if (dir == Dir::kRead) {
     // Media read, then host transfer over the (serialising) link.
     its::SimTime media_done = dev_.schedule(now, /*write=*/false);
-    return link_.schedule(media_done, bytes);
+    done = link_.schedule(media_done, bytes);
+  } else {
+    // Swap-out: move data over the link first, then program the media.
+    its::SimTime link_done = link_.schedule(now, bytes);
+    done = dev_.schedule(link_done, /*write=*/true);
   }
-  // Swap-out: move data over the link first, then program the media.
-  its::SimTime link_done = link_.schedule(now, bytes);
-  return dev_.schedule(link_done, /*write=*/true);
+  if (trace_ != nullptr)
+    trace_->record(obs::EventKind::kDmaComplete, done, obs::kDevicePid, bytes,
+                   now, static_cast<std::uint64_t>(dir));
+  return done;
 }
 
 void DmaController::reset() {

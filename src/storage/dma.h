@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "obs/event_trace.h"
 #include "storage/pcie_link.h"
 #include "storage/ull_device.h"
 #include "util/types.h"
@@ -35,11 +36,17 @@ class DmaController {
   std::uint64_t page_reads() const { return dev_.reads(); }
   std::uint64_t page_writes() const { return dev_.writes(); }
 
+  /// Emits a kDmaComplete event per post.  Completions are stamped with the
+  /// (future) completion time and the device pseudo-pid — the one event
+  /// class exempt from the checker's append-order rule.
+  void attach_trace(obs::EventTrace* trace) { trace_ = trace; }
+
   void reset();
 
  private:
   UllDevice dev_;
   PcieLink link_;
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace its::storage

@@ -16,6 +16,7 @@ PrefetchResult VaPrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) cons
   }
   r.slots_examined = cur.slots_examined();
   r.walk_cost = r.slots_examined * cfg_.per_slot_cost;
+  note_walk(mm.pid(), victim, r);
   return r;
 }
 
@@ -43,6 +44,7 @@ PrefetchResult StridePrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) 
     }
   }
   r.walk_cost = r.slots_examined * cfg_.per_slot_cost;
+  note_walk(mm.pid(), victim, r);
   return r;
 }
 
@@ -62,6 +64,7 @@ PrefetchResult PopPrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) con
     if (pte != nullptr && pte->swapped_out()) r.pages.push_back(vpn);
   }
   r.walk_cost = r.slots_examined * cfg_.per_slot_cost;
+  note_walk(mm.pid(), victim, r);
   return r;
 }
 

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/event_trace.h"
 #include "util/types.h"
 #include "vm/mm.h"
 
@@ -28,13 +29,34 @@ struct PrefetchResult {
   std::uint64_t slots_examined = 0;  ///< PTE slots inspected.
 };
 
+/// Shared observability hook: each prefetcher emits one kPrefetchWalk event
+/// per collect() describing the candidate walk (victim, slots, cost).
+class PrefetcherObs {
+ public:
+  void attach_trace(obs::EventTrace* trace, const its::SimTime* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
+ protected:
+  void note_walk(its::Pid pid, its::Vpn victim, const PrefetchResult& r) const {
+    if (trace_ != nullptr)
+      trace_->record(obs::EventKind::kPrefetchWalk, *clock_, pid, victim,
+                     r.slots_examined, r.walk_cost);
+  }
+
+ private:
+  obs::EventTrace* trace_ = nullptr;
+  const its::SimTime* clock_ = nullptr;
+};
+
 struct VaPrefetcherConfig {
   unsigned degree = 4;           ///< Candidate pages per fault (n in Fig. 2).
   std::uint64_t max_slots = 256; ///< Walk bound — give up on sparse spaces.
   its::Duration per_slot_cost = 6;  ///< ns per PTE slot examined.
 };
 
-class VaPrefetcher {
+class VaPrefetcher : public PrefetcherObs {
  public:
   explicit VaPrefetcher(const VaPrefetcherConfig& cfg = {}) : cfg_(cfg) {}
 
@@ -52,7 +74,7 @@ struct PopPrefetcherConfig {
   its::Duration per_slot_cost = 6;  ///< ns per PTE inspected.
 };
 
-class PopPrefetcher {
+class PopPrefetcher : public PrefetcherObs {
  public:
   explicit PopPrefetcher(const PopPrefetcherConfig& cfg = {}) : cfg_(cfg) {}
 
@@ -78,7 +100,7 @@ struct StridePrefetcherConfig {
 /// Unlike the VA walk it can follow negative and multi-page strides, but it
 /// needs training faults per stride change and predicts nothing on random
 /// streams.
-class StridePrefetcher {
+class StridePrefetcher : public PrefetcherObs {
  public:
   explicit StridePrefetcher(const StridePrefetcherConfig& cfg = {}) : cfg_(cfg) {}
 

@@ -23,11 +23,15 @@ bool SwapArea::has_slot(its::Pid pid, its::Vpn vpn) const {
 void SwapArea::record_swap_in(its::Pid pid, its::Vpn vpn) {
   if (!has_slot(pid, vpn)) throw std::logic_error("SwapArea: swap-in of unallocated slot");
   ++stats_.swap_ins;
+  if (trace_ != nullptr)
+    trace_->record(obs::EventKind::kSwapIn, *clock_, pid, vpn);
 }
 
 void SwapArea::record_swap_out(its::Pid pid, its::Vpn vpn) {
   slot_for(pid, vpn);
   ++stats_.swap_outs;
+  if (trace_ != nullptr)
+    trace_->record(obs::EventKind::kSwapOut, *clock_, pid, vpn);
 }
 
 }  // namespace its::vm

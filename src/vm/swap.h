@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/event_trace.h"
 #include "util/types.h"
 
 namespace its::vm {
@@ -42,6 +43,12 @@ class SwapArea {
   std::uint64_t capacity_pages() const { return capacity_; }
   const SwapStats& stats() const { return stats_; }
 
+  /// Emits kSwapIn/kSwapOut events to `trace`, stamped from `*clock`.
+  void attach_trace(obs::EventTrace* trace, const its::SimTime* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
  private:
   static std::uint64_t key(its::Pid pid, its::Vpn vpn) {
     return its::pid_key(pid, vpn);
@@ -51,6 +58,8 @@ class SwapArea {
   std::uint64_t next_slot_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> slots_;
   SwapStats stats_;
+  obs::EventTrace* trace_ = nullptr;
+  const its::SimTime* clock_ = nullptr;
 };
 
 }  // namespace its::vm
