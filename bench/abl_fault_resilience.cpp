@@ -1,0 +1,72 @@
+// Ablation A12 — fault resilience (error rate × tail weight).
+//
+// The paper's premise is a *reliable* ~3 µs ULL read; this ablation asks
+// how each I/O-mode policy degrades when the device misbehaves.  Sweeps a
+// grid of media/link error rates × Pareto tail probabilities (the two axes
+// of fault/fault_injector.h's model, with the hostile profile's tail shape)
+// and reports, per policy, the idle time, makespan inflation over the
+// fault-free run, and the resilience counters (retries, deadline aborts,
+// sync→async fallbacks, degraded-mode time).
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/experiment.h"
+#include "fault/fault_injector.h"
+#include "util/table.h"
+
+int main() {
+  using namespace its;
+  std::cerr << "Ablation: fault resilience (error rate x tail weight)\n";
+  const core::BatchSpec& batch = core::paper_batches()[1];
+  core::ExperimentConfig base;
+  base.gen.length_scale = 0.05;  // keep the 3x3x5 sweep tractable
+  auto traces = core::batch_traces(batch, base.gen);
+
+  // Fault-free baselines per policy, for the inflation column.
+  std::map<core::PolicyKind, core::SimMetrics> clean;
+  for (core::PolicyKind k : core::kAllPolicies)
+    clean.emplace(k, core::run_batch_policy(batch, k, base, traces));
+
+  util::Table t({"errors", "tail", "policy", "idle (ms)", "makespan x",
+                 "retries", "aborts", "fallbacks", "degraded (ms)"});
+  for (double err : {0.0, 0.01, 0.05}) {
+    for (double tail : {0.0, 0.05, 0.2}) {
+      std::cerr << "  err " << err << ", tail " << tail << " ...\n";
+      core::ExperimentConfig cfg = base;
+      cfg.sim.fault.enabled = true;
+      cfg.sim.fault.seed = 7;
+      cfg.sim.fault.read_error_rate = err;
+      cfg.sim.fault.write_error_rate = err / 3.0;
+      cfg.sim.fault.link_error_rate = err / 6.0;
+      cfg.sim.fault.latency.tail = fault::TailKind::kPareto;
+      cfg.sim.fault.latency.tail_prob = tail;
+      cfg.sim.fault.latency.pareto_alpha = 1.3;
+      cfg.sim.fault.latency.pareto_xm = 2000.0;
+      for (core::PolicyKind k : core::kAllPolicies) {
+        core::SimMetrics m = core::run_batch_policy(batch, k, cfg, traces);
+        const double inflation = static_cast<double>(m.makespan) /
+                                 static_cast<double>(clean.at(k).makespan);
+        t.add_row({util::Table::fmt(err, 2), util::Table::fmt(tail, 2),
+                   std::string(core::policy_name(k)),
+                   util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
+                   util::Table::fmt(inflation, 3),
+                   util::Table::fmt(m.io_retries),
+                   util::Table::fmt(m.deadline_aborts),
+                   util::Table::fmt(m.mode_fallbacks),
+                   util::Table::fmt(static_cast<double>(m.degraded_time) / 1e6,
+                                    2)});
+      }
+    }
+  }
+
+  std::cout << "\n== Ablation A12 — fault resilience "
+               "(1_Data_Intensive, Pareto tail) ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: the sync-mode policies lean on the watchdog as "
+               "tails fatten (aborts and fallbacks climb, bounding busy-wait "
+               "growth), while Async only inflates through retried DMA; ITS "
+               "keeps the lowest idle time until the error rate makes retry "
+               "backoff dominate the stolen windows.\n";
+  return 0;
+}

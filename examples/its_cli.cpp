@@ -7,12 +7,18 @@
 //
 // Flags: --batch=<0..3>  --policy=<Async|Sync|Sync_Runahead|Sync_Prefetch|
 // ITS|all>  --scheduler=<rr|cfs>  --seed=<n>  --degree=<n>  --media-us=<n>
-// --ctx-us=<n>  --length-scale=<f>  --csv=<dir>  --list
+// --ctx-us=<n>  --length-scale=<f>  --csv=<dir>  --fault-profile=<name>
+// --fault-seed=<n>  --list
+//
+// Exit codes: 0 success, 1 invariant violation, 2 usage error (unknown
+// flag / bad value), 3 unreadable or corrupt input file, 4 invalid fault
+// profile.
 #include <iostream>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/simulator.h"
+#include "fault/fault_injector.h"
 #include "obs/invariant_checker.h"
 #include "obs/trace_json.h"
 #include "trace/lackey.h"
@@ -24,6 +30,11 @@
 namespace {
 
 using namespace its;
+
+// Distinct exit codes so scripts can tell misuse from bad data.
+constexpr int kUsageError = 2;
+constexpr int kInputError = 3;
+constexpr int kBadFaultProfile = 4;
 
 int list_everything() {
   std::cout << "batches:\n";
@@ -59,6 +70,15 @@ void print_one(const std::string& policy, const core::SimMetrics& m) {
   t.add_row({"pre-exec episodes", util::Table::fmt(m.preexec_episodes)});
   t.add_row({"async give-ways", util::Table::fmt(m.async_switches)});
   t.add_row({"stolen time", ms(m.stolen_time)});
+  if (m.io_errors != 0 || m.io_retries != 0 || m.deadline_aborts != 0 ||
+      m.mode_fallbacks != 0 || m.retry_exhausted != 0) {
+    t.add_row({"I/O errors/retries", util::Table::fmt(m.io_errors) + " / " +
+                                         util::Table::fmt(m.io_retries)});
+    t.add_row({"retry budget exhausted", util::Table::fmt(m.retry_exhausted)});
+    t.add_row({"deadline aborts", util::Table::fmt(m.deadline_aborts)});
+    t.add_row({"mode fallbacks", util::Table::fmt(m.mode_fallbacks)});
+    t.add_row({"degraded time", ms(m.degraded_time)});
+  }
   t.add_row({"makespan", ms(m.makespan)});
   t.add_row({"top-50% finish", ms(static_cast<its::Duration>(m.avg_finish_top_half()))});
   t.add_row({"bottom-50% finish",
@@ -91,33 +111,60 @@ int run_cli(int argc, char** argv);
 int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
+  } catch (const its::trace::TraceIoError& e) {
+    std::cerr << "its_cli: cannot load input: " << e.what() << '\n';
+    return kInputError;
   } catch (const std::exception& e) {
     std::cerr << "its_cli: " << e.what() << '\n';
-    return 2;
+    return kUsageError;
   }
 }
 
 namespace {
+
+/// Resolves --fault-profile / --fault-seed into `fp`.  Returns 0 or the
+/// exit code to fail with (kBadFaultProfile, message already printed).
+int apply_fault_flags(const util::Args& args, fault::FaultProfile& fp) {
+  if (auto name = args.get("fault-profile")) {
+    auto preset = fault::profile_by_name(*name);
+    if (!preset) {
+      std::cerr << "invalid --fault-profile '" << *name << "'; choose from:";
+      for (auto n : fault::profile_names()) std::cerr << ' ' << n;
+      std::cerr << '\n';
+      return kBadFaultProfile;
+    }
+    fp = *preset;
+  }
+  if (args.has("fault-seed")) fp.seed = args.get_u64("fault-seed", fp.seed);
+  return 0;
+}
+
 int run_cli(int argc, char** argv) {
   using namespace its;
   util::Args args(argc, argv);
 
   for (const auto& u : args.unknown({"batch", "policy", "scheduler", "seed", "degree",
                                      "media-us", "ctx-us", "length-scale", "csv",
-                                     "trace", "trace-out", "dram-mb", "list",
+                                     "trace", "trace-out", "dram-mb",
+                                     "fault-profile", "fault-seed", "list",
                                      "help"})) {
     std::cerr << "unknown flag --" << u << " (try --help)\n";
-    return 2;
+    return kUsageError;
   }
   if (args.has("help")) {
     std::cout << "usage: its_cli [--list] [--batch=N] [--policy=NAME|all] "
                  "[--scheduler=rr|cfs]\n               [--seed=N] [--degree=N] "
                  "[--media-us=N] [--ctx-us=N]\n               "
                  "[--length-scale=F] [--csv=DIR]\n               "
+                 "[--fault-profile=none|tail|bursty|errors|hostile] "
+                 "[--fault-seed=N]\n               "
                  "[--trace-out=FILE.json]\n       its_cli "
                  "--trace=FILE.trc|FILE.lk --policy=NAME [--dram-mb=N]\n"
                  "  (.trc = binary trace, anything else parses as Valgrind "
                  "lackey output)\n"
+                 "  --fault-profile enables deterministic fault injection "
+                 "(see\n  docs/robustness.md); --fault-seed reseeds the "
+                 "injector stream.\n"
                  "  --trace-out writes a Chrome trace_event JSON timeline "
                  "(load in\n  chrome://tracing or ui.perfetto.dev) and runs "
                  "the invariant checker;\n  needs a single --policy, not "
@@ -128,13 +175,23 @@ int run_cli(int argc, char** argv) {
 
   if (auto path = args.get("trace")) {
     // Single-trace mode: simulate a captured trace file under one policy.
-    trace::Trace t = path->ends_with(".trc") ? trace::load_trace_file(*path)
-                                             : trace::load_lackey_file(*path);
+    trace::Trace t{""};
+    try {
+      t = path->ends_with(".trc") ? trace::load_trace_file(*path)
+                                  : trace::load_lackey_file(*path);
+    } catch (const trace::TraceIoError&) {
+      throw;  // main() maps this to kInputError with the typed message.
+    } catch (const std::exception& e) {
+      std::cerr << "its_cli: cannot load input '" << *path << "': " << e.what()
+                << '\n';
+      return kInputError;
+    }
     std::cout << "loaded '" << t.name() << "': " << t.size() << " records, "
               << t.stats().footprint_pages << " pages touched\n\n";
     core::SimConfig cfg;
     cfg.seed = args.get_u64("seed", cfg.seed);
     cfg.dram_bytes = args.get_u64("dram-mb", 64) << 20;
+    if (int rc = apply_fault_flags(args, cfg.fault); rc != 0) return rc;
     std::string pol = args.get_string("policy", "Sync");
     for (auto k : core::kAllPolicies) {
       if (core::policy_name(k) != pol) continue;
@@ -151,13 +208,13 @@ int run_cli(int argc, char** argv) {
       return 0;
     }
     std::cerr << "unknown --policy " << pol << " (see --list)\n";
-    return 2;
+    return kUsageError;
   }
 
   auto batch_idx = args.get_u64("batch", 1);
   if (batch_idx >= core::paper_batches().size()) {
     std::cerr << "--batch out of range\n";
-    return 2;
+    return kUsageError;
   }
   const core::BatchSpec& batch = core::paper_batches()[batch_idx];
 
@@ -169,18 +226,19 @@ int run_cli(int argc, char** argv) {
   cfg.sim.ull.write_latency = cfg.sim.ull.read_latency;
   cfg.sim.ctx_switch_cost = args.get_u64("ctx-us", 7) * 1000;
   cfg.gen.length_scale = args.get_double("length-scale", 1.0);
+  if (int rc = apply_fault_flags(args, cfg.sim.fault); rc != 0) return rc;
   std::string sched = args.get_string("scheduler", "rr");
   if (sched == "cfs") {
     cfg.sim.scheduler = core::SchedulerKind::kCfs;
   } else if (sched != "rr") {
     std::cerr << "--scheduler must be rr or cfs\n";
-    return 2;
+    return kUsageError;
   }
 
   std::string policy = args.get_string("policy", "all");
   if (args.has("trace-out") && policy == "all") {
     std::cerr << "--trace-out needs a single --policy, not 'all'\n";
-    return 2;
+    return kUsageError;
   }
   std::cout << "batch " << batch.name << ", scheduler " << sched << ", seed "
             << cfg.sim.seed << "\n\n";
@@ -215,7 +273,7 @@ int run_cli(int argc, char** argv) {
     }
     if (!found) {
       std::cerr << "unknown --policy " << policy << " (see --list)\n";
-      return 2;
+      return kUsageError;
     }
     grid.push_back(std::move(r));
   }

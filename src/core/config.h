@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "cpu/preexec_engine.h"
+#include "fault/fault_injector.h"
 #include "mem/hierarchy.h"
 #include "mem/preexec_cache.h"
 #include "sched/cfs.h"
@@ -68,6 +69,14 @@ struct SimConfig {
   vm::PopPrefetcherConfig pop_prefetch{};      ///< Sync_Prefetch unit.
   vm::StridePrefetcherConfig stride_prefetch{};///< Ablation alternative.
   cpu::PreexecConfig preexec{};                ///< Fault-aware pre-execution.
+
+  // -- Fault injection & resilience (fault/fault_injector.h) -------------------
+  /// Disabled by default: the simulator is bit-identical to a build without
+  /// the fault layer.  When enabled, the storage devices inject tail
+  /// latencies and errors, demand reads retry with backoff
+  /// (vm::RetryPolicy), and the sync busy-wait watchdog may abort a wait
+  /// and fall back to asynchronous mode (see docs/robustness.md).
+  fault::FaultProfile fault{};
 
   // -- Reproducibility ----------------------------------------------------------
   std::uint64_t seed = 42;  ///< Priority shuffling and generator seeding.

@@ -5,8 +5,11 @@
 // mode policy — the paper's comparison methodology.
 #pragma once
 
+#include <cstdlib>
 #include <map>
 #include <vector>
+
+#include "fault/fault_injector.h"
 
 #include "core/batch.h"
 #include "core/config.h"
@@ -34,6 +37,11 @@ struct ExperimentConfig {
     // matches the original setup.
     sim.slice_min = 50'000;     // 50 µs  (paper 5 ms / 100)
     sim.slice_max = 8'000'000;  // 8 ms   (paper 800 ms / 100)
+    // CI's hostile job forces every experiment under a named fault profile
+    // (docs/robustness.md).  Callers that assign sim.fault afterwards —
+    // profile-specific tests, the golden fault run — still win.
+    if (const char* env = std::getenv("ITS_FAULT_PROFILE"))
+      if (auto p = fault::profile_by_name(env)) sim.fault = *p;
   }
 };
 

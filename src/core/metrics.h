@@ -68,6 +68,15 @@ struct SimMetrics {
   std::uint64_t evictions = 0;          ///< Frames reclaimed under pressure.
   its::Duration stolen_time = 0;        ///< Wait time converted to work.
 
+  // Fault-injection resilience (all zero with injection disabled).
+  std::uint64_t io_errors = 0;          ///< Demand-read attempts that failed.
+  std::uint64_t io_retries = 0;         ///< Failed attempts reposted (with backoff).
+  std::uint64_t retry_exhausted = 0;    ///< Reads that burned the whole retry budget.
+  std::uint64_t deadline_aborts = 0;    ///< Sync busy-waits aborted by the watchdog.
+  std::uint64_t mode_fallbacks = 0;     ///< Aborts that fell back to async mode.
+  its::Duration degraded_time = 0;      ///< ns faults spent completing in background
+                                        ///< after a deadline abort.
+
   std::vector<ProcessOutcome> processes;
 
   /// Mean finish time over the ceil(n/2) highest-priority processes

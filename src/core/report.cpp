@@ -12,7 +12,9 @@ void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
   os << "batch,policy,idle_total_ns,mem_stall_ns,busy_wait_ns,ctx_switch_ns,"
         "no_runnable_ns,major_faults,minor_faults,llc_misses,prefetch_issued,"
         "prefetch_useful,preexec_episodes,preexec_lines_warmed,async_switches,"
-        "evictions,stolen_ns,makespan_ns,top50_finish_ns,bottom50_finish_ns\n";
+        "evictions,stolen_ns,makespan_ns,top50_finish_ns,bottom50_finish_ns,"
+        "io_errors,io_retries,retry_exhausted,deadline_aborts,mode_fallbacks,"
+        "degraded_ns\n";
   for (const auto& r : grid) {
     for (PolicyKind k : kAllPolicies) {
       auto it = r.by_policy.find(k);
@@ -26,7 +28,10 @@ void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
          << m.preexec_lines_warmed << ',' << m.async_switches << ',' << m.evictions
          << ',' << m.stolen_time << ',' << m.makespan << ','
          << static_cast<std::uint64_t>(m.avg_finish_top_half()) << ','
-         << static_cast<std::uint64_t>(m.avg_finish_bottom_half()) << '\n';
+         << static_cast<std::uint64_t>(m.avg_finish_bottom_half()) << ','
+         << m.io_errors << ',' << m.io_retries << ',' << m.retry_exhausted
+         << ',' << m.deadline_aborts << ',' << m.mode_fallbacks << ','
+         << m.degraded_time << '\n';
     }
   }
 }

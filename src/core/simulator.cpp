@@ -31,12 +31,20 @@ Simulator::Simulator(const SimConfig& cfg, std::unique_ptr<IoPolicy> policy)
       tlb_(cfg.tlb_entries),
       frames_(cfg.dram_bytes),
       swap_(),
+      finj_(cfg.fault),
+      retry_(cfg.fault.max_retries, cfg.fault.backoff_base,
+             cfg.fault.backoff_mult, cfg.fault.backoff_cap),
       pcache_(cfg.page_cache_bytes),
       dma_(cfg.ull, cfg.pcie),
       va_pf_(cfg.va_prefetch),
       pop_pf_(cfg.pop_prefetch),
       stride_pf_(cfg.stride_prefetch),
-      sched_(make_scheduler(cfg)) {}
+      sched_(make_scheduler(cfg)) {
+  // The devices consult the injector on every operation; with the profile
+  // disabled the injector is inert and the devices behave exactly as the
+  // perfect-device model.
+  dma_.attach_fault(&finj_);
+}
 
 std::unique_ptr<sched::Scheduler> Simulator::make_scheduler(const SimConfig& cfg) {
   switch (cfg.scheduler) {
@@ -213,6 +221,43 @@ void Simulator::do_translated_access(Process& p, const Instr& in, its::Vpn vpn) 
   }
 }
 
+its::Duration Simulator::sync_deadline() const {
+  if (!finj_.enabled()) return 0;
+  // "Auto" deadline: once the wait exceeds a switch-out/switch-in pair the
+  // synchronous mode stopped being profitable (§2's crossover argument).
+  return cfg_.fault.sync_deadline != 0 ? cfg_.fault.sync_deadline
+                                       : 2 * cfg_.ctx_switch_cost;
+}
+
+its::SimTime Simulator::post_read_resilient(its::SimTime t, std::uint64_t bytes,
+                                            std::uint64_t tag) {
+  if (!finj_.enabled()) return dma_.post(t, storage::Dir::kRead, bytes);
+  for (unsigned attempt = 1;; ++attempt) {
+    if (attempt > retry_.max_retries()) {
+      // Retry budget exhausted: the transient-fault model says the device's
+      // own recovery serves this attempt — an unchecked post cannot fail,
+      // so a hostile profile can never wedge the simulation.
+      if (retry_.max_retries() > 0) ++m_.retry_exhausted;
+      return dma_.post(t, storage::Dir::kRead, bytes);
+    }
+    storage::PostResult r = dma_.post_checked(t, storage::Dir::kRead, bytes);
+    if (!r.error) return r.done;
+    // The failure is detected when the attempt completes; the kernel backs
+    // off (exponential, capped) and reposts.  Both events live on the
+    // device timeline, stamped with their future detection/repost times.
+    ++m_.io_errors;
+    const its::Duration backoff = retry_.backoff(attempt);
+    ++m_.io_retries;
+    if (trace_) {
+      trace_->record(EventKind::kIoError, r.done, obs::kDevicePid, tag,
+                     attempt, static_cast<std::uint64_t>(storage::Dir::kRead));
+      trace_->record(EventKind::kIoRetry, r.done + backoff, obs::kDevicePid,
+                     tag, attempt, backoff);
+    }
+    t = r.done + backoff;
+  }
+}
+
 bool Simulator::do_file_op(Process& p, const trace::Instr& in) {
   const bool read = in.op == Op::kFileRead;
   const fs::FileId file = in.src2;
@@ -267,7 +312,7 @@ bool Simulator::do_file_op(Process& p, const trace::Instr& in) {
 
 bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
                           std::uint64_t page_index) {
-  its::SimTime done = dma_.post(clock_, storage::Dir::kRead, its::kPageSize);
+  its::SimTime done = post_read_resilient(clock_, its::kPageSize, key);
   FaultPlan plan = policy_->plan_major_fault(p, *sched_);
 
   if (plan.go_async) {
@@ -365,8 +410,7 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
     // One DMA covers the whole cluster; siblings become swap-cache pages
     // on arrival, exactly like prefetched pages — and count as issued
     // readahead so prefetch accuracy stays a true ratio.
-    done = dma_.post(clock_, storage::Dir::kRead,
-                     its::kPageSize * batch.size());
+    done = post_read_resilient(clock_, its::kPageSize * batch.size(), vpn);
     for (its::Vpn v : batch) {
       arrival_[key_of(p.pid(), v)] = done;
       if (v != vpn) {
@@ -404,6 +448,17 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
 
   // Synchronous wait: [clock_, done).  Steal as much of it as the plan allows.
   its::Duration wait = done - clock_;
+
+  // Graceful-degradation watchdog: with injection on, a tail-latency or
+  // retry-inflated completion can push the wait far past the point where
+  // busy-waiting beats a context-switch pair.  Rather than wedging the CPU
+  // in place, abort the in-place wait at the deadline and fall back to the
+  // asynchronous mode (somebody else must be runnable for the switch to buy
+  // anything; otherwise waiting in place is still optimal).
+  const its::Duration deadline = sync_deadline();
+  if (deadline != 0 && wait > deadline && sched_->any_ready())
+    return abort_sync_wait(p, vpn, done, plan, deadline);
+
   if (plan.preexec &&
       cfg_.preexec.recovery_trigger == cpu::RecoveryTrigger::kPolling) {
     // §3.4.3 polling trigger: the ITS thread notices the completed I/O only
@@ -445,6 +500,60 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
   return true;
 }
 
+bool Simulator::abort_sync_wait(Process& p, its::Vpn vpn, its::SimTime done,
+                                const FaultPlan& plan, its::Duration window) {
+  // The watchdog lets the sync wait run only up to `window`.  Everything the
+  // plan can steal still happens inside the window — including a bounded
+  // pre-execute episode whose architectural state is discarded on abort
+  // (engine_.run works on scratch copies; the PTE/frame state set up by
+  // begin_swap_in stays in flight and is recovered by the wake-up).
+  its::Duration utilized = 0;
+  if (plan.prefetch != PrefetchKind::kNone)
+    issue_prefetches(p, vpn, plan.prefetch, utilized);
+  if (plan.preexec && utilized < window) {
+    auto ep = engine_.run(p.trace(), p.pc(), p.rf(), p.mm(), window - utilized);
+    if (ep.ran) {
+      utilized += ep.used;
+      ++m_.preexec_episodes;
+      m_.preexec_lines_warmed += ep.lines_warmed;
+      if (trace_) {
+        trace_->record(EventKind::kPreexecBegin, clock_, p.pid(), p.pc());
+        trace_->record(EventKind::kPreexecEnd, clock_, p.pid(), p.pc(), ep.used);
+      }
+    }
+  }
+  utilized = std::min(utilized, window);
+
+  // Only the window was busy-waited; the rest of the transfer completes in
+  // the background while somebody else runs (degraded-mode time).
+  m_.idle.busy_wait += window;
+  p.metrics().busy_wait += window;
+  m_.stolen_time += utilized;
+  p.metrics().stolen += utilized;
+
+  wait_in_place(p, window);
+  process_due_events();
+
+  const its::Duration remaining = done - clock_;
+  ++m_.deadline_aborts;
+  ++m_.mode_fallbacks;
+  m_.degraded_time += remaining;
+  if (trace_) {
+    trace_->record(EventKind::kDeadlineAbort, clock_, p.pid(), vpn, window,
+                   utilized);
+    trace_->record(EventKind::kModeFallback, clock_, p.pid(), vpn, remaining);
+  }
+
+  // From here the fault is an asynchronous one: wake at `done`, one context
+  // switch to hand the CPU over (counted in mode_fallbacks, not
+  // async_switches — the policy never chose to go async).
+  push_event(done, EventType::kWakeFault, p.pid(), vpn);
+  sched_->block(&p);
+  charge_ctx_switch(p.pid());
+  switch_prepaid_ = true;
+  return false;
+}
+
 void Simulator::issue_prefetches(Process& p, its::Vpn victim, PrefetchKind kind,
                                  its::Duration& utilized) {
   // §3.2: transitioning from the page fault handler into the ITS kernel
@@ -467,7 +576,7 @@ void Simulator::issue_prefetches(Process& p, its::Vpn victim, PrefetchKind kind,
   utilized += pr.walk_cost;
   for (its::Vpn cand : pr.pages) {
     begin_swap_in(p, cand);
-    its::SimTime t = dma_.post(clock_, storage::Dir::kRead, its::kPageSize);
+    its::SimTime t = post_read_resilient(clock_, its::kPageSize, cand);
     arrival_[key_of(p.pid(), cand)] = t;
     push_event(t, EventType::kPageArrive, p.pid(), cand);
     ++m_.prefetch_issued;

@@ -22,6 +22,7 @@
 #include "core/metrics.h"
 #include "core/policy.h"
 #include "cpu/preexec_engine.h"
+#include "fault/fault_injector.h"
 #include "fs/file_system.h"
 #include "fs/page_cache.h"
 #include "mem/hierarchy.h"
@@ -68,6 +69,8 @@ class Simulator {
   const vm::FramePool& frames() const { return frames_; }
   const vm::SwapArea& swap() const { return swap_; }
   const storage::DmaController& dma() const { return dma_; }
+  const fault::FaultInjector& fault_injector() const { return finj_; }
+  const vm::RetryPolicy& retry_policy() const { return retry_; }
   const fs::FileSystem& filesystem() const { return files_; }
   const fs::PageCache& page_cache() const { return pcache_; }
   const IoPolicy& policy() const { return *policy_; }
@@ -105,6 +108,19 @@ class Simulator {
   void do_translated_access(sched::Process& p, const trace::Instr& in, its::Vpn vpn);
   /// Returns true when the fault completed synchronously (retry the touch).
   bool handle_major_fault(sched::Process& p, its::Vpn vpn);
+  /// Watchdog fallback: busy-waits only up to `window`, stealing what the
+  /// plan allows, then aborts the in-place wait and converts the fault to
+  /// asynchronous completion (wake at `done`).  Always returns false (the
+  /// process blocked).
+  bool abort_sync_wait(sched::Process& p, its::Vpn vpn, its::SimTime done,
+                       const FaultPlan& plan, its::Duration window);
+  /// Effective watchdog deadline for a sync busy-wait; 0 = watchdog off.
+  its::Duration sync_deadline() const;
+  /// Posts a demand read through the fault-aware DMA path, retrying failed
+  /// attempts with the swap retry policy's backoff.  Returns the final
+  /// completion time; identical to a plain post when injection is off.
+  its::SimTime post_read_resilient(its::SimTime t, std::uint64_t bytes,
+                                   std::uint64_t tag);
   /// Serves one file read/write syscall record; false if the process
   /// blocked (asynchronous page-cache miss) — the record restarts on wake.
   bool do_file_op(sched::Process& p, const trace::Instr& in);
@@ -141,6 +157,8 @@ class Simulator {
   mem::Tlb tlb_;
   vm::FramePool frames_;
   vm::SwapArea swap_;
+  fault::FaultInjector finj_;
+  vm::RetryPolicy retry_;
   fs::FileSystem files_;
   fs::PageCache pcache_;
   storage::DmaController dma_;

@@ -1,0 +1,148 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace its::fault {
+
+namespace {
+
+/// Injected latencies are quantised to this many nanoseconds.  The tail
+/// draws go through libm (exp/log/cos/pow), whose last-ulp behaviour can
+/// differ across libc versions; snapping to a coarse grid keeps the golden
+/// fault metrics bit-identical across toolchains.
+constexpr its::Duration kLatencyQuantum = 16;
+
+/// Standard normal via Box–Muller on the injector's own PCG32 stream (libm
+/// only; <random> distributions are not cross-platform deterministic).
+double gaussian(util::Rng& rng) {
+  double u1 = rng.next_double();
+  double u2 = rng.next_double();
+  if (u1 <= 0.0) u1 = 1e-12;  // log(0) guard
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.141592653589793 * u2);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultProfile& profile)
+    : cfg_(profile), rng_(profile.seed) {}
+
+bool FaultInjector::in_burst(its::SimTime t) const {
+  const auto& lm = cfg_.latency;
+  if (lm.burst_period == 0 || lm.burst_len == 0) return false;
+  return (t % lm.burst_period) < lm.burst_len;
+}
+
+its::Duration FaultInjector::tail_draw() {
+  const auto& lm = cfg_.latency;
+  if (lm.tail == TailKind::kNone || lm.tail_prob <= 0.0) return 0;
+  if (!rng_.chance(lm.tail_prob)) return 0;
+  double extra = 0.0;
+  switch (lm.tail) {
+    case TailKind::kLognormal:
+      extra = std::exp(lm.lognormal_mu + lm.lognormal_sigma * gaussian(rng_));
+      break;
+    case TailKind::kPareto: {
+      double u = rng_.next_double();
+      if (u <= 0.0) u = 1e-12;
+      extra = lm.pareto_xm * std::pow(u, -1.0 / lm.pareto_alpha);
+      break;
+    }
+    case TailKind::kNone:
+      return 0;
+  }
+  ++stats_.tail_events;
+  auto d = static_cast<its::Duration>(
+      std::min(extra, static_cast<double>(lm.max_extra)));
+  return d / kLatencyQuantum * kLatencyQuantum;
+}
+
+its::Duration FaultInjector::inflate_media_latency(its::SimTime start,
+                                                   its::Duration base,
+                                                   bool /*write*/) {
+  if (!cfg_.enabled) return base;
+  its::Duration total = base + tail_draw();
+  if (in_burst(start) && cfg_.latency.burst_multiplier > 1.0) {
+    auto scaled = static_cast<its::Duration>(
+        static_cast<double>(total) * cfg_.latency.burst_multiplier);
+    total = scaled / kLatencyQuantum * kLatencyQuantum;
+    total = std::max(total, base);
+  }
+  stats_.extra_latency += total - base;
+  return total;
+}
+
+bool FaultInjector::media_error(bool write, bool surfaced) {
+  if (!cfg_.enabled) return false;
+  double rate = write ? cfg_.write_error_rate : cfg_.read_error_rate;
+  if (rate <= 0.0 || !rng_.chance(rate)) return false;
+  if (surfaced)
+    ++stats_.media_errors;
+  else
+    ++stats_.internal_redos;
+  return true;
+}
+
+bool FaultInjector::link_error(bool surfaced) {
+  if (!cfg_.enabled) return false;
+  if (cfg_.link_error_rate <= 0.0 || !rng_.chance(cfg_.link_error_rate))
+    return false;
+  if (surfaced)
+    ++stats_.link_errors;
+  else
+    ++stats_.internal_redos;
+  return true;
+}
+
+void FaultInjector::reset() {
+  rng_ = util::Rng(cfg_.seed);
+  stats_ = FaultStats{};
+}
+
+std::optional<FaultProfile> profile_by_name(std::string_view name) {
+  FaultProfile p;
+  if (name == "none") return p;  // enabled == false
+  p.enabled = true;
+  if (name == "tail") {
+    p.latency.tail = TailKind::kLognormal;
+    p.latency.tail_prob = 0.08;
+    p.latency.lognormal_mu = 9.2;   // median extra ≈ 10 µs
+    p.latency.lognormal_sigma = 0.8;
+    return p;
+  }
+  if (name == "bursty") {
+    p.latency.burst_period = 400'000;  // every 400 µs ...
+    p.latency.burst_len = 80'000;      // ... an 80 µs degraded window
+    p.latency.burst_multiplier = 6.0;
+    return p;
+  }
+  if (name == "errors") {
+    p.read_error_rate = 0.03;
+    p.write_error_rate = 0.01;
+    p.link_error_rate = 0.005;
+    return p;
+  }
+  if (name == "hostile") {
+    p.read_error_rate = 0.03;
+    p.write_error_rate = 0.01;
+    p.link_error_rate = 0.005;
+    p.latency.tail = TailKind::kPareto;
+    p.latency.tail_prob = 0.1;
+    p.latency.pareto_alpha = 1.3;
+    p.latency.pareto_xm = 2000.0;
+    p.latency.burst_period = 400'000;
+    p.latency.burst_len = 60'000;
+    p.latency.burst_multiplier = 4.0;
+    return p;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string_view>& profile_names() {
+  static const std::vector<std::string_view> names{"none", "tail", "bursty",
+                                                   "errors", "hostile"};
+  return names;
+}
+
+}  // namespace its::fault

@@ -1,0 +1,139 @@
+// Deterministic device/DMA fault injection.
+//
+// The paper's premise is that ULL swap reads are *reliably* ~3 µs, so
+// busy-waiting beats a 7 µs context switch.  Real Z-NAND-class devices are
+// not that well behaved: reads hit tail latencies (media retries, ECC
+// re-reads), links drop TLPs, and whole windows of time degrade when the
+// device garbage-collects.  This module models those pathologies so the
+// I/O-mode policies can be evaluated under realistic failure conditions:
+//
+//   * a LatencyModel — base media latency plus a lognormal or Pareto tail
+//     and periodic burst windows that multiply service time;
+//   * per-device error rates — media read/write errors and link transfer
+//     errors, surfaced to callers that can retry (demand reads) and
+//     absorbed as internal redo latency by fire-and-forget paths.
+//
+// Everything is driven by one seeded PCG32 stream, so a (seed, profile)
+// pair reproduces the exact same fault timeline on every run — the
+// property the deterministic-replay tests pin down.  With
+// `FaultProfile::enabled == false` the injector is inert: no RNG draws, no
+// latency change, bit-identical simulation to a build without it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace its::fault {
+
+/// Shape of the latency tail added on top of the base media latency.
+enum class TailKind : std::uint8_t { kNone, kLognormal, kPareto };
+
+struct LatencyModelConfig {
+  TailKind tail = TailKind::kNone;
+  double tail_prob = 0.0;        ///< Per-operation probability of a tail draw.
+  // Lognormal tail: extra = exp(mu + sigma · z) ns, z ~ N(0,1).
+  double lognormal_mu = 8.0;     ///< ln(3000) ≈ 8 → median extra ≈ one media read.
+  double lognormal_sigma = 1.0;
+  // Pareto tail: extra = xm · u^(-1/alpha) ns, u ~ U(0,1).
+  double pareto_alpha = 1.5;
+  double pareto_xm = 1000.0;     ///< Scale (minimum tail draw), ns.
+  its::Duration max_extra = 200'000;  ///< Clamp on any single tail draw, ns.
+  // Burst windows (device-wide degradation, e.g. internal GC): while
+  // (t mod burst_period) < burst_len the whole service time is multiplied.
+  its::Duration burst_period = 0;  ///< 0 = no bursts.
+  its::Duration burst_len = 0;
+  double burst_multiplier = 1.0;
+};
+
+/// One complete fault-resilience configuration: what to inject and how the
+/// kernel-side swap path responds (retry budget, backoff, sync deadline).
+struct FaultProfile {
+  bool enabled = false;        ///< Master switch: false = bit-identical sim.
+  std::uint64_t seed = 1;      ///< Injector RNG stream (independent of sim seed).
+
+  // Per-operation error rates.
+  double read_error_rate = 0.0;   ///< Media read fails (detected at completion).
+  double write_error_rate = 0.0;  ///< Media program fails.
+  double link_error_rate = 0.0;   ///< Link transfer fails (any direction).
+
+  LatencyModelConfig latency{};
+
+  // Swap-path retry/backoff policy (consumed by vm::RetryPolicy).
+  unsigned max_retries = 3;           ///< Bounded retries per demand read.
+  its::Duration backoff_base = 1000;  ///< First backoff, ns.
+  double backoff_mult = 2.0;          ///< Exponential growth per retry.
+  its::Duration backoff_cap = 64'000; ///< Ceiling on any single backoff, ns.
+
+  /// Graceful-degradation watchdog: a synchronous busy-wait that would
+  /// exceed this deadline is aborted and the fault falls back to
+  /// asynchronous mode.  0 = auto (2 × ctx_switch_cost — the point where
+  /// paying for a switch-out/switch-in pair beats spinning).
+  its::Duration sync_deadline = 0;
+};
+
+struct FaultStats {
+  std::uint64_t media_errors = 0;   ///< Media errors surfaced to a retrier.
+  std::uint64_t link_errors = 0;    ///< Link errors surfaced to a retrier.
+  std::uint64_t internal_redos = 0; ///< Errors absorbed by fire-and-forget ops.
+  std::uint64_t tail_events = 0;    ///< Operations that drew a latency tail.
+  its::Duration extra_latency = 0;  ///< Σ injected latency beyond base, ns.
+};
+
+/// Seeded, deterministic fault source.  One instance per Simulator; the
+/// storage devices consult it on every scheduled operation.
+class FaultInjector {
+ public:
+  FaultInjector() = default;  ///< Disabled (inert) injector.
+  explicit FaultInjector(const FaultProfile& profile);
+
+  bool enabled() const { return cfg_.enabled; }
+  const FaultProfile& profile() const { return cfg_; }
+
+  /// Full service time for a media operation with base latency `base`
+  /// starting at `start`: base + clamped tail draw, burst-multiplied.
+  /// Returns `base` unchanged (and draws nothing) when disabled.
+  its::Duration inflate_media_latency(its::SimTime start, its::Duration base,
+                                      bool write);
+
+  /// Draws a media error for one operation.  `surfaced` says whether the
+  /// caller will handle the error (retry path) or absorb it (internal redo)
+  /// — only the stats bucket differs.
+  bool media_error(bool write, bool surfaced);
+
+  /// Draws a link error for one transfer.
+  bool link_error(bool surfaced);
+
+  /// True while `t` falls inside a configured burst window.
+  bool in_burst(its::SimTime t) const;
+
+  const FaultStats& stats() const { return stats_; }
+
+  /// Re-seeds the RNG from the profile and zeroes the stats.
+  void reset();
+
+ private:
+  its::Duration tail_draw();
+
+  FaultProfile cfg_{};
+  util::Rng rng_{};
+  FaultStats stats_{};
+};
+
+/// Named profile presets for the CLI (`--fault-profile=`), the CI's
+/// env-driven hostile runs, and the ablation bench:
+///   none     injection disabled (the default simulator)
+///   tail     lognormal read-latency tail, no errors
+///   bursty   periodic burst windows (device GC), no errors
+///   errors   media/link error rates, no tail
+///   hostile  errors + Pareto tail + bursts — the worst of everything
+std::optional<FaultProfile> profile_by_name(std::string_view name);
+
+/// The preset names accepted by profile_by_name, for error messages.
+const std::vector<std::string_view>& profile_names();
+
+}  // namespace its::fault

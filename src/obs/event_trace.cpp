@@ -21,6 +21,10 @@ std::string_view kind_name(EventKind k) {
     case EventKind::kSwapIn:        return "swap_in";
     case EventKind::kSwapOut:       return "swap_out";
     case EventKind::kPrefetchWalk:  return "prefetch_walk";
+    case EventKind::kIoError:       return "io_error";
+    case EventKind::kIoRetry:       return "io_retry";
+    case EventKind::kDeadlineAbort: return "deadline_abort";
+    case EventKind::kModeFallback:  return "mode_fallback";
   }
   return "unknown";
 }

@@ -40,9 +40,16 @@ enum class EventKind : std::uint8_t {
   kSwapIn,         ///< Swap slot read back from the device.    a=vpn
   kSwapOut,        ///< Swap slot written to the device.        a=vpn
   kPrefetchWalk,   ///< Prefetcher candidate walk.              a=victim b=slots examined c=walk ns
+  // Fault-injection resilience (see fault/fault_injector.h).  IoError and
+  // IoRetry live on the device timeline (kDevicePid) and are stamped with
+  // the future detection/repost time, like kDmaComplete.
+  kIoError,        ///< Demand read attempt failed.             a=vpn/key b=attempt c=direction
+  kIoRetry,        ///< Failed attempt reposted after backoff.  a=vpn/key b=attempt c=backoff ns
+  kDeadlineAbort,  ///< Watchdog aborted a sync busy-wait.      a=vpn b=waited window c=stolen
+  kModeFallback,   ///< Aborted fault fell back to async mode.  a=vpn b=remaining (background) ns
 };
 
-inline constexpr std::size_t kNumEventKinds = 17;
+inline constexpr std::size_t kNumEventKinds = 21;
 
 std::string_view kind_name(EventKind k);
 

@@ -50,6 +50,12 @@ CheckResult check_invariants(const EventTrace& trace,
 
   std::unordered_map<its::Pid, its::SimTime> last_ts;
   std::unordered_map<its::Pid, OpenFault> open;
+  // Retry/fallback pairing: the recorder emits kIoRetry immediately after
+  // its kIoError, and kModeFallback immediately after its kDeadlineAbort.
+  bool want_retry = false;
+  Event pending_error{};
+  bool want_fallback = false;
+  Event pending_abort{};
   std::size_t idx = 0;
   for (const Event& e : trace.events()) {
     // (1) per-pid time ordering, in recording order.
@@ -58,6 +64,12 @@ CheckResult check_invariants(const EventTrace& trace,
         fail(fmt("event %zu: DMA completion at %" PRIu64
                  " precedes its issue at %" PRIu64,
                  idx, e.ts, e.b));
+    } else if (e.kind == EventKind::kIoError ||
+               e.kind == EventKind::kIoRetry) {
+      // Device-timeline events, stamped with their future detection /
+      // repost times (like kDmaComplete) — exempt from per-pid append
+      // order and the makespan bound (a prefetched read may still be
+      // erroring out after the last process finished).
     } else {
       auto [it, fresh] = last_ts.try_emplace(e.pid, e.ts);
       if (!fresh && e.ts < it->second)
@@ -72,6 +84,60 @@ CheckResult check_invariants(const EventTrace& trace,
                  " is beyond the makespan %" PRIu64,
                  idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
                  m.makespan));
+    }
+
+    // (1b) every retry follows its error: kIoRetry must directly follow a
+    // kIoError with the same tag and attempt, reposted exactly `backoff`
+    // after detection.  Same-shape pairing for abort → fallback.
+    if (want_retry) {
+      want_retry = false;
+      if (e.kind != EventKind::kIoRetry)
+        fail(fmt("event %zu: io_error on tag %#" PRIx64
+                 " (attempt %" PRIu64 ") not followed by its io_retry",
+                 idx, pending_error.a, pending_error.b));
+      else if (e.a != pending_error.a || e.b != pending_error.b ||
+               e.ts != pending_error.ts + e.c)
+        fail(fmt("event %zu: io_retry (tag %#" PRIx64 ", attempt %" PRIu64
+                 ", ts %" PRIu64 ") does not match its io_error (tag %#"
+                 PRIx64 ", attempt %" PRIu64 ", ts %" PRIu64 " + backoff %"
+                 PRIu64 ")",
+                 idx, e.a, e.b, e.ts, pending_error.a, pending_error.b,
+                 pending_error.ts, e.c));
+    } else if (e.kind == EventKind::kIoRetry) {
+      fail(fmt("event %zu: io_retry on tag %#" PRIx64
+               " without a preceding io_error",
+               idx, e.a));
+    }
+    if (e.kind == EventKind::kIoError) {
+      want_retry = true;
+      pending_error = e;
+    }
+
+    if (want_fallback) {
+      want_fallback = false;
+      if (e.kind != EventKind::kModeFallback)
+        fail(fmt("event %zu: deadline_abort (pid %u, vpn %#" PRIx64
+                 ") not followed by its mode_fallback",
+                 idx, pending_abort.pid, pending_abort.a));
+      else if (e.pid != pending_abort.pid || e.a != pending_abort.a ||
+               e.ts != pending_abort.ts)
+        fail(fmt("event %zu: mode_fallback (pid %u, vpn %#" PRIx64
+                 ", ts %" PRIu64 ") does not match its deadline_abort "
+                 "(pid %u, vpn %#" PRIx64 ", ts %" PRIu64 ")",
+                 idx, e.pid, e.a, e.ts, pending_abort.pid, pending_abort.a,
+                 pending_abort.ts));
+    } else if (e.kind == EventKind::kModeFallback) {
+      fail(fmt("event %zu: mode_fallback on vpn %#" PRIx64
+               " without a preceding deadline_abort",
+               idx, e.a));
+    }
+    if (e.kind == EventKind::kDeadlineAbort) {
+      want_fallback = true;
+      pending_abort = e;
+      if (e.c > e.b)
+        fail(fmt("event %zu: deadline abort on vpn %#" PRIx64 " stole %"
+                 PRIu64 " ns from a %" PRIu64 " ns window",
+                 idx, e.a, e.c, e.b));
     }
 
     // (2) fault window matching.
@@ -114,6 +180,14 @@ CheckResult check_invariants(const EventTrace& trace,
     }
     ++idx;
   }
+  if (want_retry)
+    fail(fmt("trace ends with an io_error on tag %#" PRIx64
+             " (attempt %" PRIu64 ") that was never retried",
+             pending_error.a, pending_error.b));
+  if (want_fallback)
+    fail(fmt("trace ends with a deadline_abort (pid %u, vpn %#" PRIx64
+             ") that never fell back",
+             pending_abort.pid, pending_abort.a));
   for (const auto& [pid, f] : open)
     if (f.open)
       fail(fmt("pid %u: fault on vpn %#" PRIx64 " opened at %" PRIu64
@@ -148,21 +222,34 @@ CheckResult check_invariants(const EventTrace& trace,
   expect_count(EventKind::kPreexecEnd, m.preexec_episodes, "preexec_episodes");
   expect_count(EventKind::kAsyncConvert, m.async_switches, "async_switches");
   expect_count(EventKind::kEvict, m.evictions, "evictions");
+  expect_count(EventKind::kIoError, m.io_errors, "io_errors");
+  expect_count(EventKind::kIoRetry, m.io_retries, "io_retries");
+  expect_count(EventKind::kDeadlineAbort, m.deadline_aborts, "deadline_aborts");
+  expect_count(EventKind::kModeFallback, m.mode_fallbacks, "mode_fallbacks");
+
+  const std::uint64_t degraded = trace.sum_b(EventKind::kModeFallback);
+  if (degraded != m.degraded_time)
+    fail(fmt("degraded windows from events %" PRIu64 " != degraded_time %" PRIu64,
+             degraded, m.degraded_time));
 
   const std::uint64_t ctx = trace.sum_b(EventKind::kCtxSwitch);
   if (ctx != m.idle.ctx_switch)
     fail(fmt("ctx-switch cost from events %" PRIu64 " != idle.ctx_switch %" PRIu64,
              ctx, m.idle.ctx_switch));
 
+  // An aborted sync wait busy-waits only its window (carried by the
+  // kDeadlineAbort operands — the later kFaultEnd closes with b = c = 0).
   const std::uint64_t waits = trace.sum_b(EventKind::kFaultEnd) +
-                              trace.sum_b(EventKind::kFileWait);
+                              trace.sum_b(EventKind::kFileWait) +
+                              trace.sum_b(EventKind::kDeadlineAbort);
   if (waits != m.idle.busy_wait)
     fail(fmt("wait windows from events %" PRIu64 " != idle.busy_wait %" PRIu64,
              waits, m.idle.busy_wait));
 
   const std::uint64_t stolen = trace.sum_c(EventKind::kFaultEnd) +
                                trace.sum_c(EventKind::kFileWait) +
-                               trace.sum_c(EventKind::kPreexecEnd);
+                               trace.sum_c(EventKind::kPreexecEnd) +
+                               trace.sum_c(EventKind::kDeadlineAbort);
   if (stolen != m.stolen_time)
     fail(fmt("stolen credits from events %" PRIu64 " != stolen_time %" PRIu64,
              stolen, m.stolen_time));

@@ -22,6 +22,22 @@ its::SimTime DmaController::post(its::SimTime now, Dir dir, std::uint64_t bytes)
   return done;
 }
 
+PostResult DmaController::post_checked(its::SimTime now, Dir dir,
+                                       std::uint64_t bytes) {
+  PostResult r;
+  if (dir == Dir::kRead) {
+    its::SimTime media_done = dev_.schedule(now, /*write=*/false, &r.error);
+    r.done = link_.schedule(media_done, bytes, &r.error);
+  } else {
+    its::SimTime link_done = link_.schedule(now, bytes, &r.error);
+    r.done = dev_.schedule(link_done, /*write=*/true, &r.error);
+  }
+  if (trace_ != nullptr)
+    trace_->record(obs::EventKind::kDmaComplete, r.done, obs::kDevicePid,
+                   bytes, now, static_cast<std::uint64_t>(dir));
+  return r;
+}
+
 void DmaController::reset() {
   dev_.reset();
   link_.reset();

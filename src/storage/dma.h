@@ -18,12 +18,28 @@ namespace its::storage {
 
 enum class Dir : std::uint8_t { kRead, kWrite };  ///< kRead = storage → DRAM.
 
+/// Outcome of a checked (fault-aware) transfer: when `error` is set the
+/// data did not land; `done` is the time the failure is detected — the
+/// attempt still occupied the media channel and the link until then.
+struct PostResult {
+  its::SimTime done = 0;
+  bool error = false;
+};
+
 class DmaController {
  public:
   DmaController(const UllConfig& dev = {}, const PcieConfig& link = {});
 
   /// Posts one transfer of `bytes` at time `now`; returns completion time.
+  /// Injected errors (if a FaultInjector is attached) are absorbed as
+  /// internal device/link redo latency — this path never fails, so it fits
+  /// fire-and-forget operations (writebacks, readahead).
   its::SimTime post(its::SimTime now, Dir dir, std::uint64_t bytes);
+
+  /// Fault-aware post for demand operations with a waiter that can retry:
+  /// media and link errors surface in the result instead of being redone
+  /// internally.  Identical to post() when no injector is attached.
+  PostResult post_checked(its::SimTime now, Dir dir, std::uint64_t bytes);
 
   /// Posts a page-sized (4 KiB) transfer.
   its::SimTime post_page(its::SimTime now, Dir dir) {
@@ -40,6 +56,13 @@ class DmaController {
   /// (future) completion time and the device pseudo-pid — the one event
   /// class exempt from the checker's append-order rule.
   void attach_trace(obs::EventTrace* trace) { trace_ = trace; }
+
+  /// Connects device and link to the (caller-owned) fault injector;
+  /// nullptr detaches.  Both consult it on every scheduled operation.
+  void attach_fault(fault::FaultInjector* inj) {
+    dev_.attach_fault(inj);
+    link_.attach_fault(inj);
+  }
 
   void reset();
 

@@ -18,9 +18,18 @@ its::Duration PcieLink::transfer_time(std::uint64_t bytes) const {
       std::ceil(static_cast<double>(bytes) / bytes_per_ns_));
 }
 
-its::SimTime PcieLink::schedule(its::SimTime ready, std::uint64_t bytes) {
+its::SimTime PcieLink::schedule(its::SimTime ready, std::uint64_t bytes,
+                                bool* error_out) {
   its::SimTime start = std::max(ready, busy_until_);
-  busy_until_ = start + transfer_time(bytes);
+  its::Duration t = transfer_time(bytes);
+  if (inj_ != nullptr && inj_->enabled() &&
+      inj_->link_error(/*surfaced=*/error_out != nullptr)) {
+    if (error_out != nullptr)
+      *error_out = true;
+    else
+      t += transfer_time(bytes);  // internal retransmit
+  }
+  busy_until_ = start + t;
   bytes_moved_ += bytes;
   ++transfers_;
   return busy_until_;

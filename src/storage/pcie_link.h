@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_injector.h"
 #include "util/types.h"
 
 namespace its::storage {
@@ -26,7 +27,17 @@ class PcieLink {
 
   /// Schedules a transfer that becomes ready at `ready`; returns its
   /// completion time.  Transfers are serialised in call order (FIFO link).
-  its::SimTime schedule(its::SimTime ready, std::uint64_t bytes);
+  ///
+  /// With a fault injector attached the transfer may draw a link error.
+  /// When `error_out` is non-null the error is surfaced for the caller to
+  /// retry; when it is null the link retransmits internally (the transfer
+  /// occupies the link twice).  Either way the bytes burn link time.
+  its::SimTime schedule(its::SimTime ready, std::uint64_t bytes,
+                        bool* error_out = nullptr);
+
+  /// Connects the link to the (caller-owned) fault injector; nullptr
+  /// detaches.
+  void attach_fault(fault::FaultInjector* inj) { inj_ = inj; }
 
   its::SimTime busy_until() const { return busy_until_; }
   std::uint64_t bytes_moved() const { return bytes_moved_; }
@@ -42,6 +53,7 @@ class PcieLink {
   its::SimTime busy_until_ = 0;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t transfers_ = 0;
+  fault::FaultInjector* inj_ = nullptr;
 };
 
 }  // namespace its::storage

@@ -10,10 +10,22 @@ UllDevice::UllDevice(const UllConfig& cfg) : cfg_(cfg) {
   channel_free_.assign(cfg.channels, 0);
 }
 
-its::SimTime UllDevice::schedule(its::SimTime ready, bool write) {
+its::SimTime UllDevice::schedule(its::SimTime ready, bool write,
+                                 bool* error_out) {
   auto it = std::min_element(channel_free_.begin(), channel_free_.end());
   its::SimTime start = std::max(ready, *it);
   its::Duration lat = write ? cfg_.write_latency : cfg_.read_latency;
+  if (inj_ != nullptr && inj_->enabled()) {
+    lat = inj_->inflate_media_latency(start, lat, write);
+    if (inj_->media_error(write, /*surfaced=*/error_out != nullptr)) {
+      if (error_out != nullptr)
+        *error_out = true;
+      else
+        // Fire-and-forget op (writeback/readahead): the device firmware
+        // redoes the access; nobody waits, but the channel stays occupied.
+        lat += write ? cfg_.write_latency : cfg_.read_latency;
+    }
+  }
   *it = start + lat;
   if (write)
     ++writes_;

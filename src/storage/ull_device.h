@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "util/types.h"
 
 namespace its::storage {
@@ -26,7 +27,18 @@ class UllDevice {
   /// Schedules a media access that becomes ready at `ready`; returns the
   /// time the media access completes (data available for the host link).
   /// Requests pick the earliest-free channel.
-  its::SimTime schedule(its::SimTime ready, bool write);
+  ///
+  /// With a fault injector attached (and enabled) the media latency is
+  /// inflated by the injector's tail/burst model and the operation may draw
+  /// a media error.  When `error_out` is non-null a drawn error is surfaced
+  /// (`*error_out` set true — the caller retries); when it is null the
+  /// device redoes the operation internally, doubling its occupancy.
+  its::SimTime schedule(its::SimTime ready, bool write,
+                        bool* error_out = nullptr);
+
+  /// Connects the device to the (caller-owned) fault injector; nullptr
+  /// detaches.  Without one the device is the perfect fixed-latency model.
+  void attach_fault(fault::FaultInjector* inj) { inj_ = inj; }
 
   const UllConfig& config() const { return cfg_; }
   std::uint64_t reads() const { return reads_; }
@@ -42,6 +54,7 @@ class UllDevice {
   std::vector<its::SimTime> channel_free_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  fault::FaultInjector* inj_ = nullptr;
 };
 
 }  // namespace its::storage

@@ -8,6 +8,7 @@
 namespace its::trace {
 
 namespace {
+
 constexpr std::uint64_t kMagic = 0x0001435254535449ull;  // "ITSTRC\1\0"
 
 template <typename T>
@@ -15,14 +16,65 @@ void put(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-template <typename T>
-T get(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw TraceIoError("trace stream truncated");
-  return v;
-}
+/// Cursor-tracking reader: every failure reports the byte offset where the
+/// stream ran out or the field went bad.
+struct Reader {
+  std::istream& is;
+  std::uint64_t off = 0;
+
+  template <typename T>
+  T get(const char* what) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!is)
+      throw TraceIoError(TraceIoErrc::kTruncated, off,
+                         std::string("trace stream truncated in ") + what);
+    off += sizeof v;
+    return v;
+  }
+
+  void get_bytes(char* dst, std::uint64_t n, const char* what) {
+    is.read(dst, static_cast<std::streamsize>(n));
+    if (!is)
+      throw TraceIoError(TraceIoErrc::kTruncated, off,
+                         std::string("trace stream truncated in ") + what);
+    off += n;
+  }
+
+  /// Bytes left until EOF when the stream is seekable; max u64 otherwise.
+  std::uint64_t remaining() {
+    const std::istream::pos_type cur = is.tellg();
+    if (cur == std::istream::pos_type(-1)) return ~0ull;
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(cur);
+    if (end == std::istream::pos_type(-1) || end < cur) return ~0ull;
+    return static_cast<std::uint64_t>(end - cur);
+  }
+};
+
 }  // namespace
+
+std::string_view errc_name(TraceIoErrc c) {
+  switch (c) {
+    case TraceIoErrc::kOpenFailed:    return "open_failed";
+    case TraceIoErrc::kBadMagic:      return "bad_magic";
+    case TraceIoErrc::kTruncated:     return "truncated";
+    case TraceIoErrc::kNameTooLong:   return "name_too_long";
+    case TraceIoErrc::kCountTooLarge: return "count_too_large";
+    case TraceIoErrc::kBadOpcode:     return "bad_opcode";
+    case TraceIoErrc::kBadRecord:     return "bad_record";
+    case TraceIoErrc::kWriteFailed:   return "write_failed";
+  }
+  return "unknown";
+}
+
+TraceIoError::TraceIoError(TraceIoErrc code, std::uint64_t offset,
+                           const std::string& what)
+    : std::runtime_error(what + " [" + std::string(errc_name(code)) +
+                         " at byte " + std::to_string(offset) + "]"),
+      code_(code),
+      offset_(offset) {}
 
 void write_trace(std::ostream& os, const Trace& t) {
   put(os, kMagic);
@@ -33,31 +85,71 @@ void write_trace(std::ostream& os, const Trace& t) {
   auto recs = t.records();
   os.write(reinterpret_cast<const char*>(recs.data()),
            static_cast<std::streamsize>(recs.size_bytes()));
-  if (!os) throw TraceIoError("trace write failed");
+  if (!os) throw TraceIoError(TraceIoErrc::kWriteFailed, 0, "trace write failed");
 }
 
 Trace read_trace(std::istream& is) {
-  if (get<std::uint64_t>(is) != kMagic) throw TraceIoError("bad trace magic");
-  auto name_len = get<std::uint32_t>(is);
+  Reader r{is};
+
+  const std::uint64_t magic_off = r.off;
+  if (r.get<std::uint64_t>("magic") != kMagic)
+    throw TraceIoError(TraceIoErrc::kBadMagic, magic_off, "bad trace magic");
+
+  const std::uint64_t name_len_off = r.off;
+  const auto name_len = r.get<std::uint32_t>("name length");
+  if (name_len > kMaxTraceNameLen)
+    throw TraceIoError(TraceIoErrc::kNameTooLong, name_len_off,
+                       "trace name length " + std::to_string(name_len) +
+                           " exceeds the " +
+                           std::to_string(kMaxTraceNameLen) + " byte cap");
   std::string name(name_len, '\0');
-  is.read(name.data(), name_len);
-  if (!is) throw TraceIoError("trace stream truncated");
-  auto count = get<std::uint64_t>(is);
+  if (name_len != 0) r.get_bytes(name.data(), name_len, "name");
+
+  const std::uint64_t count_off = r.off;
+  const auto count = r.get<std::uint64_t>("record count");
+  // Before reserving anything, reject headers that promise more records
+  // than the stream can possibly hold — a 4-byte corrupt count must not
+  // become a multi-gigabyte allocation.
+  const std::uint64_t left = r.remaining();
+  if (count > left / sizeof(Instr))
+    throw TraceIoError(TraceIoErrc::kCountTooLarge, count_off,
+                       "record count " + std::to_string(count) +
+                           " exceeds the " + std::to_string(left) +
+                           " bytes remaining in the stream");
+
   Trace t(std::move(name));
   t.reserve(count);
-  for (std::uint64_t k = 0; k < count; ++k) t.push_back(get<Instr>(is));
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t rec_off = r.off;
+    Instr in = r.get<Instr>("record");
+    if (static_cast<std::uint8_t>(in.op) >
+        static_cast<std::uint8_t>(Op::kFileWrite))
+      throw TraceIoError(
+          TraceIoErrc::kBadOpcode, rec_off,
+          "record " + std::to_string(k) + " has opcode " +
+              std::to_string(static_cast<unsigned>(in.op)));
+    if (in.op == Op::kCompute && in.repeat == 0)
+      throw TraceIoError(TraceIoErrc::kBadRecord, rec_off,
+                         "record " + std::to_string(k) +
+                             " is a compute op with repeat 0");
+    t.push_back(in);
+  }
   return t;
 }
 
 void save_trace_file(const std::string& path, const Trace& t) {
   std::ofstream f(path, std::ios::binary);
-  if (!f) throw TraceIoError("cannot open for write: " + path);
+  if (!f)
+    throw TraceIoError(TraceIoErrc::kOpenFailed, 0,
+                       "cannot open for write: " + path);
   write_trace(f, t);
 }
 
 Trace load_trace_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw TraceIoError("cannot open for read: " + path);
+  if (!f)
+    throw TraceIoError(TraceIoErrc::kOpenFailed, 0,
+                       "cannot open for read: " + path);
   return read_trace(f);
 }
 

@@ -7,20 +7,52 @@
 //
 // The paper captures traces with Valgrind and feeds them to its simulator;
 // this module gives the same decoupling — generate once, re-run many times.
+//
+// The reader is defensive: truncated streams, corrupt headers, out-of-range
+// opcodes and oversized length fields all raise TraceIoError with a typed
+// reason and the byte offset of the defect, never UB or an allocation bomb.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "trace/trace.h"
 
 namespace its::trace {
 
-/// Thrown on malformed input or I/O failure.
+/// Why a trace failed to (de)serialise.
+enum class TraceIoErrc {
+  kOpenFailed,     ///< File could not be opened.
+  kBadMagic,       ///< First 8 bytes are not the trace magic.
+  kTruncated,      ///< Stream ended inside a header field or record.
+  kNameTooLong,    ///< name_len exceeds kMaxTraceNameLen.
+  kCountTooLarge,  ///< count promises more records than the stream holds.
+  kBadOpcode,      ///< Record opcode outside the Op enum.
+  kBadRecord,      ///< Record fields are internally inconsistent.
+  kWriteFailed,    ///< Output stream error.
+};
+
+/// Loader sanity caps: a trace name is a short label, never a payload.
+inline constexpr std::uint32_t kMaxTraceNameLen = 1u << 16;
+
+std::string_view errc_name(TraceIoErrc c);
+
+/// Thrown on malformed input or I/O failure.  `offset()` is the byte
+/// position (from the start of the stream) where the defect was detected;
+/// 0 when no position applies (e.g. open failures).
 class TraceIoError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  TraceIoError(TraceIoErrc code, std::uint64_t offset, const std::string& what);
+
+  TraceIoErrc code() const { return code_; }
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  TraceIoErrc code_;
+  std::uint64_t offset_;
 };
 
 void write_trace(std::ostream& os, const Trace& t);

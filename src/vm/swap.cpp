@@ -1,8 +1,34 @@
 #include "vm/swap.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace its::vm {
+
+RetryPolicy::RetryPolicy(unsigned max_retries, its::Duration backoff_base,
+                         double backoff_mult, its::Duration backoff_cap)
+    : max_retries_(max_retries),
+      base_(backoff_base),
+      mult_(backoff_mult < 1.0 ? 1.0 : backoff_mult),
+      cap_(std::max<its::Duration>(backoff_cap, 1)) {}
+
+its::Duration RetryPolicy::backoff(unsigned attempt) const {
+  if (attempt == 0) attempt = 1;
+  double b = static_cast<double>(base_);
+  for (unsigned i = 1; i < attempt; ++i) {
+    b *= mult_;
+    if (b >= static_cast<double>(cap_)) break;  // saturated
+  }
+  auto d = static_cast<its::Duration>(
+      std::min(b, static_cast<double>(cap_)));
+  return std::max<its::Duration>(d, 1);
+}
+
+its::Duration RetryPolicy::max_total_backoff() const {
+  its::Duration total = 0;
+  for (unsigned a = 1; a <= max_retries_; ++a) total += backoff(a);
+  return total;
+}
 
 std::uint64_t SwapArea::slot_for(its::Pid pid, its::Vpn vpn) {
   auto k = key(pid, vpn);

@@ -20,6 +20,37 @@ struct SwapStats {
   std::uint64_t swap_outs = 0;  ///< Page writes to the device.
 };
 
+/// Swap-path retry/backoff policy for injected device errors (see
+/// fault/fault_injector.h): a failed demand read is retried after an
+/// exponentially growing, capped backoff, up to `max_retries` times; the
+/// attempt after the last allowed retry is treated as served by the
+/// device's own recovery (transient-fault model), so a simulation never
+/// wedges on a hostile profile.  Pure arithmetic — the simulator owns the
+/// clock and the DMA; this class only answers "how long until the next
+/// attempt".
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  RetryPolicy(unsigned max_retries, its::Duration backoff_base,
+              double backoff_mult, its::Duration backoff_cap);
+
+  unsigned max_retries() const { return max_retries_; }
+
+  /// Backoff before retry number `attempt` (1-based):
+  /// min(base · mult^(attempt-1), cap), never below 1 ns.
+  its::Duration backoff(unsigned attempt) const;
+
+  /// Upper bound on the time the whole retry ladder can add beyond the
+  /// attempts themselves (Σ backoffs) — the per-fault retry deadline.
+  its::Duration max_total_backoff() const;
+
+ private:
+  unsigned max_retries_ = 3;
+  its::Duration base_ = 1000;
+  double mult_ = 2.0;
+  its::Duration cap_ = 64'000;
+};
+
 class SwapArea {
  public:
   /// `capacity_pages` bounds the device size (0 = unbounded).

@@ -81,6 +81,12 @@ std::string snapshot() {
 }
 
 TEST(GoldenRun, MetricsMatchCheckedInSnapshot) {
+  // The snapshot is defined for the fault-free simulator; the CI job that
+  // forces a fault profile over the whole suite legitimately diverges.
+  if (const char* fp = std::getenv("ITS_FAULT_PROFILE");
+      fp != nullptr && std::string(fp) != "none")
+    GTEST_SKIP() << "golden snapshot is fault-free; ITS_FAULT_PROFILE=" << fp;
+
   std::string actual = snapshot();
 
   if (const char* update = std::getenv("ITS_UPDATE_GOLDEN");

@@ -131,6 +131,96 @@ TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace_file("/nonexistent/dir/trace.bin"), TraceIoError);
 }
 
+// -- Hardened loader: typed errors with byte offsets ------------------------
+
+namespace {
+/// Serialises a one-record trace ("x", one compute op) and returns the raw
+/// bytes.  Layout: magic @0 (8), name_len @8 (4), name @12 (1), count @13
+/// (8), record @21 (16).
+std::string one_record_bytes() {
+  Trace t("x");
+  t.push_back(Instr::compute(1, 1, 0, 0));
+  std::stringstream ss;
+  write_trace(ss, t);
+  return ss.str();
+}
+
+TraceIoError capture_error(const std::string& bytes) {
+  std::stringstream ss(bytes);
+  try {
+    read_trace(ss);
+  } catch (const TraceIoError& e) {
+    return e;
+  }
+  throw std::logic_error("expected read_trace to throw");
+}
+}  // namespace
+
+TEST(TraceIo, BadMagicCarriesCodeAndOffset) {
+  TraceIoError e = capture_error("garbage-not-a-trace-file-at-all");
+  EXPECT_EQ(e.code(), TraceIoErrc::kBadMagic);
+  EXPECT_EQ(e.offset(), 0u);
+}
+
+TEST(TraceIo, TruncatedHeaderReportsFieldOffset) {
+  // Cut inside the name_len field: the error points at byte 8 where the
+  // field begins.
+  TraceIoError e = capture_error(one_record_bytes().substr(0, 10));
+  EXPECT_EQ(e.code(), TraceIoErrc::kTruncated);
+  EXPECT_EQ(e.offset(), 8u);
+}
+
+TEST(TraceIo, OversizedNameLenRejectedBeforeAllocation) {
+  std::string bytes = one_record_bytes();
+  // name_len := 0xFFFFFFFF — an allocation bomb if taken at face value.
+  bytes[8] = bytes[9] = bytes[10] = bytes[11] = '\xff';
+  TraceIoError e = capture_error(bytes);
+  EXPECT_EQ(e.code(), TraceIoErrc::kNameTooLong);
+  EXPECT_EQ(e.offset(), 8u);
+}
+
+TEST(TraceIo, OversizedCountRejectedBeforeAllocation) {
+  std::string bytes = one_record_bytes();
+  // count := 2^56 — promises far more records than the stream holds.
+  for (int i = 0; i < 8; ++i) bytes[13 + i] = (i == 7) ? '\x01' : '\0';
+  TraceIoError e = capture_error(bytes);
+  EXPECT_EQ(e.code(), TraceIoErrc::kCountTooLarge);
+  EXPECT_EQ(e.offset(), 13u);
+}
+
+TEST(TraceIo, TruncatedRecordPayloadRejected) {
+  // Cutting the last bytes of the record leaves count promising one record
+  // with fewer than sizeof(Instr) bytes behind it.
+  std::string whole = one_record_bytes();
+  TraceIoError e = capture_error(whole.substr(0, whole.size() - 5));
+  EXPECT_EQ(e.code(), TraceIoErrc::kCountTooLarge);
+  EXPECT_EQ(e.offset(), 13u);
+}
+
+TEST(TraceIo, OutOfRangeOpcodeRejected) {
+  std::string bytes = one_record_bytes();
+  bytes[21 + 8] = '\x09';  // op byte of record 0: beyond kFileWrite
+  TraceIoError e = capture_error(bytes);
+  EXPECT_EQ(e.code(), TraceIoErrc::kBadOpcode);
+  EXPECT_EQ(e.offset(), 21u);
+}
+
+TEST(TraceIo, ComputeWithZeroRepeatRejected) {
+  std::string bytes = one_record_bytes();
+  bytes[21 + 14] = '\0';  // repeat u16 of record 0
+  bytes[21 + 15] = '\0';
+  TraceIoError e = capture_error(bytes);
+  EXPECT_EQ(e.code(), TraceIoErrc::kBadRecord);
+  EXPECT_EQ(e.offset(), 21u);
+}
+
+TEST(TraceIo, ErrorMessageNamesCodeAndOffset) {
+  TraceIoError e = capture_error(one_record_bytes().substr(0, 10));
+  std::string what = e.what();
+  EXPECT_NE(what.find("truncated"), std::string::npos);
+  EXPECT_NE(what.find("byte 8"), std::string::npos);
+}
+
 TEST(Workloads, RegistryHasNineEntries) {
   auto all = all_workloads();
   ASSERT_EQ(all.size(), kNumWorkloads);
