@@ -21,10 +21,12 @@ double avg_finish(const std::vector<ProcessOutcome>& procs, bool top) {
   std::size_t begin = top ? 0 : top_count;
   std::size_t end = top ? top_count : sorted.size();
   if (begin == end) return 0.0;  // bottom half of a single-process list
-  double sum = 0.0;
+  // Sum in the integer domain: accumulating nanoseconds in a double loses
+  // ulps past 2^53 and makes the mean depend on addition order.
+  its::Duration sum = 0;
   for (std::size_t i = begin; i < end; ++i)
-    sum += static_cast<double>(sorted[i]->metrics.finish_time);
-  return sum / static_cast<double>(end - begin);
+    sum += sorted[i]->metrics.finish_time;
+  return static_cast<double>(sum) / static_cast<double>(end - begin);
 }
 }  // namespace
 

@@ -9,18 +9,20 @@
 namespace its::core {
 
 void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
-  os << "batch,policy,idle_total_ns,mem_stall_ns,busy_wait_ns,ctx_switch_ns,"
-        "no_runnable_ns,major_faults,minor_faults,llc_misses,prefetch_issued,"
-        "prefetch_useful,preexec_episodes,preexec_lines_warmed,async_switches,"
-        "evictions,stolen_ns,makespan_ns,top50_finish_ns,bottom50_finish_ns,"
-        "io_errors,io_retries,retry_exhausted,deadline_aborts,mode_fallbacks,"
-        "degraded_ns\n";
+  os << "batch,policy,cpu_busy_ns,idle_total_ns,mem_stall_ns,busy_wait_ns,"
+        "ctx_switch_ns,no_runnable_ns,major_faults,minor_faults,llc_misses,"
+        "prefetch_issued,prefetch_useful,preexec_episodes,preexec_lines_warmed,"
+        "async_switches,evictions,stolen_ns,makespan_ns,top50_finish_ns,"
+        "bottom50_finish_ns,io_errors,io_retries,retry_exhausted,"
+        "deadline_aborts,mode_fallbacks,degraded_ns,file_reads,file_writes,"
+        "file_writebacks,page_cache_hits,page_cache_misses\n";
   for (const auto& r : grid) {
     for (PolicyKind k : kAllPolicies) {
       auto it = r.by_policy.find(k);
       if (it == r.by_policy.end()) continue;
       const SimMetrics& m = it->second;
-      os << r.spec->name << ',' << policy_name(k) << ',' << m.idle.total() << ','
+      os << r.spec->name << ',' << policy_name(k) << ',' << m.cpu_busy << ','
+         << m.idle.total() << ','
          << m.idle.mem_stall << ',' << m.idle.busy_wait << ',' << m.idle.ctx_switch
          << ',' << m.idle.no_runnable << ',' << m.major_faults << ','
          << m.minor_faults << ',' << m.llc_misses << ',' << m.prefetch_issued << ','
@@ -31,7 +33,9 @@ void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
          << static_cast<std::uint64_t>(m.avg_finish_bottom_half()) << ','
          << m.io_errors << ',' << m.io_retries << ',' << m.retry_exhausted
          << ',' << m.deadline_aborts << ',' << m.mode_fallbacks << ','
-         << m.degraded_time << '\n';
+         << m.degraded_time << ',' << m.file_reads << ',' << m.file_writes
+         << ',' << m.file_writebacks << ',' << m.page_cache_hits << ','
+         << m.page_cache_misses << '\n';
     }
   }
 }

@@ -39,7 +39,9 @@ class RegisterFile {
 
   std::uint64_t inv_mask() const { return inv_; }
   void clear_all() { inv_ = 0; }
-  unsigned invalid_count() const { return __builtin_popcountll(inv_); }
+  unsigned invalid_count() const {
+    return static_cast<unsigned>(__builtin_popcountll(inv_));
+  }
 
  private:
   std::uint64_t inv_ = 0;

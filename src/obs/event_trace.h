@@ -49,7 +49,16 @@ enum class EventKind : std::uint8_t {
   kModeFallback,   ///< Aborted fault fell back to async mode.  a=vpn b=remaining (background) ns
 };
 
-inline constexpr std::size_t kNumEventKinds = 21;
+/// Derived from the lexically-last enumerator so adding a kind cannot leave
+/// the count stale; the static_assert is the tripwire a reviewer sees when
+/// the enum grows (update it together with kind_name(), the Chrome-trace
+/// mapping in trace_json.cpp, and the invariant checker — its_lint's
+/// registry rules enforce all four).
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kModeFallback) + 1;
+static_assert(kNumEventKinds == 21,
+              "EventKind grew: extend kind_name(), trace_json.cpp, and "
+              "invariant_checker.cpp, then bump this count");
 
 std::string_view kind_name(EventKind k);
 

@@ -1,8 +1,10 @@
 #include "obs/invariant_checker.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <unordered_map>
+#include <vector>
 
 namespace its::obs {
 
@@ -21,6 +23,49 @@ struct OpenFault {
   its::Vpn vpn = 0;
   its::SimTime begin = 0;
 };
+
+/// Which timeline an event lives on — decides which ordering invariants
+/// apply to it.  Exhaustive on purpose (no default): adding an EventKind
+/// without deciding its timeline is exactly the drift -Wswitch and
+/// its_lint's reg-invariant rule exist to catch.
+enum class Timeline : std::uint8_t {
+  kProcess,           ///< per-pid append order + makespan bound
+  kDeviceCompletion,  ///< stamped with the (future) completion; ts >= issue
+  kDeviceRetry,       ///< future detection/repost stamp; exempt from both
+};
+
+Timeline timeline_of(EventKind k) {
+  switch (k) {
+    case EventKind::kDmaComplete:
+      return Timeline::kDeviceCompletion;
+    case EventKind::kIoError:
+    case EventKind::kIoRetry:
+      // Exempt from per-pid append order and the makespan bound (a
+      // prefetched read may still be erroring out after the last process
+      // finished).
+      return Timeline::kDeviceRetry;
+    case EventKind::kFaultBegin:
+    case EventKind::kFaultEnd:
+    case EventKind::kFileWait:
+    case EventKind::kPrefetchIssue:
+    case EventKind::kPrefetchHit:
+    case EventKind::kPreexecBegin:
+    case EventKind::kPreexecEnd:
+    case EventKind::kCtxSwitch:
+    case EventKind::kAsyncConvert:
+    case EventKind::kSchedPick:
+    case EventKind::kSchedBlock:
+    case EventKind::kSchedWake:
+    case EventKind::kEvict:
+    case EventKind::kSwapIn:
+    case EventKind::kSwapOut:
+    case EventKind::kPrefetchWalk:
+    case EventKind::kDeadlineAbort:
+    case EventKind::kModeFallback:
+      return Timeline::kProcess;
+  }
+  return Timeline::kProcess;
+}
 
 }  // namespace
 
@@ -58,32 +103,42 @@ CheckResult check_invariants(const EventTrace& trace,
   Event pending_abort{};
   std::size_t idx = 0;
   for (const Event& e : trace.events()) {
+    // (0) the byte on the wire must name a real kind (a corrupted or
+    // version-skewed trace otherwise silently falls into the exemption
+    // branches below).
+    if (static_cast<std::size_t>(e.kind) >= kNumEventKinds) {
+      fail(fmt("event %zu: unknown EventKind %u",
+               idx, static_cast<unsigned>(e.kind)));
+      ++idx;
+      continue;
+    }
+
     // (1) per-pid time ordering, in recording order.
-    if (e.kind == EventKind::kDmaComplete) {
-      if (e.ts < e.b)
-        fail(fmt("event %zu: DMA completion at %" PRIu64
-                 " precedes its issue at %" PRIu64,
-                 idx, e.ts, e.b));
-    } else if (e.kind == EventKind::kIoError ||
-               e.kind == EventKind::kIoRetry) {
-      // Device-timeline events, stamped with their future detection /
-      // repost times (like kDmaComplete) — exempt from per-pid append
-      // order and the makespan bound (a prefetched read may still be
-      // erroring out after the last process finished).
-    } else {
-      auto [it, fresh] = last_ts.try_emplace(e.pid, e.ts);
-      if (!fresh && e.ts < it->second)
-        fail(fmt("event %zu (%s, pid %u): time %" PRIu64
-                 " precedes the pid's previous event at %" PRIu64,
-                 idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
-                 it->second));
-      else
-        it->second = e.ts;
-      if (e.ts > m.makespan)
-        fail(fmt("event %zu (%s, pid %u): time %" PRIu64
-                 " is beyond the makespan %" PRIu64,
-                 idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
-                 m.makespan));
+    switch (timeline_of(e.kind)) {
+      case Timeline::kDeviceCompletion:
+        if (e.ts < e.b)
+          fail(fmt("event %zu: DMA completion at %" PRIu64
+                   " precedes its issue at %" PRIu64,
+                   idx, e.ts, e.b));
+        break;
+      case Timeline::kDeviceRetry:
+        break;
+      case Timeline::kProcess: {
+        auto [it, fresh] = last_ts.try_emplace(e.pid, e.ts);
+        if (!fresh && e.ts < it->second)
+          fail(fmt("event %zu (%s, pid %u): time %" PRIu64
+                   " precedes the pid's previous event at %" PRIu64,
+                   idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
+                   it->second));
+        else
+          it->second = e.ts;
+        if (e.ts > m.makespan)
+          fail(fmt("event %zu (%s, pid %u): time %" PRIu64
+                   " is beyond the makespan %" PRIu64,
+                   idx, std::string(kind_name(e.kind)).c_str(), e.pid, e.ts,
+                   m.makespan));
+        break;
+      }
     }
 
     // (1b) every retry follows its error: kIoRetry must directly follow a
@@ -188,11 +243,20 @@ CheckResult check_invariants(const EventTrace& trace,
     fail(fmt("trace ends with a deadline_abort (pid %u, vpn %#" PRIx64
              ") that never fell back",
              pending_abort.pid, pending_abort.a));
-  for (const auto& [pid, f] : open)
-    if (f.open)
-      fail(fmt("pid %u: fault on vpn %#" PRIx64 " opened at %" PRIu64
-               " never ended",
-               pid, f.vpn, f.begin));
+  // Report still-open faults in pid order: `open` is hashed, and the
+  // violation list must not depend on the standard library's bucket layout.
+  std::vector<its::Pid> open_pids;
+  open_pids.reserve(open.size());
+  // its-lint: allow(det-unordered-iter): key collection for the sort below
+  for (const auto& kv : open)
+    if (kv.second.open) open_pids.push_back(kv.first);
+  std::sort(open_pids.begin(), open_pids.end());
+  for (its::Pid pid : open_pids) {
+    const OpenFault& f = open[pid];
+    fail(fmt("pid %u: fault on vpn %#" PRIx64 " opened at %" PRIu64
+             " never ended",
+             pid, f.vpn, f.begin));
+  }
 
   // (4) idle breakdown + utilized CPU time reconcile with the makespan.
   const its::Duration accounted =

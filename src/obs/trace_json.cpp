@@ -32,7 +32,9 @@ std::string escape(std::string_view s) {
   return out;
 }
 
-/// The slice name a duration/complete event renders under.
+/// The slice name a duration/complete event renders under.  Exhaustive on
+/// purpose (no default): -Wswitch and its_lint's reg-chrome-map rule both
+/// force a decision here when EventKind grows.
 std::string_view slice_name(EventKind k) {
   switch (k) {
     case EventKind::kFaultBegin:
@@ -41,9 +43,63 @@ std::string_view slice_name(EventKind k) {
     case EventKind::kPreexecBegin:
     case EventKind::kPreexecEnd:
       return "preexec";
-    default:
+    case EventKind::kFileWait:
+    case EventKind::kPrefetchIssue:
+    case EventKind::kPrefetchHit:
+    case EventKind::kCtxSwitch:
+    case EventKind::kAsyncConvert:
+    case EventKind::kDmaComplete:
+    case EventKind::kSchedPick:
+    case EventKind::kSchedBlock:
+    case EventKind::kSchedWake:
+    case EventKind::kEvict:
+    case EventKind::kSwapIn:
+    case EventKind::kSwapOut:
+    case EventKind::kPrefetchWalk:
+    case EventKind::kIoError:
+    case EventKind::kIoRetry:
+    case EventKind::kDeadlineAbort:
+    case EventKind::kModeFallback:
       return kind_name(k);
   }
+  return kind_name(k);
+}
+
+/// Chrome trace_event phase for each kind: paired B/E slices for the fault
+/// and pre-execute windows, complete (X) slices for windows recorded at
+/// their end with a duration in `b`, and thread-scoped instants for the
+/// point-in-time markers.
+enum class Phase : std::uint8_t { kBegin, kEnd, kComplete, kInstant };
+
+Phase phase_of(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+    case EventKind::kPreexecBegin:
+      return Phase::kBegin;
+    case EventKind::kFaultEnd:
+    case EventKind::kPreexecEnd:
+      return Phase::kEnd;
+    case EventKind::kCtxSwitch:
+    case EventKind::kFileWait:
+      return Phase::kComplete;
+    case EventKind::kPrefetchIssue:
+    case EventKind::kPrefetchHit:
+    case EventKind::kAsyncConvert:
+    case EventKind::kDmaComplete:
+    case EventKind::kSchedPick:
+    case EventKind::kSchedBlock:
+    case EventKind::kSchedWake:
+    case EventKind::kEvict:
+    case EventKind::kSwapIn:
+    case EventKind::kSwapOut:
+    case EventKind::kPrefetchWalk:
+    case EventKind::kIoError:
+    case EventKind::kIoRetry:
+    case EventKind::kDeadlineAbort:
+    case EventKind::kModeFallback:
+      return Phase::kInstant;
+  }
+  return Phase::kInstant;
 }
 
 }  // namespace
@@ -79,22 +135,19 @@ void write_chrome_trace(std::ostream& os, const EventTrace& trace,
     name_track(e.pid);
     sep();
     os << "{\"name\":\"" << slice_name(e.kind) << "\",";
-    switch (e.kind) {
-      case EventKind::kFaultBegin:
-      case EventKind::kPreexecBegin:
+    switch (phase_of(e.kind)) {
+      case Phase::kBegin:
         os << "\"ph\":\"B\",\"ts\":" << us(e.ts);
         break;
-      case EventKind::kFaultEnd:
-      case EventKind::kPreexecEnd:
+      case Phase::kEnd:
         os << "\"ph\":\"E\",\"ts\":" << us(e.ts);
         break;
-      case EventKind::kCtxSwitch:
-      case EventKind::kFileWait:
+      case Phase::kComplete:
         // The recorded stamp is the window's end; draw the slice over it.
         os << "\"ph\":\"X\",\"ts\":" << us(e.ts >= e.b ? e.ts - e.b : 0)
            << ",\"dur\":" << us(e.b);
         break;
-      default:
+      case Phase::kInstant:
         os << "\"ph\":\"i\",\"s\":\"t\",\"ts\":" << us(e.ts);
         break;
     }

@@ -95,7 +95,7 @@ ReuseProfile analyze_reuse(const Trace& t) {
   // most recent access index; the reuse distance of a re-access is the
   // number of markers strictly after the page's previous access.
   std::uint64_t refs = 0;
-  for (const auto& in : t.records()) refs += in.is_mem() ? 1 : 0;
+  for (const auto& in : t.records()) refs += in.is_mem() ? 1u : 0u;
 
   ReuseProfile r;
   Fenwick fw(refs + 1);

@@ -33,7 +33,7 @@ TEST(Batch, AllBatchesShareWrfBlenderCommunity) {
 TEST(Batch, DataIntensiveCountMatchesMembers) {
   for (const auto& b : paper_batches()) {
     unsigned di = 0;
-    for (auto id : b.members) di += trace::spec_for(id).data_intensive ? 1 : 0;
+    for (auto id : b.members) di += trace::spec_for(id).data_intensive ? 1u : 0u;
     EXPECT_EQ(di, b.data_intensive) << b.name;
   }
 }
@@ -160,7 +160,8 @@ TEST_F(ScaledExperiment, TopBottomSplitUsesPriorities) {
     ProcessOutcome o;
     o.pid = static_cast<its::Pid>(i);
     o.priority = 10 * (i + 1);
-    o.metrics.finish_time = 100 * (i + 1);  // higher priority finished later
+    o.metrics.finish_time =
+        100u * static_cast<its::SimTime>(i + 1);  // higher priority finished later
     m.processes.push_back(o);
   }
   // Top half = priorities 60, 50, 40 → finishes 600, 500, 400 → mean 500.

@@ -16,6 +16,7 @@
 //   * CSV and Chrome-trace export round-trips of the resilience fields.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -89,8 +90,9 @@ TEST(FaultInjector, DeterministicPerSeed) {
   p.seed = 99;
   fault::FaultInjector a(p), b(p);
   for (int i = 0; i < 2000; ++i) {
-    EXPECT_EQ(a.inflate_media_latency(i * 100, 3000, i % 2),
-              b.inflate_media_latency(i * 100, 3000, i % 2));
+    const its::SimTime base = static_cast<its::SimTime>(i) * 100;
+    EXPECT_EQ(a.inflate_media_latency(base, 3000, i % 2),
+              b.inflate_media_latency(base, 3000, i % 2));
     EXPECT_EQ(a.media_error(false, true), b.media_error(false, true));
     EXPECT_EQ(a.link_error(true), b.link_error(true));
   }
@@ -358,18 +360,29 @@ TEST(FaultExport, CsvCarriesResilienceColumns) {
                 "io_errors,io_retries,retry_exhausted,deadline_aborts,"
                 "mode_fallbacks,degraded_ns"),
             std::string::npos);
-  // The row's last six fields round-trip the counters exactly.
-  std::vector<std::string> fields;
-  std::istringstream rs(row);
-  for (std::string f; std::getline(rs, f, ',');) fields.push_back(f);
-  ASSERT_GE(fields.size(), 6u);
-  const std::size_t n = fields.size();
-  EXPECT_EQ(std::stoull(fields[n - 6]), m.io_errors);
-  EXPECT_EQ(std::stoull(fields[n - 5]), m.io_retries);
-  EXPECT_EQ(std::stoull(fields[n - 4]), m.retry_exhausted);
-  EXPECT_EQ(std::stoull(fields[n - 3]), m.deadline_aborts);
-  EXPECT_EQ(std::stoull(fields[n - 2]), m.mode_fallbacks);
-  EXPECT_EQ(std::stoull(fields[n - 1]),
+  // Look columns up by header name so appending new counters to the CSV
+  // does not invalidate this test.
+  auto split = [](const std::string& line) {
+    std::vector<std::string> fields;
+    std::istringstream ls(line);
+    for (std::string f; std::getline(ls, f, ',');) fields.push_back(f);
+    return fields;
+  };
+  const std::vector<std::string> cols = split(header);
+  const std::vector<std::string> fields = split(row);
+  ASSERT_EQ(cols.size(), fields.size());
+  auto field = [&](const std::string& name) {
+    auto it = std::find(cols.begin(), cols.end(), name);
+    EXPECT_NE(it, cols.end()) << "no CSV column named " << name;
+    return std::stoull(
+        fields[static_cast<std::size_t>(it - cols.begin())]);
+  };
+  EXPECT_EQ(field("io_errors"), m.io_errors);
+  EXPECT_EQ(field("io_retries"), m.io_retries);
+  EXPECT_EQ(field("retry_exhausted"), m.retry_exhausted);
+  EXPECT_EQ(field("deadline_aborts"), m.deadline_aborts);
+  EXPECT_EQ(field("mode_fallbacks"), m.mode_fallbacks);
+  EXPECT_EQ(field("degraded_ns"),
             static_cast<std::uint64_t>(m.degraded_time));
 }
 

@@ -103,8 +103,9 @@ TEST_P(FigureShapes, Fig5bItsNotWorseForBottomPriorities) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBatches, FigureShapes, ::testing::Range<std::size_t>(0, 4),
-                         [](const auto& info) {
-                           return std::string(paper_batches()[info.param].name);
+                         [](const auto& param_info) {
+                           return std::string(
+                               paper_batches()[param_info.param].name);
                          });
 
 }  // namespace

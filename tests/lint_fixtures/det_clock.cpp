@@ -1,0 +1,11 @@
+// det-clock fixture: host-clock reads, one banned identifier per line.
+#include <chrono>
+#include <ctime>
+
+long long hybrid_now() {
+  auto mono = std::chrono::steady_clock::now().time_since_epoch().count();
+  auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  return mono + wall + ts.tv_nsec;
+}

@@ -1,0 +1,13 @@
+// det-double-ns fixture: nanosecond quantities held or accumulated in
+// floating point.
+struct Window {
+  unsigned long long finish_time;
+};
+
+double total_ns = 0.0;
+
+double mean_finish(const Window* w, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += w[i].finish_time;
+  return sum / n;
+}

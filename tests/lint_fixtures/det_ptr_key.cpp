@@ -1,0 +1,11 @@
+// det-ptr-key fixture: ordered containers keyed by pointer iterate in
+// allocation-address order, which varies run to run.
+#include <map>
+#include <set>
+
+struct Proc {
+  int pid;
+};
+
+std::map<const Proc*, int> credit;
+std::set<Proc*> blocked;

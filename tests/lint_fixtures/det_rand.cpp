@@ -1,0 +1,12 @@
+// det-rand fixture: every trigger class fires exactly once per site.
+#include <cstdlib>
+#include <random>
+
+int unseeded_defaults() {
+  std::mt19937 gen;
+  std::mt19937_64 wide{};
+  std::random_device rd;
+  return static_cast<int>(gen() + wide() + rd());
+}
+
+int libc_rand() { return std::rand(); }

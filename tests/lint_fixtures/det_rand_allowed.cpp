@@ -1,0 +1,12 @@
+// det-rand fixture: a reasoned suppression silences the finding, both as
+// a trailing comment (guards its own line) and as a whole-line comment
+// (guards the next line).
+#include <random>
+
+unsigned trailing_and_whole_line(unsigned seed) {
+  std::mt19937 gen;  // its-lint: allow(det-rand): reseeded right below
+  gen.seed(seed);
+  // its-lint: allow(det-rand): fixture exercises the whole-line form
+  std::random_device rd;
+  return static_cast<unsigned>(gen()) + rd();
+}

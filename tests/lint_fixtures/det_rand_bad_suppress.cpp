@@ -1,0 +1,13 @@
+// det-rand fixture: a suppression without a reason is itself a finding
+// (lint-bad-suppress) and does NOT silence the original det-rand one.
+#include <random>
+
+int reasonless() {
+  std::mt19937 gen;  // its-lint: allow(det-rand)
+  return static_cast<int>(gen());
+}
+
+int unknown_rule() {
+  std::mt19937 gen2;  // its-lint: allow(not-a-rule): misspelled id
+  return static_cast<int>(gen2());
+}

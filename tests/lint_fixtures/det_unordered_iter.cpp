@@ -1,0 +1,17 @@
+// det-unordered-iter fixture: hash-order iteration in a file that is on
+// the event path (it names EventTrace), feeding an accumulated output.
+#include <cstdint>
+#include <unordered_map>
+
+namespace its::obs {
+class EventTrace;
+}
+
+std::uint64_t sum_counts(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& counts,
+    its::obs::EventTrace* trace) {
+  std::uint64_t total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  (void)trace;
+  return total;
+}

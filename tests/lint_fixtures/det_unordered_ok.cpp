@@ -1,0 +1,12 @@
+// det-unordered-iter fixture: the identical loop is fine here — this
+// file never names EventTrace or SimMetrics, so hash order cannot reach
+// an event stream or a metrics accumulator.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t sum_counts(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace its::core {
+
+struct SimConfig {
+  unsigned knob = 1;
+};
+
+}  // namespace its::core

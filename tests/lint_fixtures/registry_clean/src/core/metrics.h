@@ -1,0 +1,15 @@
+#pragma once
+#include <cstdint>
+
+namespace its::core {
+
+struct IdleBreakdown {
+  std::uint64_t busy_wait = 0;
+};
+
+struct SimMetrics {
+  std::uint64_t major_faults = 0;
+  IdleBreakdown idle{};
+};
+
+}  // namespace its::core

@@ -1,0 +1,15 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha:
+      return "alpha";
+    case EventKind::kBeta:
+      return "beta";
+  }
+  return "unknown";
+}
+
+}  // namespace its::obs

@@ -1,0 +1,16 @@
+// Minimal in-sync registry: two kinds, derived count, matching assert.
+#pragma once
+#include <cstddef>
+
+namespace its::obs {
+
+enum class EventKind : unsigned char {
+  kAlpha,
+  kBeta,
+};
+
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kBeta) + 1;
+static_assert(kNumEventKinds == 2, "registry fixture count");
+
+}  // namespace its::obs

@@ -1,0 +1,15 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+bool process_timeline(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha:
+      return true;
+    case EventKind::kBeta:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace its::obs

@@ -1,0 +1,15 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+char phase_of(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha:
+      return 'B';
+    case EventKind::kBeta:
+      return 'E';
+  }
+  return 'i';
+}
+
+}  // namespace its::obs

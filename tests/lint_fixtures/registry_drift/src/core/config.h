@@ -1,0 +1,10 @@
+#pragma once
+
+namespace its::core {
+
+struct SimConfig {
+  unsigned knob = 1;
+  unsigned hidden_knob = 2;  // never documented
+};
+
+}  // namespace its::core

@@ -1,0 +1,11 @@
+#pragma once
+#include <cstdint>
+
+namespace its::core {
+
+struct SimMetrics {
+  std::uint64_t major_faults = 0;
+  std::uint64_t dropped_events = 0;  // accumulated, never reported
+};
+
+}  // namespace its::core

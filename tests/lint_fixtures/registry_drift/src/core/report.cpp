@@ -1,0 +1,11 @@
+#include <ostream>
+
+#include "core/metrics.h"
+
+namespace its::core {
+
+void write_metrics_csv(std::ostream& os, const SimMetrics& m) {
+  os << m.major_faults << '\n';
+}
+
+}  // namespace its::core

@@ -1,0 +1,17 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// kGamma was added to the enum but never named here.
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha:
+      return "alpha";
+    case EventKind::kBeta:
+      return "beta";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace its::obs

@@ -1,0 +1,15 @@
+// Drifted registry: three kinds, a stale hand-written count, no assert.
+#pragma once
+#include <cstddef>
+
+namespace its::obs {
+
+enum class EventKind : unsigned char {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+inline constexpr std::size_t kNumEventKinds = 2;
+
+}  // namespace its::obs

@@ -1,0 +1,10 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// kAlpha is never referenced by any invariant.
+bool device_timeline(EventKind k) {
+  return k == EventKind::kBeta || k == EventKind::kGamma;
+}
+
+}  // namespace its::obs

@@ -1,0 +1,17 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// kBeta has no Chrome-trace mapping.
+char phase_of(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha:
+      return 'B';
+    case EventKind::kGamma:
+      return 'E';
+    default:
+      return 'i';
+  }
+}
+
+}  // namespace its::obs

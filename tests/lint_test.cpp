@@ -1,0 +1,283 @@
+// Tests for tools/its_lint: every rule must fire exactly where the
+// fixtures under tests/lint_fixtures/ violate it, reasoned suppressions
+// must silence findings, and the cross-file registry rules must accept an
+// in-sync mini-tree and flag a drifted one.
+//
+// ITS_LINT_FIXTURE_DIR is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace its::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(ITS_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+SourceFile load_fixture(const std::string& name) {
+  SourceFile f;
+  std::string err;
+  EXPECT_TRUE(SourceFile::load(fixture(name), &f, &err)) << err;
+  return f;
+}
+
+/// (rule, line) pairs of `findings`, sorted, for whole-set comparisons.
+std::vector<std::pair<Rule, std::size_t>> locations(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<Rule, std::size_t>> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool has_finding(const std::vector<Finding>& findings, Rule r,
+                 std::string_view needle) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == r && f.message.find(needle) != std::string::npos;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+
+TEST(LintTokenizer, StripsCommentsAndLiteralsButKeepsLines) {
+  std::string code =
+      "int a; // rand()\n"
+      "/* rand() spans\n   lines */ int b = 'x';\n"
+      "const char* s = \"std::rand()\";\n";
+  std::string stripped = strip_comments_and_strings(code);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(code.begin(), code.end(), '\n'));
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int b ="), std::string::npos);
+}
+
+TEST(LintTokenizer, RawStringsAndDigitSeparatorsSurvive) {
+  // 5'000 must not open a char literal; the raw string must be blanked.
+  std::string code =
+      "int n = 5'000;\n"
+      "auto r = R\"(srand(1))\";\n"
+      "int m = 7;\n";
+  std::string stripped = strip_comments_and_strings(code);
+  EXPECT_EQ(stripped.find("srand"), std::string::npos);
+  EXPECT_NE(stripped.find("int m = 7;"), std::string::npos);
+}
+
+TEST(LintTokenizer, ContainsWordRespectsBoundaries) {
+  EXPECT_TRUE(contains_word("std::rand();", "rand"));
+  EXPECT_FALSE(contains_word("unordered_map", "map"));
+  EXPECT_FALSE(contains_word("random_device", "rand"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules, one fixture per rule.
+
+TEST(LintDeterminism, DetRandFiresOnEveryTrigger) {
+  auto f = load_fixture("det_rand.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetRand, 6},   // std::mt19937 gen;
+      {Rule::kDetRand, 7},   // std::mt19937_64 wide{};
+      {Rule::kDetRand, 8},   // std::random_device rd;
+      {Rule::kDetRand, 12},  // std::rand()
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintDeterminism, DetClockFiresPerBannedIdentifier) {
+  auto f = load_fixture("det_clock.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetClock, 6},  // steady_clock
+      {Rule::kDetClock, 7},  // system_clock
+      {Rule::kDetClock, 9},  // timespec_get
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintDeterminism, DetUnorderedIterFiresOnlyOnEventPathFiles) {
+  auto bad = load_fixture("det_unordered_iter.cpp");
+  auto got = locations(lint_file(bad));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetUnorderedIter, 14},  // for (const auto& kv : counts)
+  };
+  EXPECT_EQ(got, want);
+
+  // Same loop, no EventTrace/SimMetrics in the file: out of scope.
+  auto ok = load_fixture("det_unordered_ok.cpp");
+  EXPECT_TRUE(lint_file(ok).empty());
+}
+
+TEST(LintDeterminism, DetPtrKeyFiresOnPointerKeyedOrderedContainers) {
+  auto f = load_fixture("det_ptr_key.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetPtrKey, 10},  // std::map<const Proc*, int>
+      {Rule::kDetPtrKey, 11},  // std::set<Proc*>
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintDeterminism, DetDoubleNsFiresOnDeclAndAccumulation) {
+  auto f = load_fixture("det_double_ns.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetDoubleNs, 7},   // double total_ns = 0.0;
+      {Rule::kDetDoubleNs, 11},  // sum += w[i].finish_time;
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintDeterminism, RateNamesAreNotNanosecondQuantities) {
+  // `per`-named doubles are rates (bytes/ns), not ns totals.
+  auto f = SourceFile::from_text(
+      "src/fake/rates.h", "double copy_bytes_per_ns = 16.0;\n"
+                          "double ns_per_instr = 1.0;\n");
+  EXPECT_TRUE(lint_file(f).empty());
+}
+
+TEST(LintDeterminism, RngHomeAndFaultLayerAreExemptFromDetRand) {
+  const std::string decl = "std::mt19937 gen;\n";
+  EXPECT_TRUE(lint_file(SourceFile::from_text("src/util/rng.h", decl)).empty());
+  EXPECT_TRUE(
+      lint_file(SourceFile::from_text("src/fault/injector.cpp", decl)).empty());
+  EXPECT_FALSE(
+      lint_file(SourceFile::from_text("src/core/sim.cpp", decl)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+TEST(LintSuppress, ReasonedAllowSilencesTrailingAndWholeLineForms) {
+  auto f = load_fixture("det_rand_allowed.cpp");
+  EXPECT_TRUE(lint_file(f).empty());
+}
+
+TEST(LintSuppress, ReasonlessOrUnknownAllowIsItselfAFinding) {
+  auto f = load_fixture("det_rand_bad_suppress.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetRand, 6},       // original finding survives
+      {Rule::kDetRand, 11},      // ditto for the unknown-rule form
+      {Rule::kBadSuppress, 6},   // allow(det-rand) without a reason
+      {Rule::kBadSuppress, 11},  // allow(not-a-rule)
+  };
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintSuppress, AllowOnlyCoversItsOwnRule) {
+  // A det-clock suppression must not silence a det-rand finding.
+  auto f = SourceFile::from_text(
+      "src/fake/wrong_rule.cpp",
+      "#include <random>\n"
+      "std::mt19937 gen;  // its-lint: allow(det-clock): wrong rule\n");
+  auto findings = lint_file(f);
+  EXPECT_TRUE(has_finding(findings, Rule::kDetRand, "unseeded"));
+}
+
+// ---------------------------------------------------------------------------
+// Registry rules over the fixture mini-trees.
+
+TEST(LintRegistry, CleanTreeHasNoFindings) {
+  std::vector<std::string> errors;
+  auto findings =
+      scan_registry(registry_inputs_for_root(fixture("registry_clean")),
+                    &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRegistry, DriftedTreeFlagsEveryRegistryRule) {
+  std::vector<std::string> errors;
+  auto findings = scan_registry(
+      registry_inputs_for_root(fixture("registry_drift")), &errors);
+  EXPECT_TRUE(errors.empty());
+
+  EXPECT_TRUE(has_finding(findings, Rule::kRegKindName, "kGamma"));
+  EXPECT_TRUE(has_finding(findings, Rule::kRegChromeMap, "kBeta"));
+  EXPECT_TRUE(has_finding(findings, Rule::kRegInvariant, "kAlpha"));
+  EXPECT_TRUE(has_finding(findings, Rule::kRegKindCount, "kGamma"));
+  EXPECT_TRUE(has_finding(findings, Rule::kRegKindCount, "static_assert"));
+  EXPECT_TRUE(has_finding(findings, Rule::kRegMetricsReport, "dropped_events"));
+  EXPECT_TRUE(has_finding(findings, Rule::kRegConfigDoc, "hidden_knob"));
+
+  // Nothing in-sync may be flagged.
+  EXPECT_FALSE(has_finding(findings, Rule::kRegKindName, "kAlpha"));
+  EXPECT_FALSE(has_finding(findings, Rule::kRegMetricsReport, "major_faults"));
+  EXPECT_FALSE(has_finding(findings, Rule::kRegConfigDoc, "'knob'"));
+}
+
+// ---------------------------------------------------------------------------
+// Parsers.
+
+TEST(LintParsers, EnumBodyInOrder) {
+  auto f = load_fixture("registry_drift/src/obs/event_trace.h");
+  auto kinds = parse_enum_body(f, "EventKind");
+  std::vector<std::string> want = {"kAlpha", "kBeta", "kGamma"};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LintParsers, StructFieldsSkipFunctionsAndKeepBraceInit) {
+  auto f = SourceFile::from_text(
+      "src/fake/s.h",
+      "struct Demo {\n"
+      "  unsigned a = 1;\n"
+      "  Nested nested{};\n"
+      "  std::uint64_t big = 512ull << 20;\n"
+      "  int helper() const { return 0; }\n"
+      "  double rate = 2.5;\n"
+      "};\n");
+  auto fields = parse_struct_fields(f, "Demo");
+  std::vector<std::string> want = {"a", "nested", "big", "rate"};
+  EXPECT_EQ(fields, want);
+}
+
+// ---------------------------------------------------------------------------
+// Exit codes: the ctest/CI contract.
+
+TEST(LintExitCodes, PerRuleAndMixed) {
+  EXPECT_EQ(exit_code_for(Rule::kDetRand), 10);
+  EXPECT_EQ(exit_code_for(Rule::kBadSuppress),
+            10 + static_cast<int>(Rule::kBadSuppress));
+
+  LintResult clean;
+  EXPECT_EQ(clean.exit_code(), kExitClean);
+
+  LintResult one;
+  one.findings.push_back({"f.cpp", 1, Rule::kDetClock, "m"});
+  EXPECT_EQ(one.exit_code(), exit_code_for(Rule::kDetClock));
+
+  LintResult mixed = one;
+  mixed.findings.push_back({"f.cpp", 2, Rule::kDetRand, "m"});
+  EXPECT_EQ(mixed.exit_code(), kExitMixed);
+
+  LintResult errored;
+  errored.errors.push_back("unreadable");
+  EXPECT_EQ(errored.exit_code(), kExitUsage);
+}
+
+// Seeding any fixture's violation into a src/ path must produce findings —
+// the property the lint.src_clean ctest gate relies on.
+TEST(LintGate, FixtureViolationsWouldFailTheSrcGate) {
+  for (const char* name :
+       {"det_rand.cpp", "det_clock.cpp", "det_unordered_iter.cpp",
+        "det_ptr_key.cpp", "det_double_ns.cpp"}) {
+    SourceFile fixture_file = load_fixture(name);
+    SourceFile as_src = fixture_file;
+    as_src.path = "src/seeded/" + std::string(name);
+    LintResult r;
+    r.findings = lint_file(as_src);
+    EXPECT_FALSE(r.findings.empty()) << name;
+    EXPECT_NE(r.exit_code(), kExitClean) << name;
+  }
+}
+
+}  // namespace
+}  // namespace its::lint

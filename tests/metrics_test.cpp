@@ -44,8 +44,8 @@ TEST(AvgFinish, OddCountMiddleProcessCountedExactlyOnce) {
 TEST(AvgFinish, EvenCountSplitsCleanly) {
   SimMetrics m;
   for (int i = 0; i < 4; ++i)
-    m.processes.push_back(
-        proc(static_cast<its::Pid>(i), 40 - 10 * i, 100 * (i + 1)));
+    m.processes.push_back(proc(static_cast<its::Pid>(i), 40 - 10 * i,
+                               100u * static_cast<its::SimTime>(i + 1)));
   EXPECT_DOUBLE_EQ(m.avg_finish_top_half(), (100.0 + 200.0) / 2.0);
   EXPECT_DOUBLE_EQ(m.avg_finish_bottom_half(), (300.0 + 400.0) / 2.0);
 }

@@ -60,7 +60,8 @@ TEST(EventTrace, RecordsAndAggregates) {
 TEST(EventTrace, CapCountsDroppedInsteadOfGrowing) {
   EventTrace et(4, 2);
   for (int i = 0; i < 5; ++i)
-    et.record(EventKind::kEvict, i, 0, static_cast<std::uint64_t>(i));
+    et.record(EventKind::kEvict, static_cast<its::SimTime>(i), 0,
+              static_cast<std::uint64_t>(i));
   EXPECT_EQ(et.size(), 2u);
   EXPECT_EQ(et.dropped(), 3u);
 }
@@ -94,9 +95,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllBatchesAllPolicies, InvariantsGrid,
     ::testing::Combine(::testing::Range(0, 4),
                        ::testing::ValuesIn(core::kAllPolicies)),
-    [](const auto& info) {
-      return "batch" + std::to_string(std::get<0>(info.param)) + "_" +
-             std::string(core::policy_name(std::get<1>(info.param)));
+    [](const auto& param_info) {
+      return "batch" + std::to_string(std::get<0>(param_info.param)) + "_" +
+             std::string(core::policy_name(std::get<1>(param_info.param)));
     });
 
 // ---------------------------------------------------------------------------
@@ -111,7 +112,7 @@ TEST_P(InvariantsFuzz, RandomConfigTimelineReconciles) {
   cfg.gen.length_scale = 0.01;
   cfg.sim.seed = rng();
   cfg.sim.swap_cluster_pages = 1u << (rng() % 3);        // 1, 2 or 4
-  cfg.sim.va_prefetch.degree = 1 + rng() % 12;
+  cfg.sim.va_prefetch.degree = 1 + static_cast<unsigned>(rng() % 12);
   cfg.sim.ctx_switch_cost = 1000 + rng() % 12000;
   cfg.sim.ull.read_latency = 1000 + rng() % 9000;
   cfg.sim.ull.write_latency = cfg.sim.ull.read_latency;

@@ -40,7 +40,7 @@ TEST(ReportCsv, MetricsHeaderAndRow) {
   ASSERT_TRUE(std::getline(is, row));
   EXPECT_FALSE(std::getline(is, extra));  // one policy → one row
   EXPECT_NE(header.find("idle_total_ns"), std::string::npos);
-  EXPECT_NE(row.find("No_Data_Intensive,Sync,300,100,200"), std::string::npos);
+  EXPECT_NE(row.find("No_Data_Intensive,Sync,0,300,100,200"), std::string::npos);
   // Same column count in header and row.
   auto commas = [](const std::string& s) {
     return std::count(s.begin(), s.end(), ',');

@@ -144,7 +144,7 @@ TEST_P(SliceInterpolation, SliceWithinConfiguredRange) {
     procs.push_back(std::make_unique<Process>(static_cast<its::Pid>(i), "p",
                                               10 * (i + 1), tiny_trace()));
   for (auto& p : procs) s.add(p.get());
-  int idx = GetParam();
+  const std::size_t idx = static_cast<std::size_t>(GetParam());
   its::Duration slice = s.slice_for(*procs[idx]);
   EXPECT_GE(slice, 5'000'000u);
   EXPECT_LE(slice, 800'000'000u);

@@ -91,7 +91,8 @@ TEST(TraceContainer, EmptyTraceStats) {
 TEST(TraceIo, RoundTripPreservesEverything) {
   Trace t("roundtrip");
   for (int i = 0; i < 1000; ++i) {
-    t.push_back(Instr::load(0x1000 + i * 64, 8, static_cast<std::uint8_t>(i % 31 + 1), 0));
+    t.push_back(Instr::load(0x1000 + static_cast<its::VirtAddr>(i) * 64, 8,
+                            static_cast<std::uint8_t>(i % 31 + 1), 0));
     t.push_back(Instr::compute(static_cast<std::uint16_t>(i % 7 + 1), 1, 2, 3));
   }
   std::stringstream ss;
@@ -182,7 +183,7 @@ TEST(TraceIo, OversizedNameLenRejectedBeforeAllocation) {
 TEST(TraceIo, OversizedCountRejectedBeforeAllocation) {
   std::string bytes = one_record_bytes();
   // count := 2^56 — promises far more records than the stream holds.
-  for (int i = 0; i < 8; ++i) bytes[13 + i] = (i == 7) ? '\x01' : '\0';
+  for (std::size_t i = 0; i < 8; ++i) bytes[13 + i] = (i == 7) ? '\x01' : '\0';
   TraceIoError e = capture_error(bytes);
   EXPECT_EQ(e.code(), TraceIoErrc::kCountTooLarge);
   EXPECT_EQ(e.offset(), 13u);
@@ -309,7 +310,9 @@ INSTANTIATE_TEST_SUITE_P(
                       WorkloadId::kXz, WorkloadId::kDeepSjeng, WorkloadId::kCommunity,
                       WorkloadId::kRandomWalk, WorkloadId::kPageRank,
                       WorkloadId::kGraph500Sssp),
-    [](const auto& info) { return std::string(spec_for(info.param).name); });
+    [](const auto& param_info) {
+      return std::string(spec_for(param_info.param).name);
+    });
 
 TEST(Workloads, DataIntensiveRegionsAreSparse) {
   // The graph workloads must leave untouched holes in their regions —

@@ -144,7 +144,7 @@ TEST(PageTable, CursorStopsAtUnpopulatedTable) {
 TEST(FramePool, AllocUntilFull) {
   FramePool pool(4 * its::kPageSize);
   EXPECT_EQ(pool.num_frames(), 4u);
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(pool.try_alloc(1, i).has_value());
+  for (its::Vpn i = 0; i < 4; ++i) EXPECT_TRUE(pool.try_alloc(1, i).has_value());
   EXPECT_FALSE(pool.try_alloc(1, 99).has_value());
   EXPECT_EQ(pool.used_frames(), 4u);
 }

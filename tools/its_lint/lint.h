@@ -1,0 +1,178 @@
+// its_lint — the project's self-hosted determinism & accounting linter.
+//
+// Every number this reproduction reports rests on the simulator being
+// bit-identical across runs and platforms: the golden-run suite diffs raw
+// SimMetrics integers, and the invariant checker replays traces event by
+// event.  Two classes of regression break that silently:
+//
+//   1. *Determinism leaks* — wall-clock reads, unseeded generators, or
+//      hash-order iteration feeding the trace/metrics path.  These do not
+//      fail a test on the machine that introduced them; they fail weeks
+//      later on someone else's libstdc++.
+//   2. *Registry drift* — the hand-maintained tables that must stay in
+//      sync with `enum class EventKind` (kind_name, the Chrome exporter,
+//      the invariant rules), with `SimMetrics` (the CSV report), and with
+//      `SimConfig` (the docs).  A forgotten entry corrupts accounting or
+//      documentation without tripping any runtime check.
+//
+// This tool scans `src/` at lint time (ctest label `lint`, CI job `lint`)
+// with a small comment/string-stripping tokenizer and flags both classes.
+// It is deliberately heuristic — a tokenizer, not a compiler front end —
+// so every rule supports an explicit, reasoned suppression:
+//
+//   std::mt19937 gen;  // its-lint: allow(det-rand): seeded by caller below
+//
+// A suppression without a reason is itself a finding (lint-bad-suppress).
+// See docs/static-analysis.md for the full rule catalogue.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace its::lint {
+
+/// Every rule the linter knows.  The enumerator order defines the per-rule
+/// exit code (see `exit_code_for`) and the order findings are reported in.
+enum class Rule : std::size_t {
+  kDetRand,           ///< std::rand/random_device/unseeded mt19937.
+  kDetClock,          ///< system_clock/steady_clock/gettimeofday/...
+  kDetUnorderedIter,  ///< Hash-order iteration in event/metrics files.
+  kDetPtrKey,         ///< Pointer-keyed ordered containers.
+  kDetDoubleNs,       ///< double accumulation of nanosecond quantities.
+  kRegKindName,       ///< EventKind enumerator missing from kind_name().
+  kRegChromeMap,      ///< EventKind enumerator missing from trace_json.cpp.
+  kRegInvariant,      ///< EventKind enumerator unreferenced by the checker.
+  kRegKindCount,      ///< kNumEventKinds disagrees with the enum body.
+  kRegMetricsReport,  ///< SimMetrics counter missing from report.cpp.
+  kRegConfigDoc,      ///< SimConfig field undocumented in docs//README.
+  kBadSuppress,       ///< Malformed/unreasoned its-lint: allow(...).
+};
+
+inline constexpr std::size_t kNumRules =
+    static_cast<std::size_t>(Rule::kBadSuppress) + 1;
+
+/// Stable kebab-case rule identifier, used in output and in allow(...).
+std::string_view rule_id(Rule r);
+
+/// One-line description shown by --list-rules.
+std::string_view rule_summary(Rule r);
+
+/// Parses an allow(...) identifier; returns false for unknown ids.
+bool rule_from_id(std::string_view id, Rule* out);
+
+/// Process exit code reserved for violations of `r` (10 + enumerator).
+/// Runs violating several distinct rules exit with kExitMixed.
+int exit_code_for(Rule r);
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitMixed = 2;
+
+struct Finding {
+  std::string file;  ///< Path as given to the scanner (repo-relative in CI).
+  std::size_t line = 0;  ///< 1-based; 0 for whole-file registry findings.
+  Rule rule = Rule::kBadSuppress;
+  std::string message;
+};
+
+/// A loaded source file: the raw text plus a comment/string-blanked twin
+/// ("code") on which all token rules run.  Line structure is preserved so
+/// findings carry accurate line numbers.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw_lines;   ///< Verbatim, for suppressions.
+  std::vector<std::string> code_lines;  ///< Comments/strings blanked.
+
+  /// Loads and tokenizes `path`.  Returns false (and sets `error`) when
+  /// the file cannot be read.
+  static bool load(const std::string& path, SourceFile* out,
+                   std::string* error);
+
+  /// Builds a SourceFile from in-memory text (fixture tests).
+  static SourceFile from_text(std::string path, std::string_view text);
+};
+
+/// Replaces //, /*...*/ comments and string/char literals with spaces,
+/// preserving newlines.  Exposed for tests.
+std::string strip_comments_and_strings(std::string_view text);
+
+/// True when `word` occurs in `line` delimited by non-identifier chars.
+bool contains_word(std::string_view line, std::string_view word);
+
+// ---------------------------------------------------------------------------
+// Determinism rules (per file).
+
+/// Runs every determinism rule on one file.  Suppressions are NOT applied
+/// here; `apply_suppressions` handles them so the pipeline is testable in
+/// isolation.
+std::vector<Finding> scan_determinism(const SourceFile& f);
+
+// ---------------------------------------------------------------------------
+// Registry rules (cross-file).
+
+/// The files the registry rules read, resolved relative to --root.
+struct RegistryInputs {
+  std::string event_trace_h;       ///< src/obs/event_trace.h
+  std::string event_trace_cpp;     ///< src/obs/event_trace.cpp
+  std::string trace_json_cpp;      ///< src/obs/trace_json.cpp
+  std::string invariant_cpp;       ///< src/obs/invariant_checker.cpp
+  std::string metrics_h;           ///< src/core/metrics.h
+  std::string report_cpp;          ///< src/core/report.cpp
+  std::string config_h;            ///< src/core/config.h
+  std::vector<std::string> docs;   ///< README.md + docs/*.md
+};
+
+/// Default layout under `root` (only files that exist are filled in).
+RegistryInputs registry_inputs_for_root(const std::string& root);
+
+std::vector<Finding> scan_registry(const RegistryInputs& in,
+                                   std::vector<std::string>* errors);
+
+/// Parses `enum class <name> : ... { ... };` enumerator names, in order.
+/// Exposed for tests.  Returns empty when the enum is absent.
+std::vector<std::string> parse_enum_body(const SourceFile& f,
+                                         std::string_view enum_name);
+
+/// Parses the field names of `struct <name> { ... };`.  Member functions
+/// and nested type definitions are skipped.  Exposed for tests.
+std::vector<std::string> parse_struct_fields(const SourceFile& f,
+                                             std::string_view struct_name);
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+struct LintOptions {
+  std::string root = ".";       ///< Repo root (registry files live below).
+  std::vector<std::string> paths;  ///< Files/dirs to scan; default {root}/src.
+  bool registry = true;         ///< Run the cross-file rules.
+  bool json = false;            ///< Machine-readable output.
+};
+
+struct LintResult {
+  std::vector<Finding> findings;   ///< Post-suppression, sorted.
+  std::vector<std::string> errors;  ///< Unreadable files etc.
+
+  int exit_code() const;
+};
+
+/// Filters `findings` through the `its-lint: allow(rule): reason` comments
+/// of `f`, appending kBadSuppress findings for malformed ones.  Exposed
+/// for tests.
+std::vector<Finding> apply_suppressions(const SourceFile& f,
+                                        std::vector<Finding> findings);
+
+/// Scans one already-loaded file (determinism rules + suppressions).
+std::vector<Finding> lint_file(const SourceFile& f);
+
+/// Full run: collect files, per-file rules, registry rules.
+LintResult run_lint(const LintOptions& opts);
+
+/// Human-readable report (one finding per line, gcc-style).
+void print_findings(std::ostream& os, const LintResult& r);
+
+/// JSON report: {"findings":[...],"errors":[...],"exit_code":N}.
+void print_json(std::ostream& os, const LintResult& r);
+
+}  // namespace its::lint

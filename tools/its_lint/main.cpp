@@ -1,0 +1,66 @@
+// its_lint command-line driver.
+//
+//   its_lint [--root DIR] [--json] [--no-registry] [--list-rules] [paths...]
+//
+// With no paths, scans <root>/src with every rule.  Explicit paths run the
+// per-file determinism rules on exactly those files/directories (the
+// registry rules still resolve against --root unless --no-registry).
+//
+// Exit codes: 0 clean, 1 usage/IO error, 10+N a single rule N violated,
+// 2 several distinct rules violated (see --list-rules for the mapping).
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "lint.h"
+
+namespace {
+
+int list_rules() {
+  std::cout << "exit  rule                 summary\n";
+  for (std::size_t i = 0; i < its::lint::kNumRules; ++i) {
+    auto r = static_cast<its::lint::Rule>(i);
+    std::string id(its::lint::rule_id(r));
+    id.resize(20, ' ');
+    std::cout << "  " << its::lint::exit_code_for(r) << "  " << id << " "
+              << its::lint::rule_summary(r) << "\n";
+  }
+  return its::lint::kExitClean;
+}
+
+int usage(std::string_view msg) {
+  std::cerr << "its_lint: " << msg << "\n"
+            << "usage: its_lint [--root DIR] [--json] [--no-registry] "
+               "[--list-rules] [paths...]\n";
+  return its::lint::kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  its::lint::LintOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--no-registry") {
+      opts.registry = false;
+    } else if (arg == "--list-rules") {
+      return list_rules();
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage("--root needs a directory");
+      opts.root = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage("unknown flag " + std::string(arg));
+    } else {
+      opts.paths.emplace_back(arg);
+    }
+  }
+
+  its::lint::LintResult r = its::lint::run_lint(opts);
+  if (opts.json)
+    its::lint::print_json(std::cout, r);
+  else
+    its::lint::print_findings(std::cout, r);
+  return r.exit_code();
+}

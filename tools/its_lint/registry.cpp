@@ -1,0 +1,365 @@
+// Registry rules: the cross-file consistency checks.
+//
+// The repo keeps several registries that must agree with a single source
+// of truth: the EventKind enum drives kind_name(), the Chrome exporter and
+// the invariant checker; SimMetrics drives the CSV report; SimConfig
+// drives the configuration docs.  Each rule parses the source-of-truth
+// declaration and greps the dependent files for every entry.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace its::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string joined_code(const SourceFile& f) {
+  std::string text;
+  for (const std::string& l : f.code_lines) {
+    text += l;
+    text += '\n';
+  }
+  return text;
+}
+
+/// 1-based line of `offset` in `text`.
+std::size_t line_at(std::string_view text, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i)
+    if (text[i] == '\n') ++line;
+  return line;
+}
+
+std::size_t find_word_from(std::string_view text, std::string_view word,
+                           std::size_t from) {
+  std::size_t at = from;
+  while ((at = text.find(word, at)) != std::string_view::npos) {
+    bool left_ok = at == 0 || !ident_char(text[at - 1]);
+    std::size_t end = at + word.size();
+    bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return at;
+    at = end;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<std::string> parse_enum_body(const SourceFile& f,
+                                         std::string_view enum_name) {
+  std::string text = joined_code(f);
+  std::vector<std::string> out;
+  std::size_t at = text.find("enum class " + std::string(enum_name));
+  if (at == std::string::npos) return out;
+  std::size_t open = text.find('{', at);
+  std::size_t close = text.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return out;
+  // Enumerators: identifier at the start of each comma-separated entry.
+  std::size_t i = open + 1;
+  while (i < close) {
+    while (i < close && !ident_char(text[i])) ++i;
+    std::size_t start = i;
+    while (i < close && ident_char(text[i])) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+    // Skip any `= value` part up to the entry's comma.
+    while (i < close && text[i] != ',') ++i;
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+/// Offset of the `}` matching the `{` at `open` (npos on imbalance).
+std::size_t match_brace(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t next_nonspace(std::string_view text, std::size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0)
+    ++i;
+  return i;
+}
+
+}  // namespace
+
+std::vector<std::string> parse_struct_fields(const SourceFile& f,
+                                             std::string_view struct_name) {
+  std::string text = joined_code(f);
+  std::vector<std::string> out;
+  std::size_t at = text.find("struct " + std::string(struct_name));
+  if (at == std::string::npos) return out;
+  std::size_t open = text.find('{', at);
+  if (open == std::string::npos) return out;
+  std::size_t close = match_brace(text, open);
+  if (close == std::string_view::npos) return out;
+  int depth = 0;  // nesting relative to the struct body
+  std::size_t stmt_start = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    char c = text[i];
+    if (c == '{' || c == '(') {
+      ++depth;
+    } else if (c == '}' || c == ')') {
+      --depth;
+      // A `}` back at member level ends a member-function body unless a
+      // `;` follows (then it is a brace initializer: `Config cfg{};`).
+      if (depth == 0 && c == '}') {
+        std::size_t nxt = next_nonspace(text, i + 1);
+        if (nxt >= text.size() || text[nxt] != ';') stmt_start = i + 1;
+      }
+    } else if (c == ';' && depth == 0) {
+      std::string_view stmt(text.data() + stmt_start, i - stmt_start);
+      stmt_start = i + 1;
+      // A data member: `Type name;`, `Type name = init;`, `Type name{};`.
+      // Anything with parentheses (functions) or keywords is skipped.
+      if (stmt.find('(') != std::string_view::npos) continue;
+      std::size_t eq = stmt.find('=');
+      std::string_view decl =
+          eq == std::string_view::npos ? stmt : stmt.substr(0, eq);
+      // Field name: the last identifier of the declarator.
+      std::size_t end = decl.size();
+      while (end > 0 && !ident_char(decl[end - 1])) --end;
+      std::size_t start = end;
+      while (start > 0 && ident_char(decl[start - 1])) --start;
+      if (start == end) continue;
+      std::string name(decl.substr(start, end - start));
+      if (name == "public" || name == "private" || name == "using" ||
+          name == "struct" || name == "class" || name == "enum")
+        continue;
+      // Need at least one identifier (the type) before the name.
+      std::string_view before = decl.substr(0, start);
+      bool has_type = false;
+      for (char b : before)
+        if (ident_char(b)) has_type = true;
+      if (has_type) out.push_back(std::move(name));
+    }
+  }
+  return out;
+}
+
+RegistryInputs registry_inputs_for_root(const std::string& root) {
+  RegistryInputs in;
+  auto pick = [&](std::string rel) {
+    fs::path p = fs::path(root) / rel;
+    return fs::exists(p) ? p.string() : std::string();
+  };
+  in.event_trace_h = pick("src/obs/event_trace.h");
+  in.event_trace_cpp = pick("src/obs/event_trace.cpp");
+  in.trace_json_cpp = pick("src/obs/trace_json.cpp");
+  in.invariant_cpp = pick("src/obs/invariant_checker.cpp");
+  in.metrics_h = pick("src/core/metrics.h");
+  in.report_cpp = pick("src/core/report.cpp");
+  in.config_h = pick("src/core/config.h");
+  fs::path readme = fs::path(root) / "README.md";
+  if (fs::exists(readme)) in.docs.push_back(readme.string());
+  fs::path docs = fs::path(root) / "docs";
+  if (fs::exists(docs)) {
+    std::vector<std::string> found;
+    for (const auto& e : fs::directory_iterator(docs))
+      if (e.is_regular_file() && e.path().extension() == ".md")
+        found.push_back(e.path().string());
+    std::sort(found.begin(), found.end());
+    in.docs.insert(in.docs.end(), found.begin(), found.end());
+  }
+  return in;
+}
+
+namespace {
+
+bool load_or_report(const std::string& path, SourceFile* f,
+                    std::vector<std::string>* errors) {
+  if (path.empty()) return false;
+  std::string err;
+  if (SourceFile::load(path, f, &err)) return true;
+  errors->push_back(err);
+  return false;
+}
+
+/// reg-kind-name / reg-chrome-map / reg-invariant: every enumerator must
+/// be referenced (as a whole word) in the dependent file.
+void check_enum_coverage(const std::vector<std::string>& kinds,
+                         const SourceFile& dep, Rule rule,
+                         std::string_view role,
+                         std::vector<Finding>* out) {
+  std::string text = joined_code(dep);
+  for (const std::string& k : kinds) {
+    if (find_word_from(text, k, 0) == std::string::npos)
+      out->push_back({dep.path, 0, rule,
+                      "EventKind::" + k + " has no " + std::string(role) +
+                          " — add one (or an explicit default with a "
+                          "suppression) before shipping the new kind"});
+  }
+}
+
+/// reg-kind-count: the count definition must be derived from the
+/// lexically-last enumerator and static_assert-checked.
+void check_kind_count(const std::vector<std::string>& kinds,
+                      const SourceFile& header, std::vector<Finding>* out) {
+  std::string text = joined_code(header);
+  std::size_t def = text.find("kNumEventKinds =");
+  if (def == std::string::npos) {
+    out->push_back({header.path, 0, Rule::kRegKindCount,
+                    "kNumEventKinds is not defined next to EventKind"});
+    return;
+  }
+  std::size_t semi = text.find(';', def);
+  std::string_view stmt = std::string_view(text).substr(def, semi - def);
+  const std::string& last = kinds.back();
+  bool derived =
+      stmt.find("EventKind::" + last) != std::string_view::npos;
+  if (!derived) {
+    // A literal count is tolerated iff it equals the enumerator count.
+    std::size_t digits = 0;
+    std::size_t value = 0;
+    for (char c : stmt) {
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+        ++digits;
+      } else if (digits != 0) {
+        break;
+      }
+    }
+    if (digits == 0 || value != kinds.size())
+      out->push_back(
+          {header.path, line_at(text, def), Rule::kRegKindCount,
+           "kNumEventKinds must be derived from the last enumerator "
+           "(EventKind::" +
+               last + " + 1) or equal the enum's " +
+               std::to_string(kinds.size()) + " entries"});
+  }
+  std::size_t assert_at = text.find("static_assert");
+  bool assert_checks = false;
+  while (assert_at != std::string::npos) {
+    std::size_t end = text.find(';', assert_at);
+    std::string_view a = std::string_view(text).substr(assert_at,
+                                                       end - assert_at);
+    if (a.find("kNumEventKinds") != std::string_view::npos) {
+      assert_checks = true;
+      // The literal inside must match the real count, otherwise the
+      // compile-time check is asserting the wrong registry size.
+      std::size_t value = 0, digits = 0;
+      for (char c : a) {
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+          value = value * 10 + static_cast<std::size_t>(c - '0');
+          ++digits;
+        } else if (digits != 0) {
+          break;
+        }
+      }
+      if (digits != 0 && value != kinds.size())
+        out->push_back({header.path, line_at(text, assert_at),
+                        Rule::kRegKindCount,
+                        "static_assert pins the EventKind count at " +
+                            std::to_string(value) + " but the enum has " +
+                            std::to_string(kinds.size()) + " enumerators"});
+      break;
+    }
+    assert_at = text.find("static_assert", assert_at + 1);
+  }
+  if (!assert_checks)
+    out->push_back({header.path, 0, Rule::kRegKindCount,
+                    "no static_assert checks kNumEventKinds against the "
+                    "enumerator count"});
+}
+
+}  // namespace
+
+std::vector<Finding> scan_registry(const RegistryInputs& in,
+                                   std::vector<std::string>* errors) {
+  std::vector<Finding> out;
+
+  SourceFile trace_h;
+  std::vector<std::string> kinds;
+  if (load_or_report(in.event_trace_h, &trace_h, errors)) {
+    kinds = parse_enum_body(trace_h, "EventKind");
+    if (kinds.empty())
+      errors->push_back(in.event_trace_h +
+                        ": could not parse enum class EventKind");
+  }
+
+  if (!kinds.empty()) {
+    SourceFile dep;
+    if (load_or_report(in.event_trace_cpp, &dep, errors))
+      check_enum_coverage(kinds, dep, Rule::kRegKindName,
+                          "kind_name() entry", &out);
+    if (load_or_report(in.trace_json_cpp, &dep, errors))
+      check_enum_coverage(kinds, dep, Rule::kRegChromeMap,
+                          "Chrome-trace mapping", &out);
+    if (load_or_report(in.invariant_cpp, &dep, errors))
+      check_enum_coverage(kinds, dep, Rule::kRegInvariant,
+                          "invariant-checker reference", &out);
+    check_kind_count(kinds, trace_h, &out);
+  }
+
+  SourceFile metrics_h;
+  if (load_or_report(in.metrics_h, &metrics_h, errors)) {
+    std::vector<std::string> fields =
+        parse_struct_fields(metrics_h, "SimMetrics");
+    std::vector<std::string> idle =
+        parse_struct_fields(metrics_h, "IdleBreakdown");
+    fields.insert(fields.end(), idle.begin(), idle.end());
+    SourceFile report;
+    if (!fields.empty() && load_or_report(in.report_cpp, &report, errors)) {
+      std::string text = joined_code(report);
+      for (const std::string& field : fields) {
+        if (find_word_from(text, field, 0) == std::string::npos)
+          out.push_back({report.path, 0, Rule::kRegMetricsReport,
+                         "SimMetrics counter '" + field +
+                             "' is accumulated but never reported — add "
+                             "it to a CSV writer in report.cpp"});
+      }
+    } else if (fields.empty()) {
+      errors->push_back(in.metrics_h + ": could not parse struct SimMetrics");
+    }
+  }
+
+  SourceFile config_h;
+  if (load_or_report(in.config_h, &config_h, errors)) {
+    std::vector<std::string> fields =
+        parse_struct_fields(config_h, "SimConfig");
+    if (fields.empty()) {
+      errors->push_back(in.config_h + ": could not parse struct SimConfig");
+    } else if (!in.docs.empty()) {
+      std::string all_docs;
+      for (const std::string& doc : in.docs) {
+        SourceFile d;
+        std::string err;
+        if (!SourceFile::load(doc, &d, &err)) {
+          errors->push_back(err);
+          continue;
+        }
+        for (const std::string& l : d.raw_lines) {
+          all_docs += l;
+          all_docs += '\n';
+        }
+      }
+      for (const std::string& field : fields) {
+        if (find_word_from(all_docs, field, 0) == std::string::npos)
+          out.push_back({in.config_h, 0, Rule::kRegConfigDoc,
+                         "SimConfig field '" + field +
+                             "' is not documented in README.md or docs/ "
+                             "— every knob needs a written contract"});
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace its::lint
