@@ -6,10 +6,11 @@
 // context-switch cost; Async catches up and wins as the device gets slower
 // — the crossover sits near the switch cost, which is exactly the
 // "killer microsecond" argument (§2.1.2).
-#include <iostream>
-
 #include "core/experiment.h"
+#include "storage/dma.h"
 #include "util/table.h"
+
+#include <iostream>
 
 int main() {
   using namespace its;

@@ -1,9 +1,13 @@
 #include "core/batch.h"
 
+#include "sched/process.h"
+#include "trace/trace.h"
+#include "trace/workloads.h"
+#include "util/rng.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <stdexcept>
-
-#include "util/rng.h"
 
 namespace its::core {
 

@@ -7,6 +7,10 @@
 // makes the processes contend for memory.
 #pragma once
 
+#include "sched/process.h"
+#include "trace/trace.h"
+#include "trace/workloads.h"
+
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -14,9 +18,6 @@
 #include <string>
 #include <string_view>
 #include <vector>
-
-#include "sched/process.h"
-#include "trace/workloads.h"
 
 namespace its::core {
 

@@ -6,16 +6,17 @@
 // authors' i7-7800X), SCHED_RR slices of 5–800 ms.
 #pragma once
 
-#include <cstdint>
-
 #include "cpu/preexec_engine.h"
 #include "fault/fault_injector.h"
 #include "mem/hierarchy.h"
 #include "mem/preexec_cache.h"
 #include "sched/cfs.h"
-#include "storage/dma.h"
+#include "storage/pcie_link.h"
+#include "storage/ull_device.h"
 #include "util/types.h"
 #include "vm/prefetch.h"
+
+#include <cstdint>
 
 namespace its::core {
 

@@ -1,9 +1,15 @@
 #include "core/experiment.h"
 
+#include "core/batch.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "core/simulator.h"
+#include "obs/event_trace.h"
+#include "trace/trace.h"
+
 #include <array>
 #include <future>
-
-#include "core/simulator.h"
 
 namespace its::core {
 

@@ -5,18 +5,18 @@
 // mode policy — the paper's comparison methodology.
 #pragma once
 
-#include <cstdlib>
-#include <map>
-#include <vector>
-
-#include "fault/fault_injector.h"
-
 #include "core/batch.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/policy.h"
+#include "fault/fault_injector.h"
+#include "trace/trace.h"
 #include "trace/workloads.h"
 #include "util/stats.h"
+
+#include <cstdlib>
+#include <map>
+#include <vector>
 
 namespace its::obs {
 class EventTrace;

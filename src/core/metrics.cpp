@@ -1,5 +1,7 @@
 #include "core/metrics.h"
 
+#include "util/types.h"
+
 #include <algorithm>
 
 namespace its::core {

@@ -7,12 +7,12 @@
 // context-switch overhead, and whole-machine idle (every process blocked).
 #pragma once
 
+#include "sched/process.h"
+#include "util/types.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
-
-#include "sched/process.h"
-#include "util/types.h"
 
 namespace its::core {
 

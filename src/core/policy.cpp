@@ -1,5 +1,8 @@
 #include "core/policy.h"
 
+#include "sched/process.h"
+#include "sched/scheduler.h"
+
 #include <stdexcept>
 
 namespace its::core {

@@ -9,12 +9,12 @@
 // thread selection policy".
 #pragma once
 
+#include "sched/process.h"
+#include "sched/scheduler.h"
+
 #include <cstdint>
 #include <memory>
 #include <string_view>
-
-#include "sched/process.h"
-#include "sched/scheduler.h"
 
 namespace its::core {
 

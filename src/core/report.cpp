@@ -1,5 +1,9 @@
 #include "core/report.h"
 
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+
 #include <filesystem>
 #include <fstream>
 #include <ostream>

@@ -6,11 +6,11 @@
 // `write_processes_csv`.
 #pragma once
 
+#include "core/experiment.h"
+
 #include <iosfwd>
 #include <span>
 #include <string>
-
-#include "core/experiment.h"
 
 namespace its::core {
 

@@ -1,5 +1,24 @@
 #include "core/simulator.h"
 
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "cpu/preexec_engine.h"
+#include "fs/file_system.h"
+#include "fs/page_cache.h"
+#include "mem/hierarchy.h"
+#include "obs/event_trace.h"
+#include "sched/cfs.h"
+#include "sched/process.h"
+#include "sched/scheduler.h"
+#include "storage/dma.h"
+#include "trace/instr.h"
+#include "util/types.h"
+#include "vm/frame_pool.h"
+#include "vm/mm.h"
+#include "vm/prefetch.h"
+#include "vm/pte.h"
+
 #include <algorithm>
 #include <stdexcept>
 

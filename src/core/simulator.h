@@ -11,13 +11,6 @@
 // See DESIGN.md for the idle-time accounting contract.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <queue>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/policy.h"
@@ -32,11 +25,18 @@
 #include "sched/process.h"
 #include "sched/scheduler.h"
 #include "storage/dma.h"
-#include "trace/trace.h"
+#include "trace/instr.h"
 #include "util/types.h"
 #include "vm/frame_pool.h"
 #include "vm/prefetch.h"
 #include "vm/swap.h"
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace its::core {
 

@@ -1,5 +1,15 @@
 #include "cpu/preexec_engine.h"
 
+#include "cpu/register_file.h"
+#include "cpu/store_buffer.h"
+#include "mem/hierarchy.h"
+#include "mem/preexec_cache.h"
+#include "trace/instr.h"
+#include "trace/trace.h"
+#include "util/types.h"
+#include "vm/mm.h"
+#include "vm/pte.h"
+
 #include <algorithm>
 
 namespace its::cpu {

@@ -18,15 +18,16 @@
 // (consult the PTE INV bit) → memory (fetch and warm: the payoff).
 #pragma once
 
-#include <cstdint>
-
-#include "mem/hierarchy.h"
-#include "mem/preexec_cache.h"
 #include "cpu/register_file.h"
 #include "cpu/store_buffer.h"
+#include "mem/hierarchy.h"
+#include "mem/preexec_cache.h"
+#include "trace/instr.h"
 #include "trace/trace.h"
 #include "util/types.h"
 #include "vm/mm.h"
+
+#include <cstdint>
 
 namespace its::cpu {
 

@@ -11,9 +11,9 @@
 // needs for correctness.
 #pragma once
 
-#include <cstdint>
-
 #include "trace/instr.h"
+
+#include <cstdint>
 
 namespace its::cpu {
 

@@ -1,5 +1,8 @@
 #include "fault/fault_injector.h"
 
+#include "util/rng.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <cmath>
 

@@ -20,13 +20,13 @@
 // latency change, bit-identical simulation to a build without it.
 #pragma once
 
+#include "util/rng.h"
+#include "util/types.h"
+
 #include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
-
-#include "util/rng.h"
-#include "util/types.h"
 
 namespace its::fault {
 

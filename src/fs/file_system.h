@@ -13,8 +13,6 @@
 #include <cstdint>
 #include <stdexcept>
 
-#include "util/types.h"
-
 namespace its::fs {
 
 /// File identifier as carried in trace records (one byte).

@@ -1,5 +1,7 @@
 #include "fs/page_cache.h"
 
+#include "util/types.h"
+
 #include <algorithm>
 #include <stdexcept>
 

@@ -9,13 +9,13 @@
 // page frame pool (a static split — see DESIGN.md).
 #pragma once
 
+#include "util/types.h"
+
 #include <cstdint>
 #include <list>
 #include <optional>
 #include <unordered_map>
 #include <vector>
-
-#include "util/types.h"
 
 namespace its::fs {
 

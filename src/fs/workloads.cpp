@@ -1,9 +1,12 @@
 #include "fs/workloads.h"
 
-#include <algorithm>
-
+#include "trace/instr.h"
+#include "trace/trace.h"
 #include "trace/workloads.h"
 #include "util/rng.h"
+#include "util/types.h"
+
+#include <algorithm>
 
 namespace its::fs {
 

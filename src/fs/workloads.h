@@ -7,9 +7,9 @@
 // swap faults and page-cache misses compete for the same device).
 #pragma once
 
-#include <cstdint>
-
 #include "trace/trace.h"
+
+#include <cstdint>
 
 namespace its::fs {
 

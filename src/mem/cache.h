@@ -5,10 +5,10 @@
 // self-sacrificing thread exploits) emerges naturally.
 #pragma once
 
+#include "util/types.h"
+
 #include <cstdint>
 #include <vector>
-
-#include "util/types.h"
 
 namespace its::mem {
 

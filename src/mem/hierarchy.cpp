@@ -1,5 +1,7 @@
 #include "mem/hierarchy.h"
 
+#include "util/types.h"
+
 #include <algorithm>
 
 namespace its::mem {

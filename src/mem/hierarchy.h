@@ -6,10 +6,10 @@
 // configurations — the mechanism pays for its own silicon.
 #pragma once
 
-#include <cstdint>
-
 #include "mem/cache.h"
 #include "util/types.h"
+
+#include <cstdint>
 
 namespace its::mem {
 

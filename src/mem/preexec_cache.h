@@ -11,10 +11,10 @@
 // is only accessible during pre-execution.
 #pragma once
 
+#include "util/types.h"
+
 #include <cstdint>
 #include <vector>
-
-#include "util/types.h"
 
 namespace its::mem {
 

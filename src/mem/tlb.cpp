@@ -1,5 +1,7 @@
 #include "mem/tlb.h"
 
+#include "util/types.h"
+
 #include <stdexcept>
 
 namespace its::mem {

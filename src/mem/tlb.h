@@ -5,11 +5,11 @@
 // context-switch costs — the Async baseline pays it on every fault).
 #pragma once
 
+#include "util/types.h"
+
 #include <cstdint>
 #include <list>
 #include <unordered_map>
-
-#include "util/types.h"
 
 namespace its::mem {
 

@@ -13,12 +13,12 @@
 // fault instead of only as end-of-run aggregates.
 #pragma once
 
+#include "util/types.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
-
-#include "util/types.h"
 
 namespace its::obs {
 

@@ -1,5 +1,8 @@
 #include "obs/invariant_checker.h"
 
+#include "obs/event_trace.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -79,8 +82,8 @@ std::string CheckResult::summary() const {
   return s;
 }
 
-CheckResult check_invariants(const EventTrace& trace,
-                             const core::SimMetrics& m, const CheckConfig& cfg) {
+CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
+                             const CheckConfig& cfg) {
   CheckResult r;
   auto fail = [&](std::string msg) {
     // Cap the report: one broken invariant often floods every later event.
@@ -260,16 +263,16 @@ CheckResult check_invariants(const EventTrace& trace,
 
   // (4) idle breakdown + utilized CPU time reconcile with the makespan.
   const its::Duration accounted =
-      m.cpu_busy + m.idle.busy_wait + m.idle.ctx_switch + m.idle.no_runnable;
+      m.cpu_busy + m.busy_wait + m.ctx_switch + m.no_runnable;
   const its::Duration diff =
       accounted > m.makespan ? accounted - m.makespan : m.makespan - accounted;
   if (diff > cfg.granularity)
     fail(fmt("accounting leak: cpu_busy + busy_wait + ctx_switch + "
              "no_runnable = %" PRIu64 " but makespan = %" PRIu64,
              accounted, m.makespan));
-  if (m.idle.mem_stall > m.cpu_busy)
+  if (m.mem_stall > m.cpu_busy)
     fail(fmt("mem_stall %" PRIu64 " exceeds total busy CPU time %" PRIu64,
-             m.idle.mem_stall, m.cpu_busy));
+             m.mem_stall, m.cpu_busy));
 
   // (5) event-derived totals == SimMetrics counters.
   auto expect_count = [&](EventKind k, std::uint64_t want, const char* field) {
@@ -297,18 +300,18 @@ CheckResult check_invariants(const EventTrace& trace,
              degraded, m.degraded_time));
 
   const std::uint64_t ctx = trace.sum_b(EventKind::kCtxSwitch);
-  if (ctx != m.idle.ctx_switch)
+  if (ctx != m.ctx_switch)
     fail(fmt("ctx-switch cost from events %" PRIu64 " != idle.ctx_switch %" PRIu64,
-             ctx, m.idle.ctx_switch));
+             ctx, m.ctx_switch));
 
   // An aborted sync wait busy-waits only its window (carried by the
   // kDeadlineAbort operands — the later kFaultEnd closes with b = c = 0).
   const std::uint64_t waits = trace.sum_b(EventKind::kFaultEnd) +
                               trace.sum_b(EventKind::kFileWait) +
                               trace.sum_b(EventKind::kDeadlineAbort);
-  if (waits != m.idle.busy_wait)
+  if (waits != m.busy_wait)
     fail(fmt("wait windows from events %" PRIu64 " != idle.busy_wait %" PRIu64,
-             waits, m.idle.busy_wait));
+             waits, m.busy_wait));
 
   const std::uint64_t stolen = trace.sum_c(EventKind::kFaultEnd) +
                                trace.sum_c(EventKind::kFileWait) +

@@ -1,6 +1,6 @@
 // Timeline well-formedness checker.
 //
-// Replays a recorded EventTrace against the run's final SimMetrics and
+// Replays a recorded EventTrace against the run's final totals and
 // asserts that the §4.2.1 idle-time accounting actually balances event by
 // event, not just in aggregate:
 //
@@ -14,7 +14,7 @@
 //   4. the idle breakdown reconciles with the makespan:
 //      cpu_busy + busy_wait + ctx_switch + no_runnable == makespan (within
 //      `granularity`), and mem_stall ⊆ cpu_busy;
-//   5. per-counter totals derived from events equal the SimMetrics fields:
+//   5. per-counter totals derived from events equal the run's counters:
 //      faults, prefetch issued/useful, pre-execute episodes, async
 //      switches, evictions, Σ ctx-switch cost, Σ wait windows == busy_wait,
 //      Σ stolen credits == stolen_time.
@@ -23,11 +23,11 @@
 // truncated timeline cannot vouch for anything.
 #pragma once
 
+#include "obs/event_trace.h"
+#include "util/types.h"
+
 #include <string>
 #include <vector>
-
-#include "core/metrics.h"
-#include "obs/event_trace.h"
 
 namespace its::obs {
 
@@ -38,6 +38,31 @@ struct CheckConfig {
   its::Duration granularity = 1;
 };
 
+/// The slice of a run's final counters the checker reconciles against.
+/// obs is a leaf module (docs/architecture.layers): it may not include
+/// core/metrics.h, so the totals cross this boundary as a flat struct and
+/// the template adapter below copies them out of any metrics-shaped type.
+struct RunTotals {
+  its::SimTime makespan = 0;
+  its::Duration cpu_busy = 0;
+  its::Duration mem_stall = 0;
+  its::Duration busy_wait = 0;
+  its::Duration ctx_switch = 0;
+  its::Duration no_runnable = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_useful = 0;
+  std::uint64_t preexec_episodes = 0;
+  std::uint64_t async_switches = 0;
+  std::uint64_t evictions = 0;
+  its::Duration stolen_time = 0;
+  std::uint64_t io_errors = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t deadline_aborts = 0;
+  std::uint64_t mode_fallbacks = 0;
+  its::Duration degraded_time = 0;
+};
+
 struct CheckResult {
   std::vector<std::string> violations;
 
@@ -46,9 +71,36 @@ struct CheckResult {
   std::string summary() const;
 };
 
-/// Replays `trace` and cross-checks it against `metrics`.
-CheckResult check_invariants(const EventTrace& trace,
-                             const core::SimMetrics& metrics,
+/// Replays `trace` and cross-checks it against the run's totals.
+CheckResult check_invariants(const EventTrace& trace, const RunTotals& totals,
                              const CheckConfig& cfg = {});
+
+/// Adapter for core::SimMetrics (or anything with the same field shape):
+/// flattens `metrics` into RunTotals so call sites keep passing their
+/// metrics object directly without obs depending on its definition.
+template <typename Metrics>
+CheckResult check_invariants(const EventTrace& trace, const Metrics& metrics,
+                             const CheckConfig& cfg = {}) {
+  RunTotals t;
+  t.makespan = metrics.makespan;
+  t.cpu_busy = metrics.cpu_busy;
+  t.mem_stall = metrics.idle.mem_stall;
+  t.busy_wait = metrics.idle.busy_wait;
+  t.ctx_switch = metrics.idle.ctx_switch;
+  t.no_runnable = metrics.idle.no_runnable;
+  t.major_faults = metrics.major_faults;
+  t.prefetch_issued = metrics.prefetch_issued;
+  t.prefetch_useful = metrics.prefetch_useful;
+  t.preexec_episodes = metrics.preexec_episodes;
+  t.async_switches = metrics.async_switches;
+  t.evictions = metrics.evictions;
+  t.stolen_time = metrics.stolen_time;
+  t.io_errors = metrics.io_errors;
+  t.io_retries = metrics.io_retries;
+  t.deadline_aborts = metrics.deadline_aborts;
+  t.mode_fallbacks = metrics.mode_fallbacks;
+  t.degraded_time = metrics.degraded_time;
+  return check_invariants(trace, t, cfg);
+}
 
 }  // namespace its::obs

@@ -1,5 +1,8 @@
 #include "obs/trace_json.h"
 
+#include "obs/event_trace.h"
+#include "util/types.h"
+
 #include <cstdint>
 #include <fstream>
 #include <ostream>

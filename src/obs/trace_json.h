@@ -12,11 +12,12 @@
 // timestamp, pid) tuples.  It is not a general JSON parser.
 #pragma once
 
+#include "obs/event_trace.h"
+#include "util/types.h"
+
 #include <iosfwd>
 #include <string>
 #include <vector>
-
-#include "obs/event_trace.h"
 
 namespace its::obs {
 

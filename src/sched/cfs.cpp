@@ -1,5 +1,9 @@
 #include "sched/cfs.h"
 
+#include "obs/event_trace.h"
+#include "sched/process.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <stdexcept>
 

@@ -7,10 +7,12 @@
 // (`sched_latency` split by weight share).
 #pragma once
 
+#include "sched/process.h"
+#include "sched/scheduler.h"
+#include "util/types.h"
+
 #include <unordered_map>
 #include <vector>
-
-#include "sched/scheduler.h"
 
 namespace its::sched {
 

@@ -1,5 +1,8 @@
 #include "sched/process.h"
 
+#include "trace/trace.h"
+#include "util/types.h"
+
 #include <stdexcept>
 
 namespace its::sched {

@@ -6,15 +6,15 @@
 // time slice via the NICE mechanism (5 ms lowest … 800 ms highest).
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <utility>
-
 #include "cpu/register_file.h"
 #include "trace/trace.h"
 #include "util/types.h"
 #include "vm/mm.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 
 namespace its::sched {
 

@@ -11,13 +11,13 @@
 // of the priority-aware thread selection policy (§3.2).
 #pragma once
 
-#include <cstdint>
-#include <deque>
-#include <vector>
-
 #include "obs/event_trace.h"
 #include "sched/process.h"
 #include "util/types.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
 
 namespace its::sched {
 

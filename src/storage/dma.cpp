@@ -1,5 +1,10 @@
 #include "storage/dma.h"
 
+#include "obs/event_trace.h"
+#include "storage/pcie_link.h"
+#include "storage/ull_device.h"
+#include "util/types.h"
+
 namespace its::storage {
 
 DmaController::DmaController(const UllConfig& dev, const PcieConfig& link)

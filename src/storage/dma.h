@@ -7,12 +7,13 @@
 // never charged for DMA time — that is the whole point of the design.
 #pragma once
 
-#include <cstdint>
-
+#include "fault/fault_injector.h"
 #include "obs/event_trace.h"
 #include "storage/pcie_link.h"
 #include "storage/ull_device.h"
 #include "util/types.h"
+
+#include <cstdint>
 
 namespace its::storage {
 

@@ -1,5 +1,7 @@
 #include "storage/pcie_link.h"
 
+#include "util/types.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>

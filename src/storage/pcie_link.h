@@ -6,10 +6,10 @@
 // a queued transfer of N bytes, ready at time T, finishes.
 #pragma once
 
-#include <cstdint>
-
 #include "fault/fault_injector.h"
 #include "util/types.h"
+
+#include <cstdint>
 
 namespace its::storage {
 

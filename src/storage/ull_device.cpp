@@ -1,5 +1,7 @@
 #include "storage/ull_device.h"
 
+#include "util/types.h"
+
 #include <algorithm>
 #include <stdexcept>
 

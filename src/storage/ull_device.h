@@ -6,11 +6,11 @@
 // prefetching profitable: n pages posted together overlap their media time.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "fault/fault_injector.h"
 #include "util/types.h"
+
+#include <cstdint>
+#include <vector>
 
 namespace its::storage {
 

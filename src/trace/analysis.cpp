@@ -1,5 +1,8 @@
 #include "trace/analysis.h"
 
+#include "trace/trace.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <unordered_map>
 

@@ -10,12 +10,12 @@
 // works on some workloads and not others.
 #pragma once
 
+#include "trace/trace.h"
+#include "util/types.h"
+
 #include <cstdint>
 #include <map>
 #include <vector>
-
-#include "trace/trace.h"
-#include "util/types.h"
 
 namespace its::trace {
 

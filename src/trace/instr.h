@@ -8,9 +8,9 @@
 // the virtual address touched by memory operations.
 #pragma once
 
-#include <cstdint>
-
 #include "util/types.h"
+
+#include <cstdint>
 
 namespace its::trace {
 

@@ -1,5 +1,9 @@
 #include "trace/lackey.h"
 
+#include "trace/instr.h"
+#include "trace/trace.h"
+#include "util/types.h"
+
 #include <charconv>
 #include <fstream>
 #include <istream>

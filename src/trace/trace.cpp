@@ -1,5 +1,8 @@
 #include "trace/trace.h"
 
+#include "trace/instr.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <array>
 #include <unordered_set>

@@ -2,13 +2,13 @@
 // derived address-space statistics that the simulator uses for DRAM sizing.
 #pragma once
 
+#include "trace/instr.h"
+#include "util/types.h"
+
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
-
-#include "trace/instr.h"
-#include "util/types.h"
 
 namespace its::trace {
 

@@ -1,5 +1,8 @@
 #include "trace/trace_io.h"
 
+#include "trace/instr.h"
+#include "trace/trace.h"
+
 #include <cstring>
 #include <fstream>
 #include <istream>

@@ -13,13 +13,13 @@
 // reason and the byte offset of the defect, never UB or an allocation bomb.
 #pragma once
 
+#include "trace/trace.h"
+
 #include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
 #include <string_view>
-
-#include "trace/trace.h"
 
 namespace its::trace {
 

@@ -1,10 +1,13 @@
 #include "trace/workloads.h"
 
+#include "trace/instr.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <array>
 #include <stdexcept>
-
-#include "util/rng.h"
 
 namespace its::trace {
 

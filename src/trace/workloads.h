@@ -11,12 +11,13 @@
 // evaluation's behaviour.
 #pragma once
 
+#include "trace/trace.h"
+#include "util/types.h"
+
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string_view>
-
-#include "trace/trace.h"
 
 namespace its::trace {
 

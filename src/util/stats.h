@@ -57,16 +57,4 @@ class LogHistogram {
   std::uint64_t total_ = 0;
 };
 
-/// A named monotonically increasing counter.
-struct Counter {
-  std::string name;
-  std::uint64_t value = 0;
-
-  Counter& operator+=(std::uint64_t d) {
-    value += d;
-    return *this;
-  }
-  void inc() { ++value; }
-};
-
 }  // namespace its::util

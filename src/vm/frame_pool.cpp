@@ -1,5 +1,7 @@
 #include "vm/frame_pool.h"
 
+#include "util/types.h"
+
 #include <stdexcept>
 
 namespace its::vm {

@@ -7,11 +7,11 @@
 // swap-out write.  Frames receiving an in-flight DMA transfer are pinned.
 #pragma once
 
+#include "util/types.h"
+
 #include <cstdint>
 #include <optional>
 #include <vector>
-
-#include "util/types.h"
 
 namespace its::vm {
 

@@ -1,5 +1,8 @@
 #include "vm/mm.h"
 
+#include "util/types.h"
+#include "vm/pte.h"
+
 namespace its::vm {
 
 MemoryDescriptor::MemoryDescriptor(its::Pid pid, std::span<const its::Vpn> footprint)

@@ -5,11 +5,12 @@
 // memory; minor faults only adjust metadata (§3.1 footnote 3).
 #pragma once
 
-#include <cstdint>
-#include <span>
-
 #include "util/types.h"
 #include "vm/page_table.h"
+#include "vm/pte.h"
+
+#include <cstdint>
+#include <span>
 
 namespace its::vm {
 

@@ -1,5 +1,8 @@
 #include "vm/page_table.h"
 
+#include "util/types.h"
+#include "vm/pte.h"
+
 namespace its::vm {
 
 PageTable::PageTable() : pgd_(std::make_unique<Pgd>()) {}

@@ -9,12 +9,12 @@
 // the next PMD entry in the PMD table to access an alternative page table".
 #pragma once
 
+#include "util/types.h"
+#include "vm/pte.h"
+
 #include <array>
 #include <cstdint>
 #include <memory>
-
-#include "util/types.h"
-#include "vm/pte.h"
 
 namespace its::vm {
 

@@ -1,5 +1,9 @@
 #include "vm/prefetch.h"
 
+#include "util/types.h"
+#include "vm/mm.h"
+#include "vm/pte.h"
+
 namespace its::vm {
 
 PrefetchResult VaPrefetcher::collect(MemoryDescriptor& mm, its::Vpn victim) const {

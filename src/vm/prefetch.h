@@ -13,13 +13,13 @@
 // unit around the victim, no locality judgement.
 #pragma once
 
-#include <cstdint>
-#include <unordered_map>
-#include <vector>
-
 #include "obs/event_trace.h"
 #include "util/types.h"
 #include "vm/mm.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 namespace its::vm {
 

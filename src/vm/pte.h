@@ -16,9 +16,9 @@
 // (major fault on touch); every generated page starts swap-resident.
 #pragma once
 
-#include <cstdint>
-
 #include "util/types.h"
+
+#include <cstdint>
 
 namespace its::vm {
 

@@ -1,5 +1,8 @@
 #include "vm/swap.h"
 
+#include "obs/event_trace.h"
+#include "util/types.h"
+
 #include <algorithm>
 #include <stdexcept>
 

@@ -6,11 +6,11 @@
 // be validated and counted, and so device occupancy can be reported.
 #pragma once
 
-#include <cstdint>
-#include <unordered_map>
-
 #include "obs/event_trace.h"
 #include "util/types.h"
+
+#include <cstdint>
+#include <unordered_map>
 
 namespace its::vm {
 

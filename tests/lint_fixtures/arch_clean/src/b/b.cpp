@@ -1,0 +1,5 @@
+#include "b/b.h"
+
+#include "a/a.h"
+
+int beta_value(const Beta& b) { return Alpha{b.a}.v; }

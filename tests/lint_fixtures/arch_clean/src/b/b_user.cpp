@@ -1,0 +1,3 @@
+#include "b/b.h"
+
+int beta_default() { return Beta{}.a.v; }

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "y/y.h"
+
+struct Xs {
+  Ys* y = nullptr;
+};

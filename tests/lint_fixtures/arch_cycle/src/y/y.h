@@ -1,0 +1,7 @@
+#pragma once
+
+#include "z/z.h"
+
+struct Ys {
+  Zs* z = nullptr;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "x/x.h"
+
+struct Zs {
+  Xs* x = nullptr;
+};

@@ -1,0 +1,9 @@
+#pragma once
+
+struct Used {
+  int v = 0;
+};
+
+struct Orphan {
+  int w = 0;
+};

@@ -1,0 +1,3 @@
+#include "a/a.h"
+
+int use_it() { return Used{}.v; }

@@ -1,0 +1,3 @@
+struct Alpha {
+  int v = 0;
+};

@@ -1,0 +1,3 @@
+#include "a/a.h"
+
+int alpha_value() { return Alpha{}.v; }

@@ -1,0 +1,6 @@
+#include "b/b.h"
+
+int from_transitive(const Beta& b) {
+  Alpha copy = b.a;
+  return copy.v;
+}

@@ -1,0 +1,5 @@
+#include "a/a.h"
+
+#include "b/b.h"  // its-lint: allow(arch-layer): fixture exercises the suppression path
+
+int alpha_beta() { return Alpha{}.v + Beta{}.a.v; }

@@ -1,0 +1,5 @@
+#include "a/a.h"
+
+#include "b/b.h"
+
+int alpha_beta() { return Alpha{}.v + Beta{}.a.v; }

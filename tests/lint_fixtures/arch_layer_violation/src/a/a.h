@@ -1,0 +1,5 @@
+#pragma once
+
+struct Alpha {
+  int v = 0;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/a.h"
+
+struct Beta {
+  Alpha a;
+};

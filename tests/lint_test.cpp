@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -242,10 +244,12 @@ TEST(LintParsers, StructFieldsSkipFunctionsAndKeepBraceInit) {
 // ---------------------------------------------------------------------------
 // Exit codes: the ctest/CI contract.
 
-TEST(LintExitCodes, PerRuleAndMixed) {
+TEST(LintExitCodes, PerRuleAndLowestWins) {
   EXPECT_EQ(exit_code_for(Rule::kDetRand), 10);
   EXPECT_EQ(exit_code_for(Rule::kBadSuppress),
             10 + static_cast<int>(Rule::kBadSuppress));
+  EXPECT_EQ(exit_code_for(Rule::kArchLayer),
+            10 + static_cast<int>(Rule::kArchLayer));
 
   LintResult clean;
   EXPECT_EQ(clean.exit_code(), kExitClean);
@@ -254,9 +258,12 @@ TEST(LintExitCodes, PerRuleAndMixed) {
   one.findings.push_back({"f.cpp", 1, Rule::kDetClock, "m"});
   EXPECT_EQ(one.exit_code(), exit_code_for(Rule::kDetClock));
 
+  // Several distinct rules: the LOWEST (most specific documented) firing
+  // rule's code wins — never a catch-all — regardless of finding order.
   LintResult mixed = one;
   mixed.findings.push_back({"f.cpp", 2, Rule::kDetRand, "m"});
-  EXPECT_EQ(mixed.exit_code(), kExitMixed);
+  mixed.findings.push_back({"a.h", 3, Rule::kArchDeadApi, "m"});
+  EXPECT_EQ(mixed.exit_code(), exit_code_for(Rule::kDetRand));
 
   LintResult errored;
   errored.errors.push_back("unreadable");
@@ -277,6 +284,227 @@ TEST(LintGate, FixtureViolationsWouldFailTheSrcGate) {
     EXPECT_FALSE(r.findings.empty()) << name;
     EXPECT_NE(r.exit_code(), kExitClean) << name;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Architecture rules over the fixture mini-trees.
+
+std::vector<Finding> arch_scan(const std::string& tree,
+                               ModuleGraph* graph = nullptr,
+                               std::vector<std::string>* errors = nullptr) {
+  ModuleGraph local_graph;
+  std::vector<std::string> local_errors;
+  const bool own_errors = errors == nullptr;
+  if (graph == nullptr) graph = &local_graph;
+  if (own_errors) errors = &local_errors;
+  auto findings =
+      scan_architecture(arch_options_for_root(fixture(tree)), graph, errors);
+  if (own_errors) EXPECT_TRUE(local_errors.empty());
+  return findings;
+}
+
+TEST(LintArch, CleanTreeHasNoFindings) {
+  EXPECT_TRUE(arch_scan("arch_clean").empty());
+}
+
+TEST(LintArch, LayerViolationFiresOnTheIncludeLine) {
+  auto findings = arch_scan("arch_layer_violation");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kArchLayer);
+  EXPECT_EQ(findings[0].file, "src/a/a.cpp");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("'a' may not depend on 'b'"),
+            std::string::npos);
+}
+
+TEST(LintArch, ReasonedAllowSilencesALayerFinding) {
+  EXPECT_TRUE(arch_scan("arch_layer_allowed").empty());
+}
+
+TEST(LintArch, CycleReportsTheFullCanonicalPath) {
+  auto findings = arch_scan("arch_cycle");
+  EXPECT_TRUE(has_finding(
+      findings, Rule::kArchCycle,
+      "src/x/x.h -> src/y/y.h -> src/z/z.h -> src/x/x.h"));
+  // One report per cycle, not one per DFS entry point.
+  EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
+                          [](const Finding& f) {
+                            return f.rule == Rule::kArchCycle;
+                          }),
+            1);
+}
+
+TEST(LintArch, IwyuFlagsTransitiveOnlySymbolUse) {
+  auto findings = arch_scan("arch_iwyu");
+  auto got = locations(findings);
+  std::vector<std::pair<Rule, std::size_t>> want = {{Rule::kArchIwyu, 4}};
+  EXPECT_EQ(got, want);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/c/c.cpp");
+  EXPECT_NE(findings[0].message.find("'Alpha' is defined in \"a/a.h\""),
+            std::string::npos);
+}
+
+TEST(LintArch, DeadApiFlagsTheOrphanOnly) {
+  auto findings = arch_scan("arch_dead_api");
+  auto got = locations(findings);
+  std::vector<std::pair<Rule, std::size_t>> want = {{Rule::kArchDeadApi, 7}};
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(has_finding(findings, Rule::kArchDeadApi, "'Orphan'"));
+  EXPECT_FALSE(has_finding(findings, Rule::kArchDeadApi, "'Used'"));
+}
+
+TEST(LintArch, MissingPragmaOnceIsAGuardFinding) {
+  auto findings = arch_scan("arch_guard");
+  auto got = locations(findings);
+  std::vector<std::pair<Rule, std::size_t>> want = {{Rule::kArchGuard, 1}};
+  EXPECT_EQ(got, want);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/a/a.h");
+}
+
+TEST(LintArch, DotOutputListsModulesAndEdges) {
+  ModuleGraph graph;
+  arch_scan("arch_clean", &graph);
+  std::ostringstream dot;
+  print_dot(dot, graph);
+  EXPECT_NE(dot.str().find("digraph its_modules"), std::string::npos);
+  EXPECT_NE(dot.str().find("\"a\";"), std::string::npos);
+  EXPECT_NE(dot.str().find("\"b\" -> \"a\";"), std::string::npos);
+}
+
+TEST(LintArch, ManifestRejectsForwardDeps) {
+  // A dependency must be declared on an earlier line, so a cycle is
+  // inexpressible in the manifest itself.
+  auto f = SourceFile::from_text("docs/architecture.layers",
+                                 "a: b\nb: a\n");
+  std::vector<ManifestRow> rows;
+  std::vector<std::string> errors;
+  EXPECT_FALSE(parse_manifest(f, &rows, &errors));
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("not declared on an earlier line"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The repo-head gate: the manifest is exact, so the head scans clean and
+// deleting ANY allowed edge turns lint.src_clean red.
+
+#ifdef ITS_LINT_REPO_ROOT
+TEST(LintArchGate, RepoHeadIsArchClean) {
+  ModuleGraph graph;
+  std::vector<std::string> errors;
+  auto findings = scan_architecture(
+      arch_options_for_root(ITS_LINT_REPO_ROOT), &graph, &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " finding(s), first: "
+      << (findings.empty() ? "" : findings[0].message);
+  EXPECT_FALSE(graph.modules.empty());
+  EXPECT_FALSE(graph.edges.empty());
+}
+
+TEST(LintArchGate, DeletingAnyManifestEdgeFails) {
+  ArchOptions opts = arch_options_for_root(ITS_LINT_REPO_ROOT);
+  SourceFile manifest;
+  std::string err;
+  ASSERT_TRUE(SourceFile::load(opts.manifest_path, &manifest, &err)) << err;
+  std::vector<ManifestRow> rows;
+  std::vector<std::string> errors;
+  ASSERT_TRUE(parse_manifest(manifest, &rows, &errors));
+
+  std::size_t edges_tried = 0;
+  for (const ManifestRow& row : rows) {
+    for (const std::string& drop : row.deps) {
+      // Rewrite the manifest with this one edge removed.
+      std::string mutated;
+      for (const ManifestRow& r : rows) {
+        mutated += r.module + ":";
+        for (const std::string& d : r.deps)
+          if (&r != &row || d != drop) mutated += " " + d;
+        mutated += "\n";
+      }
+      const std::string path =
+          testing::TempDir() + "its_lint_gate_manifest.layers";
+      {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good());
+        out << mutated;
+      }
+      ArchOptions cut = opts;
+      cut.manifest_path = path;
+      ModuleGraph graph;
+      std::vector<std::string> scan_errors;
+      auto findings = scan_architecture(cut, &graph, &scan_errors);
+      EXPECT_TRUE(scan_errors.empty());
+      EXPECT_TRUE(has_finding(findings, Rule::kArchLayer,
+                              "'" + row.module + "'"))
+          << "deleting " << row.module << " -> " << drop
+          << " produced no arch-layer finding";
+      LintResult r;
+      r.findings = std::move(findings);
+      EXPECT_NE(r.exit_code(), kExitClean);
+      ++edges_tried;
+    }
+  }
+  EXPECT_GT(edges_tried, 10u);  // the real graph is well-connected
+}
+#endif  // ITS_LINT_REPO_ROOT
+
+// ---------------------------------------------------------------------------
+// --json: the machine-readable report round-trips.
+
+/// Minimal extractor for the flat one-finding-per-object schema
+/// docs/static-analysis.md documents: no nesting inside a finding, so
+/// field scans within one object body are unambiguous.
+std::string json_str_field(const std::string& obj, const std::string& key) {
+  std::size_t at = obj.find("\"" + key + "\":\"");
+  if (at == std::string::npos) return "";
+  at += key.size() + 4;
+  std::string out;
+  for (std::size_t i = at; i < obj.size() && obj[i] != '"'; ++i) {
+    if (obj[i] == '\\') ++i;
+    out += obj[i];
+  }
+  return out;
+}
+
+long json_int_field(const std::string& obj, const std::string& key) {
+  std::size_t at = obj.find("\"" + key + "\":");
+  if (at == std::string::npos) return -1;
+  return std::stol(obj.substr(at + key.size() + 3));
+}
+
+TEST(LintJson, FixtureRunRoundTrips) {
+  LintOptions opts;
+  opts.root = fixture("arch_layer_violation");
+  opts.arch_only = true;
+  LintResult r = run_lint(opts);
+  ASSERT_EQ(r.findings.size(), 1u);
+
+  std::ostringstream os;
+  print_json(os, r);
+  const std::string json = os.str();
+
+  // One finding object between the brackets.
+  std::size_t open = json.find("\"findings\":[");
+  std::size_t obj_start = json.find('{', open + 1);
+  std::size_t obj_end = json.find('}', obj_start);
+  ASSERT_NE(obj_end, std::string::npos);
+  const std::string obj = json.substr(obj_start, obj_end - obj_start + 1);
+
+  EXPECT_EQ(json_str_field(obj, "file"), r.findings[0].file);
+  EXPECT_EQ(json_int_field(obj, "line"),
+            static_cast<long>(r.findings[0].line));
+  EXPECT_EQ(json_str_field(obj, "rule"), "arch-layer");
+  EXPECT_EQ(json_int_field(obj, "exit_code"),
+            exit_code_for(Rule::kArchLayer));
+  EXPECT_EQ(json_str_field(obj, "message"), r.findings[0].message);
+
+  // The top-level exit_code matches the LintResult contract.
+  std::size_t tail = json.rfind("\"exit_code\":");
+  EXPECT_EQ(std::stol(json.substr(tail + 12)), r.exit_code());
+  EXPECT_NE(json.find("\"errors\":[]"), std::string::npos);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 // File collection and the end-to-end lint run.
+#include "lint.h"
+
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
-
-#include "lint.h"
 
 namespace its::lint {
 
@@ -61,29 +63,55 @@ std::vector<Finding> lint_file(const SourceFile& f) {
 LintResult run_lint(const LintOptions& opts) {
   LintResult r;
   std::vector<std::string> roots = opts.paths;
-  if (roots.empty())
+  const bool default_scan = roots.empty();
+  if (default_scan)
     roots.push_back(
         (std::filesystem::path(opts.root) / "src").generic_string());
 
-  for (const std::string& path : collect_files(roots, &r.errors)) {
-    SourceFile f;
-    std::string err;
-    if (!SourceFile::load(path, &f, &err)) {
-      r.errors.push_back(err);
-      continue;
+  if (!opts.arch_only) {
+    for (const std::string& path : collect_files(roots, &r.errors)) {
+      SourceFile f;
+      std::string err;
+      if (!SourceFile::load(path, &f, &err)) {
+        r.errors.push_back(err);
+        continue;
+      }
+      std::vector<Finding> fs = lint_file(f);
+      r.findings.insert(r.findings.end(),
+                        std::make_move_iterator(fs.begin()),
+                        std::make_move_iterator(fs.end()));
     }
-    std::vector<Finding> fs = lint_file(f);
-    r.findings.insert(r.findings.end(),
-                      std::make_move_iterator(fs.begin()),
-                      std::make_move_iterator(fs.end()));
+
+    if (opts.registry) {
+      std::vector<Finding> reg =
+          scan_registry(registry_inputs_for_root(opts.root), &r.errors);
+      r.findings.insert(r.findings.end(),
+                        std::make_move_iterator(reg.begin()),
+                        std::make_move_iterator(reg.end()));
+    }
   }
 
-  if (opts.registry) {
-    std::vector<Finding> reg =
-        scan_registry(registry_inputs_for_root(opts.root), &r.errors);
+  // The architecture pass is whole-program: it runs on full-tree scans
+  // (and under --arch-only / --dot), never for explicit file lists.
+  const bool want_dot = !opts.dot_path.empty();
+  if ((opts.arch && default_scan) || opts.arch_only || want_dot) {
+    ModuleGraph graph;
+    std::vector<Finding> arch = scan_architecture(
+        arch_options_for_root(opts.root), &graph, &r.errors);
     r.findings.insert(r.findings.end(),
-                      std::make_move_iterator(reg.begin()),
-                      std::make_move_iterator(reg.end()));
+                      std::make_move_iterator(arch.begin()),
+                      std::make_move_iterator(arch.end()));
+    if (want_dot) {
+      if (opts.dot_path == "-") {
+        print_dot(std::cout, graph);
+      } else {
+        std::ofstream dot(opts.dot_path);
+        if (!dot)
+          r.errors.push_back("cannot write " + opts.dot_path);
+        else
+          print_dot(dot, graph);
+      }
+    }
   }
 
   sort_findings(&r.findings);

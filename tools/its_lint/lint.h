@@ -49,10 +49,16 @@ enum class Rule : std::size_t {
   kRegMetricsReport,  ///< SimMetrics counter missing from report.cpp.
   kRegConfigDoc,      ///< SimConfig field undocumented in docs//README.
   kBadSuppress,       ///< Malformed/unreasoned its-lint: allow(...).
+  kArchLayer,         ///< Module edge absent from docs/architecture.layers.
+  kArchCycle,         ///< Header-level include cycle.
+  kArchIwyu,          ///< Symbol used via a transitive include only.
+  kArchUnusedInclude, ///< Project include contributing no symbol.
+  kArchGuard,         ///< Header without #pragma once.
+  kArchDeadApi,       ///< Public-header symbol referenced by no other file.
 };
 
 inline constexpr std::size_t kNumRules =
-    static_cast<std::size_t>(Rule::kBadSuppress) + 1;
+    static_cast<std::size_t>(Rule::kArchDeadApi) + 1;
 
 /// Stable kebab-case rule identifier, used in output and in allow(...).
 std::string_view rule_id(Rule r);
@@ -64,11 +70,12 @@ std::string_view rule_summary(Rule r);
 bool rule_from_id(std::string_view id, Rule* out);
 
 /// Process exit code reserved for violations of `r` (10 + enumerator).
-/// Runs violating several distinct rules exit with kExitMixed.
+/// A run that violates several distinct rules exits with the LOWEST
+/// firing rule code — the most specific documented code — so scripts can
+/// always branch on the exit status (see --list-rules).
 int exit_code_for(Rule r);
 inline constexpr int kExitClean = 0;
 inline constexpr int kExitUsage = 1;
-inline constexpr int kExitMixed = 2;
 
 struct Finding {
   std::string file;  ///< Path as given to the scanner (repo-relative in CI).
@@ -141,13 +148,73 @@ std::vector<std::string> parse_struct_fields(const SourceFile& f,
                                              std::string_view struct_name);
 
 // ---------------------------------------------------------------------------
+// Architecture rules (whole-program).
+
+/// What the architecture pass reads.  Everything is resolved relative to
+/// `root` by `arch_options_for_root`, but fixtures may point the fields
+/// anywhere.
+struct ArchOptions {
+  std::string root;           ///< Tree root; the graph is built from root/src.
+  std::string src_dir;        ///< Directory whose modules form the graph.
+  std::string manifest_path;  ///< The docs/architecture.layers manifest.
+  /// Extra trees whose files count as *references* for arch-dead-api
+  /// (tests/, tools/, examples/, bench/) but contribute no graph edges.
+  std::vector<std::string> usage_dirs;
+};
+
+/// Default layout: src_dir = root/src, manifest = root/docs/
+/// architecture.layers, usage_dirs = the sibling trees that exist.
+ArchOptions arch_options_for_root(const std::string& root);
+
+/// The module-level dependency graph derived from `#include "..."` edges.
+struct ModuleGraph {
+  struct Edge {
+    std::string from, to;  ///< Module names (first path component).
+    std::string file;      ///< Witness include site ...
+    std::size_t line = 0;  ///< ... for reporting.
+  };
+  std::vector<std::string> modules;  ///< Sorted module names.
+  std::vector<Edge> edges;           ///< Deduped, sorted (from, to).
+};
+
+/// One row of the layer manifest: `module: dep dep ...`.
+struct ManifestRow {
+  std::string module;
+  std::vector<std::string> deps;
+  std::size_t line = 0;  ///< 1-based line in the manifest file.
+};
+
+/// Parses docs/architecture.layers.  Rows must be topologically ordered —
+/// every dep declared on an earlier line — which makes module cycles
+/// inexpressible; violations land in `errors`.
+bool parse_manifest(const SourceFile& f, std::vector<ManifestRow>* rows,
+                    std::vector<std::string>* errors);
+
+/// Runs the whole arch-* family: layering vs the manifest (both
+/// directions — an include the manifest does not allow AND a manifest
+/// edge no include realises), header-level include cycles, IWYU
+/// (transitive-include reliance), unused project includes, missing
+/// #pragma once, and dead public API.  Suppressions are applied
+/// internally (the pass owns the file loading); `graph` receives the
+/// module graph for --dot when non-null.
+std::vector<Finding> scan_architecture(const ArchOptions& opts,
+                                       ModuleGraph* graph,
+                                       std::vector<std::string>* errors);
+
+/// Graphviz rendering of the module graph (stable, sorted output).
+void print_dot(std::ostream& os, const ModuleGraph& g);
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct LintOptions {
   std::string root = ".";       ///< Repo root (registry files live below).
   std::vector<std::string> paths;  ///< Files/dirs to scan; default {root}/src.
   bool registry = true;         ///< Run the cross-file rules.
+  bool arch = true;             ///< Run the architecture rules.
+  bool arch_only = false;       ///< Run ONLY the architecture rules.
   bool json = false;            ///< Machine-readable output.
+  std::string dot_path;         ///< Write the module graph here ("-": stdout).
 };
 
 struct LintResult {

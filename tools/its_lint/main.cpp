@@ -1,18 +1,23 @@
 // its_lint command-line driver.
 //
-//   its_lint [--root DIR] [--json] [--no-registry] [--list-rules] [paths...]
+//   its_lint [--root DIR] [--json] [--no-registry] [--no-arch]
+//            [--arch-only] [--dot PATH] [--list-rules] [paths...]
 //
 // With no paths, scans <root>/src with every rule.  Explicit paths run the
 // per-file determinism rules on exactly those files/directories (the
-// registry rules still resolve against --root unless --no-registry).
+// registry rules still resolve against --root unless --no-registry; the
+// whole-program architecture pass only runs on full-tree scans).
+// --arch-only restricts a run to the arch-* family; --dot writes the
+// module dependency graph as Graphviz to PATH ("-" for stdout).
 //
-// Exit codes: 0 clean, 1 usage/IO error, 10+N a single rule N violated,
-// 2 several distinct rules violated (see --list-rules for the mapping).
+// Exit codes: 0 clean, 1 usage/IO error, 10+N when rule N fired.  When
+// several distinct rules fire, the exit code is the LOWEST firing rule's
+// code (see --list-rules for the mapping).
+#include "lint.h"
+
 #include <iostream>
 #include <string>
 #include <string_view>
-
-#include "lint.h"
 
 namespace {
 
@@ -25,12 +30,15 @@ int list_rules() {
     std::cout << "  " << its::lint::exit_code_for(r) << "  " << id << " "
               << its::lint::rule_summary(r) << "\n";
   }
+  std::cout << "\nWhen several distinct rules fire in one run, the exit "
+               "code is the lowest\nfiring rule's code.\n";
   return its::lint::kExitClean;
 }
 
 int usage(std::string_view msg) {
   std::cerr << "its_lint: " << msg << "\n"
             << "usage: its_lint [--root DIR] [--json] [--no-registry] "
+               "[--no-arch] [--arch-only] [--dot PATH] "
                "[--list-rules] [paths...]\n";
   return its::lint::kExitUsage;
 }
@@ -45,6 +53,13 @@ int main(int argc, char** argv) {
       opts.json = true;
     } else if (arg == "--no-registry") {
       opts.registry = false;
+    } else if (arg == "--no-arch") {
+      opts.arch = false;
+    } else if (arg == "--arch-only") {
+      opts.arch_only = true;
+    } else if (arg == "--dot") {
+      if (i + 1 >= argc) return usage("--dot needs a path ('-' for stdout)");
+      opts.dot_path = argv[++i];
     } else if (arg == "--list-rules") {
       return list_rules();
     } else if (arg == "--root") {
@@ -56,6 +71,8 @@ int main(int argc, char** argv) {
       opts.paths.emplace_back(arg);
     }
   }
+  if (opts.arch_only && !opts.arch)
+    return usage("--arch-only and --no-arch are mutually exclusive");
 
   its::lint::LintResult r = its::lint::run_lint(opts);
   if (opts.json)

@@ -46,6 +46,20 @@ constexpr RuleInfo kRules[kNumRules] = {
      "SimConfig field not mentioned in docs/ or README.md"},
     {"lint-bad-suppress",
      "its-lint: allow(...) with an unknown rule or without a reason"},
+    {"arch-layer",
+     "module depends on a layer above it or on one missing from its "
+     "docs/architecture.layers row (stale manifest edges also fire)"},
+    {"arch-cycle",
+     "header-level include cycle (reported as the full cycle path)"},
+    {"arch-iwyu",
+     "file references a project symbol whose defining header it does not "
+     "directly include (transitive-include reliance)"},
+    {"arch-unused-include",
+     "project include whose header contributes no referenced symbol"},
+    {"arch-guard", "header missing #pragma once"},
+    {"arch-dead-api",
+     "symbol declared in a module's public header but referenced by no "
+     "other file in src/, tests/, tools/, examples/ or bench/"},
 };
 
 bool ident_char(char c) {
@@ -77,10 +91,13 @@ int exit_code_for(Rule r) { return 10 + static_cast<int>(r); }
 int LintResult::exit_code() const {
   if (!errors.empty()) return kExitUsage;
   if (findings.empty()) return kExitClean;
-  Rule first = findings.front().rule;
+  // Several distinct rules may fire in one run; the exit code is the
+  // LOWEST firing rule's code, i.e. the most specific documented one —
+  // never a catch-all — so callers can branch on the status reliably.
+  Rule lowest = findings.front().rule;
   for (const Finding& f : findings)
-    if (f.rule != first) return kExitMixed;
-  return exit_code_for(first);
+    if (f.rule < lowest) lowest = f.rule;
+  return exit_code_for(lowest);
 }
 
 std::string strip_comments_and_strings(std::string_view text) {
