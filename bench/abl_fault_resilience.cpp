@@ -7,44 +7,60 @@
 // and reports, per policy, the idle time, makespan inflation over the
 // fault-free run, and the resilience counters (retries, deadline aborts,
 // sync→async fallbacks, degraded-mode time).
-#include <iostream>
-#include <map>
-#include <string>
+#include "bench_common.h"
 
-#include "core/experiment.h"
 #include "fault/fault_injector.h"
-#include "util/table.h"
 
-int main() {
+#include <map>
+
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: fault resilience (error rate x tail weight)\n";
   const core::BatchSpec& batch = core::paper_batches()[1];
   core::ExperimentConfig base;
   base.gen.length_scale = 0.05;  // keep the 3x3x5 sweep tractable
   auto traces = core::batch_traces(batch, base.gen);
+  const unsigned jobs = bench::jobs_from_args(argc, argv);
+  const std::size_t np = std::size(core::kAllPolicies);
 
   // Fault-free baselines per policy, for the inflation column.
+  std::vector<core::SimMetrics> clean_ms = core::run_sim_tasks(
+      np, jobs, [&](std::size_t i) {
+        return core::run_batch_policy(batch, core::kAllPolicies[i], base, traces);
+      });
   std::map<core::PolicyKind, core::SimMetrics> clean;
-  for (core::PolicyKind k : core::kAllPolicies)
-    clean.emplace(k, core::run_batch_policy(batch, k, base, traces));
+  for (std::size_t i = 0; i < np; ++i)
+    clean.emplace(core::kAllPolicies[i], clean_ms[i]);
+
+  // The full 3×3×5 grid farms as one submission: index decomposes as
+  // (error rate, tail weight, policy) with policy fastest.
+  const std::vector<double> errs{0.0, 0.01, 0.05};
+  const std::vector<double> tails{0.0, 0.05, 0.2};
+  std::vector<core::SimMetrics> grid = core::run_sim_tasks(
+      errs.size() * tails.size() * np, jobs, [&](std::size_t i) {
+        double err = errs[i / (tails.size() * np)];
+        double tail = tails[(i / np) % tails.size()];
+        core::ExperimentConfig cfg = base;
+        cfg.sim.fault.enabled = true;
+        cfg.sim.fault.seed = 7;
+        cfg.sim.fault.read_error_rate = err;
+        cfg.sim.fault.write_error_rate = err / 3.0;
+        cfg.sim.fault.link_error_rate = err / 6.0;
+        cfg.sim.fault.latency.tail = fault::TailKind::kPareto;
+        cfg.sim.fault.latency.tail_prob = tail;
+        cfg.sim.fault.latency.pareto_alpha = 1.3;
+        cfg.sim.fault.latency.pareto_xm = 2000.0;
+        return core::run_batch_policy(batch, core::kAllPolicies[i % np], cfg,
+                                      traces);
+      });
 
   util::Table t({"errors", "tail", "policy", "idle (ms)", "makespan x",
                  "retries", "aborts", "fallbacks", "degraded (ms)"});
-  for (double err : {0.0, 0.01, 0.05}) {
-    for (double tail : {0.0, 0.05, 0.2}) {
-      std::cerr << "  err " << err << ", tail " << tail << " ...\n";
-      core::ExperimentConfig cfg = base;
-      cfg.sim.fault.enabled = true;
-      cfg.sim.fault.seed = 7;
-      cfg.sim.fault.read_error_rate = err;
-      cfg.sim.fault.write_error_rate = err / 3.0;
-      cfg.sim.fault.link_error_rate = err / 6.0;
-      cfg.sim.fault.latency.tail = fault::TailKind::kPareto;
-      cfg.sim.fault.latency.tail_prob = tail;
-      cfg.sim.fault.latency.pareto_alpha = 1.3;
-      cfg.sim.fault.latency.pareto_xm = 2000.0;
+  std::size_t i = 0;
+  for (double err : errs) {
+    for (double tail : tails) {
       for (core::PolicyKind k : core::kAllPolicies) {
-        core::SimMetrics m = core::run_batch_policy(batch, k, cfg, traces);
+        const core::SimMetrics& m = grid[i++];
         const double inflation = static_cast<double>(m.makespan) /
                                  static_cast<double>(clean.at(k).makespan);
         t.add_row({util::Table::fmt(err, 2), util::Table::fmt(tail, 2),

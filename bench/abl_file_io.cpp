@@ -6,12 +6,10 @@
 // generalises to synchronous *file* reads on ULL storage: page-cache misses
 // busy-wait exactly like major faults, and the ITS thread steals those
 // waits for readahead and pre-execution.
-#include <iostream>
-#include <memory>
+#include "bench_common.h"
 
 #include "core/simulator.h"
 #include "fs/workloads.h"
-#include "util/table.h"
 
 namespace {
 
@@ -39,24 +37,27 @@ its::core::SimMetrics run_policy(its::core::PolicyKind k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: file-I/O path under the five policies\n";
+
+  // Each policy's file-I/O run builds its own simulator + traces, so the
+  // five runs farm out as independent tasks collected by policy index.
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      std::size(core::kAllPolicies), bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) { return run_policy(core::kAllPolicies[i]); });
 
   util::Table t({"policy", "idle (ms)", "norm", "pc hits", "pc misses",
                  "hit %", "writebacks", "makespan (ms)"});
   double its_idle = 0;
-  std::vector<std::pair<core::PolicyKind, core::SimMetrics>> rows;
-  for (auto k : core::kAllPolicies) {
-    std::cerr << "  " << core::policy_name(k) << " ...\n";
-    rows.emplace_back(k, run_policy(k));
-    if (k == core::PolicyKind::kIts)
-      its_idle = static_cast<double>(rows.back().second.idle.total());
-  }
-  for (auto& [k, m] : rows) {
+  for (std::size_t i = 0; i < std::size(core::kAllPolicies); ++i)
+    if (core::kAllPolicies[i] == core::PolicyKind::kIts)
+      its_idle = static_cast<double>(ms[i].idle.total());
+  for (std::size_t i = 0; i < std::size(core::kAllPolicies); ++i) {
+    const core::SimMetrics& m = ms[i];
     double hit_pct = 100.0 * static_cast<double>(m.page_cache_hits) /
                      static_cast<double>(m.page_cache_hits + m.page_cache_misses);
-    t.add_row({std::string(core::policy_name(k)),
+    t.add_row({std::string(core::policy_name(core::kAllPolicies[i])),
                util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
                util::Table::fmt(static_cast<double>(m.idle.total()) / its_idle, 2),
                util::Table::fmt(m.page_cache_hits), util::Table::fmt(m.page_cache_misses),

@@ -4,12 +4,9 @@
 // thread, page-prefetch policy, fault-aware pre-execution) and reports the
 // idle-time and finish-time impact across all four batches, attributing the
 // end-to-end win to its parts.
-#include <iostream>
-#include <vector>
+#include "bench_common.h"
 
-#include "core/experiment.h"
 #include "core/simulator.h"
-#include "util/table.h"
 
 namespace {
 
@@ -28,7 +25,7 @@ its::core::SimMetrics run_variant(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: ITS component knock-outs\n";
 
@@ -44,26 +41,32 @@ int main() {
       {"none (== Sync)",
        {.self_sacrificing = false, .page_prefetch = false, .pre_execute = false}},
   };
+  const std::size_t nv = std::size(variants);
 
   core::ExperimentConfig cfg;
+  const auto& batches = core::paper_batches();
+  std::vector<std::vector<std::shared_ptr<const trace::Trace>>> traces;
+  for (const auto& batch : batches) traces.push_back(core::batch_traces(batch, cfg.gen));
+
+  // All (batch, variant) cells farm out at once: task i runs variant i%nv
+  // over batch i/nv; collection by index keeps the table deterministic.
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      batches.size() * nv, bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        return run_variant(batches[i / nv], cfg, traces[i / nv],
+                           variants[i % nv].opts);
+      });
+
   util::Table idle({"variant", "0_DI", "1_DI", "2_DI", "3_DI"});
   util::Table top({"variant", "0_DI", "1_DI", "2_DI", "3_DI"});
-  std::vector<std::vector<core::SimMetrics>> all;
-  for (const auto& batch : core::paper_batches()) {
-    std::cerr << "  batch " << batch.name << " ...\n";
-    auto traces = core::batch_traces(batch, cfg.gen);
-    std::vector<core::SimMetrics> col;
-    for (const auto& v : variants) col.push_back(run_variant(batch, cfg, traces, v.opts));
-    all.push_back(std::move(col));
-  }
-  for (unsigned vi = 0; vi < std::size(variants); ++vi) {
+  for (std::size_t vi = 0; vi < nv; ++vi) {
     std::vector<std::string> r1{variants[vi].name}, r2{variants[vi].name};
-    for (unsigned b = 0; b < 4; ++b) {
-      double base_idle = static_cast<double>(all[b][0].idle.total());
-      double base_top = all[b][0].avg_finish_top_half();
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      double base_idle = static_cast<double>(ms[b * nv].idle.total());
+      double base_top = ms[b * nv].avg_finish_top_half();
       r1.push_back(util::Table::fmt(
-          static_cast<double>(all[b][vi].idle.total()) / base_idle, 2));
-      r2.push_back(util::Table::fmt(all[b][vi].avg_finish_top_half() / base_top, 2));
+          static_cast<double>(ms[b * nv + vi].idle.total()) / base_idle, 2));
+      r2.push_back(util::Table::fmt(ms[b * nv + vi].avg_finish_top_half() / base_top, 2));
     }
     idle.add_row(std::move(r1));
     top.add_row(std::move(r2));

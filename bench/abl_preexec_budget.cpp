@@ -3,27 +3,28 @@
 // The pre-execute window (max records per episode) controls how much of the
 // synchronous fault wait is converted into cache warming; the fill cap
 // models MSHR/bandwidth limits.
-#include <iostream>
+#include "bench_common.h"
 
-#include "core/experiment.h"
-#include "util/table.h"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: ITS pre-execute lookahead sweep (batch 2_Data_Intensive)\n";
   const core::BatchSpec& batch = core::paper_batches()[2];
   core::ExperimentConfig cfg;
   auto traces = core::batch_traces(batch, cfg.gen);
 
+  const std::vector<unsigned> windows{0u, 32u, 128u, 512u, 1024u, 4096u};
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      windows.size(), bench::jobs_from_args(argc, argv), [&](std::size_t i) {
+        core::ExperimentConfig c = cfg;
+        c.sim.preexec.max_records = windows[i];
+        return core::run_batch_policy(batch, core::PolicyKind::kIts, c, traces);
+      });
+
   util::Table t({"max records", "idle (ms)", "LLC misses", "lines warmed",
                  "stolen (ms)", "top50 finish (ms)"});
-  for (unsigned window : {0u, 32u, 128u, 512u, 1024u, 4096u}) {
-    std::cerr << "  window " << window << " ...\n";
-    core::ExperimentConfig c = cfg;
-    c.sim.preexec.max_records = window;
-    core::SimMetrics m =
-        core::run_batch_policy(batch, core::PolicyKind::kIts, c, traces);
-    t.add_row({std::to_string(window),
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const core::SimMetrics& m = ms[i];
+    t.add_row({std::to_string(windows[i]),
                util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
                util::Table::fmt(m.llc_misses),
                util::Table::fmt(m.preexec_lines_warmed),

@@ -5,27 +5,30 @@
 // predictable workloads but wastes DMA bandwidth and DRAM frames on sparse
 // (data-intensive) address spaces, delaying demand swap-ins behind junk
 // transfers.
-#include <iostream>
+#include "bench_common.h"
 
-#include "core/experiment.h"
-#include "util/table.h"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: ITS prefetch degree sweep (batch 1_Data_Intensive)\n";
   const core::BatchSpec& batch = core::paper_batches()[1];
   core::ExperimentConfig cfg;
   auto traces = core::batch_traces(batch, cfg.gen);
 
+  // Every sweep point is an independent simulation over the shared traces,
+  // so the whole sweep is one run-farm submission keyed by degree index.
+  const std::vector<unsigned> degrees{0u, 1u, 2u, 4u, 8u, 16u, 32u};
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      degrees.size(), bench::jobs_from_args(argc, argv), [&](std::size_t i) {
+        core::ExperimentConfig c = cfg;
+        c.sim.va_prefetch.degree = degrees[i];
+        return core::run_batch_policy(batch, core::PolicyKind::kIts, c, traces);
+      });
+
   util::Table t({"degree", "idle (ms)", "major flt", "minor flt", "pf issued",
                  "accuracy %", "top50 finish (ms)"});
-  for (unsigned degree : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
-    std::cerr << "  degree " << degree << " ...\n";
-    core::ExperimentConfig c = cfg;
-    c.sim.va_prefetch.degree = degree;
-    core::SimMetrics m =
-        core::run_batch_policy(batch, core::PolicyKind::kIts, c, traces);
-    t.add_row({std::to_string(degree),
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    const core::SimMetrics& m = ms[i];
+    t.add_row({std::to_string(degrees[i]),
                util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
                util::Table::fmt(m.major_faults), util::Table::fmt(m.minor_faults),
                util::Table::fmt(m.prefetch_issued),

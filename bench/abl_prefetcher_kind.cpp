@@ -5,12 +5,9 @@
 // (Sync_Prefetch's mechanism), and a learned stride predictor, holding
 // everything else fixed.  Shows why the paper's walk is the right default:
 // it skips resident pages for free and never needs training faults.
-#include <iostream>
-#include <vector>
+#include "bench_common.h"
 
-#include "core/experiment.h"
 #include "core/simulator.h"
-#include "util/table.h"
 
 namespace {
 
@@ -32,7 +29,7 @@ its::core::SimMetrics run_kind(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: ITS prefetcher kind\n";
 
@@ -46,17 +43,29 @@ int main() {
       {"stride predictor", core::PrefetchKind::kStride},
       {"no prefetch", core::PrefetchKind::kNone},
   };
+  const std::size_t nk = std::size(kinds);
+  const std::size_t batch_idx[] = {0, 2};
 
   core::ExperimentConfig cfg;
+  std::vector<std::vector<std::shared_ptr<const trace::Trace>>> traces;
+  for (std::size_t bi : batch_idx)
+    traces.push_back(core::batch_traces(core::paper_batches()[bi], cfg.gen));
+
+  // Task i runs kind i%nk over batch i/nk; the farm collects by index.
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      std::size(batch_idx) * nk, bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        return run_kind(core::paper_batches()[batch_idx[i / nk]], cfg,
+                        traces[i / nk], kinds[i % nk].kind);
+      });
+
   util::Table t({"prefetcher", "batch", "idle (ms)", "major flt", "pf issued",
                  "accuracy %"});
-  for (std::size_t bi : {std::size_t{0}, std::size_t{2}}) {
-    const core::BatchSpec& batch = core::paper_batches()[bi];
-    std::cerr << "  batch " << batch.name << " ...\n";
-    auto traces = core::batch_traces(batch, cfg.gen);
-    for (const auto& k : kinds) {
-      core::SimMetrics m = run_kind(batch, cfg, traces, k.kind);
-      t.add_row({k.name, std::string(batch.name),
+  for (std::size_t b = 0; b < std::size(batch_idx); ++b) {
+    const core::BatchSpec& batch = core::paper_batches()[batch_idx[b]];
+    for (std::size_t k = 0; k < nk; ++k) {
+      const core::SimMetrics& m = ms[b * nk + k];
+      t.add_row({kinds[k].name, std::string(batch.name),
                  util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
                  util::Table::fmt(m.major_faults), util::Table::fmt(m.prefetch_issued),
                  util::Table::fmt(100.0 * m.prefetch_accuracy(), 1)});

@@ -4,38 +4,41 @@
 // only at the next timer check, so every synchronous fault wait rounds up
 // to the poll period; with the interrupt (DMA-initiated) trigger the
 // process resumes exactly at completion.  Sweeps the poll period.
-#include <iostream>
+#include "bench_common.h"
 
-#include "core/experiment.h"
-#include "util/table.h"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: state-recovery trigger (poll period sweep)\n";
   const core::BatchSpec& batch = core::paper_batches()[1];
   core::ExperimentConfig base;
   auto traces = core::batch_traces(batch, base.gen);
 
+  // Task 0 is the interrupt (DMA) trigger; tasks 1..N sweep the poll
+  // period.  All run as one farm submission over the shared traces.
+  const std::vector<its::Duration> periods{100u, 250u, 500u, 1000u, 2000u};
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      periods.size() + 1, bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        core::ExperimentConfig cfg = base;
+        if (i > 0) {
+          cfg.sim.preexec.recovery_trigger = cpu::RecoveryTrigger::kPolling;
+          cfg.sim.preexec.poll_period = periods[i - 1];
+        }
+        return core::run_batch_policy(batch, core::PolicyKind::kIts, cfg, traces);
+      });
+
   util::Table t({"trigger", "poll period (ns)", "idle (ms)", "busywait (ms)",
                  "top50 finish (ms)"});
-  auto row = [&](const char* name, const core::ExperimentConfig& cfg,
+  auto row = [&](const char* name, const core::SimMetrics& m,
                  const std::string& period) {
-    core::SimMetrics m =
-        core::run_batch_policy(batch, core::PolicyKind::kIts, cfg, traces);
     t.add_row({name, period,
                util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
                util::Table::fmt(static_cast<double>(m.idle.busy_wait) / 1e6, 1),
                util::Table::fmt(m.avg_finish_top_half() / 1e6, 1)});
   };
-
-  row("interrupt (DMA)", base, "-");
-  for (its::Duration period : {100u, 250u, 500u, 1000u, 2000u}) {
-    std::cerr << "  poll " << period << " ns ...\n";
-    core::ExperimentConfig cfg = base;
-    cfg.sim.preexec.recovery_trigger = cpu::RecoveryTrigger::kPolling;
-    cfg.sim.preexec.poll_period = period;
-    row("polling", cfg, std::to_string(period));
-  }
+  row("interrupt (DMA)", ms[0], "-");
+  for (std::size_t i = 0; i < periods.size(); ++i)
+    row("polling", ms[i + 1], std::to_string(periods[i]));
 
   std::cout << "\n== Ablation A7 — state-recovery trigger (1_Data_Intensive) ==\n\n";
   t.print(std::cout);

@@ -4,28 +4,46 @@
 // re-runs Sync and ITS under a CFS-style fair scheduler to check that the
 // priority-aware thread selection (which consults the *next-to-be-run*
 // process, whatever the discipline) keeps its benefit.
-#include <iostream>
+#include "bench_common.h"
 
-#include "core/experiment.h"
-#include "util/table.h"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: SCHED_RR vs CFS\n";
 
+  const core::SchedulerKind scheds[] = {core::SchedulerKind::kRoundRobin,
+                                        core::SchedulerKind::kCfs};
+  const std::size_t batch_idx[] = {1, 3};
+  const core::PolicyKind pols[] = {core::PolicyKind::kSync, core::PolicyKind::kIts};
+
+  core::ExperimentConfig cfg;
+  std::vector<std::vector<std::shared_ptr<const trace::Trace>>> traces;
+  for (std::size_t bi : batch_idx)
+    traces.push_back(core::batch_traces(core::paper_batches()[bi], cfg.gen));
+
+  // The 2×2×2 grid farms as eight independent tasks: index decomposes as
+  // (scheduler, batch, policy) with policy fastest, mirroring the old loops.
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      std::size(scheds) * std::size(batch_idx) * std::size(pols),
+      bench::jobs_from_args(argc, argv), [&](std::size_t i) {
+        std::size_t p = i % std::size(pols);
+        std::size_t b = (i / std::size(pols)) % std::size(batch_idx);
+        std::size_t s = i / (std::size(pols) * std::size(batch_idx));
+        core::ExperimentConfig c = cfg;
+        c.sim.scheduler = scheds[s];
+        return core::run_batch_policy(core::paper_batches()[batch_idx[b]],
+                                      pols[p], c, traces[b]);
+      });
+
   util::Table t({"scheduler", "policy", "batch", "idle (ms)", "top50 (ms)",
                  "bot50 (ms)", "give-ways"});
-  for (auto schedkind : {core::SchedulerKind::kRoundRobin, core::SchedulerKind::kCfs}) {
+  std::size_t i = 0;
+  for (auto schedkind : scheds) {
     const char* sname =
         schedkind == core::SchedulerKind::kRoundRobin ? "SCHED_RR" : "CFS";
-    for (std::size_t bi : {std::size_t{1}, std::size_t{3}}) {
+    for (std::size_t bi : batch_idx) {
       const core::BatchSpec& batch = core::paper_batches()[bi];
-      std::cerr << "  " << sname << " / " << batch.name << " ...\n";
-      core::ExperimentConfig cfg;
-      cfg.sim.scheduler = schedkind;
-      auto traces = core::batch_traces(batch, cfg.gen);
-      for (auto k : {core::PolicyKind::kSync, core::PolicyKind::kIts}) {
-        core::SimMetrics m = core::run_batch_policy(batch, k, cfg, traces);
+      for (auto k : pols) {
+        const core::SimMetrics& m = ms[i++];
         t.add_row({sname, std::string(core::policy_name(k)), std::string(batch.name),
                    util::Table::fmt(static_cast<double>(m.idle.total()) / 1e6, 1),
                    util::Table::fmt(m.avg_finish_top_half() / 1e6, 1),

@@ -4,12 +4,9 @@
 // draw; this ablation re-runs 1_Data_Intensive over ten priority shuffles
 // and reports mean ± stddev of the headline metrics per policy, verifying
 // that the Fig. 4/5 orderings are not an artefact of one lucky assignment.
-#include <iostream>
+#include "bench_common.h"
 
-#include "core/experiment.h"
-#include "util/table.h"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   constexpr unsigned kRepeats = 10;
   std::cerr << "Ablation: priority-shuffle sensitivity (" << kRepeats
@@ -18,12 +15,12 @@ int main() {
 
   util::Table t({"policy", "idle mean (ms)", "idle std", "idle min..max",
                  "top50 mean (ms)", "bot50 mean (ms)"});
-  core::RepeatedMetrics its_stats;
   std::vector<std::pair<core::PolicyKind, core::RepeatedMetrics>> rows;
   for (auto k : core::kAllPolicies) {
     std::cerr << "  " << core::policy_name(k) << " ...\n";
     core::ExperimentConfig cfg;
     cfg.gen.length_scale = 0.5;  // 50 runs total; half-length traces suffice
+    cfg.jobs = bench::jobs_from_args(argc, argv);  // repeats farm out per policy
     rows.emplace_back(k, core::run_batch_policy_repeated(batch, k, cfg, kRepeats));
   }
   for (auto& [k, r] : rows) {

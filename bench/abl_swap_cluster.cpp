@@ -5,31 +5,36 @@
 // clusters make each synchronous wait longer (more media + link time), so
 // there is more idle time to steal.  Sweeps the per-fault cluster size for
 // Sync and ITS and reports the ITS saving at each size.
-#include <iostream>
+#include "bench_common.h"
 
-#include "core/experiment.h"
-#include "util/table.h"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: swap cluster size (larger I/O per fault)\n";
   const core::BatchSpec& batch = core::paper_batches()[1];
   core::ExperimentConfig base;
   auto traces = core::batch_traces(batch, base.gen);
 
+  // Task i runs cluster clusters[i/2] under Sync (even i) or ITS (odd i).
+  const std::vector<unsigned> clusters{1u, 2u, 4u, 8u, 16u};
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      clusters.size() * 2, bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        core::ExperimentConfig cfg = base;
+        cfg.sim.swap_cluster_pages = clusters[i / 2];
+        return core::run_batch_policy(
+            batch, i % 2 == 0 ? core::PolicyKind::kSync : core::PolicyKind::kIts,
+            cfg, traces);
+      });
+
   util::Table t({"cluster (pages)", "I/O size", "Sync idle (ms)", "ITS idle (ms)",
                  "ITS saving %", "Sync majors", "ITS majors"});
-  for (unsigned cluster : {1u, 2u, 4u, 8u, 16u}) {
-    std::cerr << "  cluster " << cluster << " ...\n";
-    core::ExperimentConfig cfg = base;
-    cfg.sim.swap_cluster_pages = cluster;
-    core::SimMetrics sync =
-        core::run_batch_policy(batch, core::PolicyKind::kSync, cfg, traces);
-    core::SimMetrics its_m =
-        core::run_batch_policy(batch, core::PolicyKind::kIts, cfg, traces);
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const core::SimMetrics& sync = ms[2 * ci];
+    const core::SimMetrics& its_m = ms[2 * ci + 1];
     double s = static_cast<double>(sync.idle.total());
     double i = static_cast<double>(its_m.idle.total());
-    t.add_row({std::to_string(cluster), std::to_string(4 * cluster) + " KiB",
+    t.add_row({std::to_string(clusters[ci]),
+               std::to_string(4 * clusters[ci]) + " KiB",
                util::Table::fmt(s / 1e6, 1), util::Table::fmt(i / 1e6, 1),
                util::Table::fmt(100.0 * (1.0 - i / s), 1),
                util::Table::fmt(sync.major_faults),

@@ -6,33 +6,42 @@
 // context-switch cost; Async catches up and wins as the device gets slower
 // — the crossover sits near the switch cost, which is exactly the
 // "killer microsecond" argument (§2.1.2).
-#include "core/experiment.h"
+#include "bench_common.h"
+
 #include "storage/dma.h"
-#include "util/table.h"
 
-#include <iostream>
-
-int main() {
+int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Ablation: Sync vs Async crossover over device latency\n";
   const core::BatchSpec& batch = core::paper_batches()[1];
   core::ExperimentConfig cfg;
   auto traces = core::batch_traces(batch, cfg.gen);
 
+  // (latency, policy) pairs farm out as independent tasks: task i runs
+  // latencies[i/2] under Sync (even i) or Async (odd i).
+  const std::vector<its::Duration> latencies{1000u,  2000u,  3000u,  5000u,
+                                             7000u, 10000u, 15000u, 25000u};
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      latencies.size() * 2, bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        core::ExperimentConfig c = cfg;
+        c.sim.ull.read_latency = latencies[i / 2];
+        c.sim.ull.write_latency = latencies[i / 2];
+        return core::run_batch_policy(
+            batch,
+            i % 2 == 0 ? core::PolicyKind::kSync : core::PolicyKind::kAsync, c,
+            traces);
+      });
+
   util::Table t({"media latency (us)", "swap-in (us)", "Sync idle (ms)",
                  "Async idle (ms)", "Sync/Async", "winner"});
-  for (its::Duration lat :
-       {1000u, 2000u, 3000u, 5000u, 7000u, 10000u, 15000u, 25000u}) {
-    std::cerr << "  media " << lat / 1000 << " us ...\n";
+  for (std::size_t li = 0; li < latencies.size(); ++li) {
+    its::Duration lat = latencies[li];
+    double s = static_cast<double>(ms[2 * li].idle.total()) / 1e6;
+    double a = static_cast<double>(ms[2 * li + 1].idle.total()) / 1e6;
     core::ExperimentConfig c = cfg;
     c.sim.ull.read_latency = lat;
     c.sim.ull.write_latency = lat;
-    core::SimMetrics sync =
-        core::run_batch_policy(batch, core::PolicyKind::kSync, c, traces);
-    core::SimMetrics async =
-        core::run_batch_policy(batch, core::PolicyKind::kAsync, c, traces);
-    double s = static_cast<double>(sync.idle.total()) / 1e6;
-    double a = static_cast<double>(async.idle.total()) / 1e6;
     storage::DmaController dma(c.sim.ull, c.sim.pcie);
     double swapin_us =
         static_cast<double>(dma.post_page(0, storage::Dir::kRead)) / 1e3;

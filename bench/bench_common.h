@@ -14,20 +14,29 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "farm/farm.h"
 #include "util/args.h"
 #include "util/table.h"
 
 namespace its::bench {
 
-/// Runs the full 4-batch × 5-policy grid.
+/// Every bench binary accepts `--jobs=N`: the run-farm width used for the
+/// independent simulations behind a figure or sweep (0/absent = the farm
+/// default — ITS_JOBS env or hardware_concurrency; 1 = serial reference).
+inline unsigned jobs_from_args(int argc, char** argv) {
+  util::Args args(argc, argv);
+  return static_cast<unsigned>(args.get_u64("jobs", 0));
+}
+
+/// Runs the full 4-batch × 5-policy grid on the work-stealing run farm.
 inline std::vector<core::BatchResult> run_grid(
-    const core::ExperimentConfig& cfg = {}) {
-  std::vector<core::BatchResult> out;
-  for (const auto& b : core::paper_batches()) {
-    std::cerr << "  running batch " << b.name << " ..." << std::endl;
-    out.push_back(core::run_batch_all(b, cfg));
-  }
-  return out;
+    core::ExperimentConfig cfg = {}, int argc = 0, char** argv = nullptr) {
+  if (argc != 0) cfg.jobs = jobs_from_args(argc, argv);
+  std::cerr << "  running " << core::paper_batches().size()
+            << " batches x 5 policies (--jobs="
+            << (cfg.jobs == 0 ? farm::Farm::default_jobs() : cfg.jobs)
+            << ") ..." << std::endl;
+  return core::run_grid_all(cfg);
 }
 
 /// Every figure bench accepts an optional `--csv=DIR` flag; when given, the

@@ -6,7 +6,7 @@
 int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Fig. 4a: normalised total CPU idle time\n";
-  auto grid = bench::run_grid();
+  auto grid = bench::run_grid({}, argc, argv);
   bench::print_normalized(
       "Figure 4a — Normalised Total CPU Idle Time", grid, core::total_idle_ns,
       "Async 2.59/2.89/2.58/2.95; Sync, Sync_Runahead, Sync_Prefetch between "

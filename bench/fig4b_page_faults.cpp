@@ -6,7 +6,7 @@
 int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Fig. 4b: major page-fault counts\n";
-  auto grid = bench::run_grid();
+  auto grid = bench::run_grid({}, argc, argv);
   bench::print_normalized(
       "Figure 4b — Major Page Faults (normalised)", grid, core::major_faults,
       "ITS saves >=65%/61% of page faults vs Async/Sync on the 0/1-intensive "

@@ -6,7 +6,7 @@
 int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Fig. 4c: CPU cache-miss counts\n";
-  auto grid = bench::run_grid();
+  auto grid = bench::run_grid({}, argc, argv);
   bench::print_normalized(
       "Figure 4c — CPU Cache Misses (normalised)", grid, core::llc_misses,
       "Sync_Runahead is the most effective miss reducer (runahead fires on "

@@ -5,7 +5,7 @@
 int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Fig. 5a: top-50%-priority average finish time\n";
-  auto grid = bench::run_grid();
+  auto grid = bench::run_grid({}, argc, argv);
   bench::print_normalized(
       "Figure 5a — Top 50% Priority Average Finish Time", grid,
       core::top_half_finish,

@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace its;
   std::cerr << "Fig. 5b: bottom-50%-priority average finish time\n";
-  auto grid = bench::run_grid();
+  auto grid = bench::run_grid({}, argc, argv);
   bench::print_normalized(
       "Figure 5b — Bottom 50% Priority Average Finish Time", grid,
       core::bottom_half_finish,

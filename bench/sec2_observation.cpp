@@ -6,49 +6,59 @@
 // idle waiting for synchronous I/O, growing with the process count because
 // the processes share and contend the memory resources; results are
 // normalised to the 2-process run.
-#include <iostream>
-#include <memory>
+#include "bench_common.h"
 
-#include "core/batch.h"
 #include "core/simulator.h"
-#include "util/table.h"
 
-int main() {
+namespace {
+
+its::core::SimMetrics run_count(unsigned n) {
   using namespace its;
-  std::cerr << "Sec. 2.2: Sync idle time vs process count\n";
-
   const trace::WorkloadId kMix[] = {
       trace::WorkloadId::kWrf, trace::WorkloadId::kBlender,
       trace::WorkloadId::kPageRank, trace::WorkloadId::kRandomWalk,
       trace::WorkloadId::kGraph500Sssp};
 
+  core::SimConfig cfg;
+  cfg.slice_min = 50'000;   // scaled NICE slices (see DESIGN.md)
+  cfg.slice_max = 8'000'000;
+  std::uint64_t hot = 0;
+  for (unsigned i = 0; i < n; ++i)
+    hot += trace::spec_for(kMix[i % 5]).hot_bytes;
+  cfg.dram_bytes = static_cast<std::uint64_t>(1.12 * static_cast<double>(hot)) &
+                   ~its::kPageOffsetMask;
+
+  core::Simulator sim(cfg, core::PolicyKind::kSync);
+  for (unsigned i = 0; i < n; ++i) {
+    trace::GeneratorConfig gen;
+    gen.seed = 1 + i;  // duplicated workloads get distinct traces
+    auto tr = std::make_shared<const trace::Trace>(trace::generate(kMix[i % 5], gen));
+    sim.add_process(std::make_unique<sched::Process>(
+        static_cast<its::Pid>(i), std::string(trace::spec_for(kMix[i % 5]).name),
+        static_cast<int>(10 * (i + 1)), tr));
+  }
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace its;
+  std::cerr << "Sec. 2.2: Sync idle time vs process count\n";
+
+  // The five process-count points (n = 2..6) are independent simulations;
+  // they farm out at once, and the n=2 normaliser is read from index 0.
+  std::vector<core::SimMetrics> ms = core::run_sim_tasks(
+      5, bench::jobs_from_args(argc, argv),
+      [&](std::size_t i) { return run_count(static_cast<unsigned>(i + 2)); });
+
   util::Table t({"processes", "idle (ms)", "norm to 2", "idle/makespan %",
                  "busywait share %"});
-  double idle2 = 0.0;
-  for (unsigned n = 2; n <= 6; ++n) {
-    std::cerr << "  running " << n << " processes ...\n";
-    core::SimConfig cfg;
-    cfg.slice_min = 50'000;   // scaled NICE slices (see DESIGN.md)
-    cfg.slice_max = 8'000'000;
-    std::uint64_t hot = 0;
-    for (unsigned i = 0; i < n; ++i)
-      hot += trace::spec_for(kMix[i % 5]).hot_bytes;
-    cfg.dram_bytes = static_cast<std::uint64_t>(1.12 * static_cast<double>(hot)) &
-                     ~its::kPageOffsetMask;
-
-    core::Simulator sim(cfg, core::PolicyKind::kSync);
-    for (unsigned i = 0; i < n; ++i) {
-      trace::GeneratorConfig gen;
-      gen.seed = 1 + i;  // duplicated workloads get distinct traces
-      auto tr = std::make_shared<const trace::Trace>(trace::generate(kMix[i % 5], gen));
-      sim.add_process(std::make_unique<sched::Process>(
-          static_cast<its::Pid>(i), std::string(trace::spec_for(kMix[i % 5]).name),
-          static_cast<int>(10 * (i + 1)), tr));
-    }
-    core::SimMetrics m = sim.run();
+  const double idle2 = static_cast<double>(ms[0].idle.total()) / 1e6;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const core::SimMetrics& m = ms[i];
     double idle_ms = static_cast<double>(m.idle.total()) / 1e6;
-    if (n == 2) idle2 = idle_ms;
-    t.add_row({std::to_string(n), util::Table::fmt(idle_ms, 1),
+    t.add_row({std::to_string(i + 2), util::Table::fmt(idle_ms, 1),
                util::Table::fmt(idle_ms / idle2, 2),
                util::Table::fmt(100.0 * static_cast<double>(m.idle.total()) /
                                     static_cast<double>(m.makespan),

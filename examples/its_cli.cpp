@@ -8,7 +8,7 @@
 // Flags: --batch=<0..3>  --policy=<Async|Sync|Sync_Runahead|Sync_Prefetch|
 // ITS|all>  --scheduler=<rr|cfs>  --seed=<n>  --degree=<n>  --media-us=<n>
 // --ctx-us=<n>  --length-scale=<f>  --csv=<dir>  --fault-profile=<name>
-// --fault-seed=<n>  --list
+// --fault-seed=<n>  --jobs=<n>  --list
 //
 // Exit codes: 0 success, 1 invariant violation, 2 usage error (unknown
 // flag / bad value), 3 unreadable or corrupt input file, 4 invalid fault
@@ -146,8 +146,8 @@ int run_cli(int argc, char** argv) {
   for (const auto& u : args.unknown({"batch", "policy", "scheduler", "seed", "degree",
                                      "media-us", "ctx-us", "length-scale", "csv",
                                      "trace", "trace-out", "dram-mb",
-                                     "fault-profile", "fault-seed", "list",
-                                     "help"})) {
+                                     "fault-profile", "fault-seed", "jobs",
+                                     "list", "help"})) {
     std::cerr << "unknown flag --" << u << " (try --help)\n";
     return kUsageError;
   }
@@ -155,7 +155,7 @@ int run_cli(int argc, char** argv) {
     std::cout << "usage: its_cli [--list] [--batch=N] [--policy=NAME|all] "
                  "[--scheduler=rr|cfs]\n               [--seed=N] [--degree=N] "
                  "[--media-us=N] [--ctx-us=N]\n               "
-                 "[--length-scale=F] [--csv=DIR]\n               "
+                 "[--length-scale=F] [--csv=DIR] [--jobs=N]\n               "
                  "[--fault-profile=none|tail|bursty|errors|hostile] "
                  "[--fault-seed=N]\n               "
                  "[--trace-out=FILE.json]\n       its_cli "
@@ -168,7 +168,10 @@ int run_cli(int argc, char** argv) {
                  "  --trace-out writes a Chrome trace_event JSON timeline "
                  "(load in\n  chrome://tracing or ui.perfetto.dev) and runs "
                  "the invariant checker;\n  needs a single --policy, not "
-                 "'all'.\n";
+                 "'all'.\n"
+                 "  --jobs sets the run-farm width for --policy=all (0 = "
+                 "hardware\n  concurrency or ITS_JOBS; 1 = serial reference; "
+                 "results are\n  bit-identical at every width).\n";
     return 0;
   }
   if (args.has("list")) return list_everything();
@@ -226,6 +229,7 @@ int run_cli(int argc, char** argv) {
   cfg.sim.ull.write_latency = cfg.sim.ull.read_latency;
   cfg.sim.ctx_switch_cost = args.get_u64("ctx-us", 7) * 1000;
   cfg.gen.length_scale = args.get_double("length-scale", 1.0);
+  cfg.jobs = static_cast<unsigned>(args.get_u64("jobs", 0));
   if (int rc = apply_fault_flags(args, cfg.sim.fault); rc != 0) return rc;
   std::string sched = args.get_string("scheduler", "rr");
   if (sched == "cfs") {

@@ -5,11 +5,15 @@
 #include "core/metrics.h"
 #include "core/policy.h"
 #include "core/simulator.h"
+#include "farm/farm.h"
 #include "obs/event_trace.h"
 #include "trace/trace.h"
 
-#include <array>
-#include <future>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 namespace its::core {
 
@@ -31,25 +35,55 @@ SimMetrics run_batch_policy(
 }
 
 BatchResult run_batch_all(const BatchSpec& batch, const ExperimentConfig& cfg) {
+  // Each policy's simulation is fully independent (own Simulator, shared
+  // immutable traces), so the five runs are farm tasks.  Collection is
+  // keyed by submission index: deterministic at any worker count.
   BatchResult r;
   r.spec = &batch;
   auto traces = batch_traces(batch, cfg.gen);
-  if (cfg.parallel) {
-    // Each policy's simulation is fully independent (own Simulator, shared
-    // immutable traces), so the five runs execute concurrently.  Results
-    // stay deterministic: concurrency never touches a simulator's state.
-    std::array<std::future<SimMetrics>, std::size(kAllPolicies)> futs;
-    for (std::size_t i = 0; i < std::size(kAllPolicies); ++i)
-      futs[i] = std::async(std::launch::async, [&, i] {
+  farm::Farm farm(cfg.jobs);
+  std::vector<SimMetrics> ms = farm::run_collect<SimMetrics>(
+      farm, std::size(kAllPolicies), [&](std::size_t i) {
         return run_batch_policy(batch, kAllPolicies[i], cfg, traces);
       });
-    for (std::size_t i = 0; i < std::size(kAllPolicies); ++i)
-      r.by_policy.emplace(kAllPolicies[i], futs[i].get());
-    return r;
-  }
-  for (PolicyKind k : kAllPolicies)
-    r.by_policy.emplace(k, run_batch_policy(batch, k, cfg, traces));
+  for (std::size_t i = 0; i < std::size(kAllPolicies); ++i)
+    r.by_policy.emplace(kAllPolicies[i], std::move(ms[i]));
   return r;
+}
+
+std::vector<BatchResult> run_grid_all(const ExperimentConfig& cfg) {
+  const auto batches = paper_batches();
+  farm::Farm farm(cfg.jobs);
+
+  // Phase 1: per-batch trace generation (deterministic in (workload, cfg)).
+  std::vector<std::vector<std::shared_ptr<const trace::Trace>>> traces =
+      farm::run_collect<std::vector<std::shared_ptr<const trace::Trace>>>(
+          farm, batches.size(),
+          [&](std::size_t b) { return batch_traces(batches[b], cfg.gen); });
+
+  // Phase 2: every (batch, policy) pair is one work-stealing task.
+  const std::size_t policies = std::size(kAllPolicies);
+  std::vector<SimMetrics> ms = farm::run_collect<SimMetrics>(
+      farm, batches.size() * policies, [&](std::size_t i) {
+        std::size_t b = i / policies;
+        return run_batch_policy(batches[b], kAllPolicies[i % policies], cfg,
+                                traces[b]);
+      });
+
+  std::vector<BatchResult> grid(batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    grid[b].spec = &batches[b];
+    for (std::size_t p = 0; p < policies; ++p)
+      grid[b].by_policy.emplace(kAllPolicies[p], std::move(ms[b * policies + p]));
+  }
+  return grid;
+}
+
+std::vector<SimMetrics> run_sim_tasks(
+    std::size_t n, unsigned jobs,
+    const std::function<SimMetrics(std::size_t)>& task) {
+  farm::Farm farm(jobs);
+  return farm::run_collect<SimMetrics>(farm, n, task);
 }
 
 double BatchResult::normalized(PolicyKind k, double (*extract)(const SimMetrics&)) const {
@@ -63,10 +97,16 @@ RepeatedMetrics run_batch_policy_repeated(const BatchSpec& batch, PolicyKind pol
                                           unsigned repeats) {
   RepeatedMetrics out;
   auto traces = batch_traces(batch, cfg.gen);
-  for (unsigned i = 0; i < repeats; ++i) {
-    ExperimentConfig c = cfg;
-    c.sim.seed = cfg.sim.seed + i;
-    SimMetrics m = run_batch_policy(batch, policy, c, traces);
+  // The repeats are independent (seed offset per run), so they farm out;
+  // folding into the RunningStats afterwards in submission order keeps the
+  // floating-point accumulation identical to the serial loop.
+  std::vector<SimMetrics> ms =
+      run_sim_tasks(repeats, cfg.jobs, [&](std::size_t i) {
+        ExperimentConfig c = cfg;
+        c.sim.seed = cfg.sim.seed + i;
+        return run_batch_policy(batch, policy, c, traces);
+      });
+  for (const SimMetrics& m : ms) {
     out.idle_total.add(static_cast<double>(m.idle.total()));
     out.major_faults.add(static_cast<double>(m.major_faults));
     out.llc_misses.add(static_cast<double>(m.llc_misses));

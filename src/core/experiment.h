@@ -14,7 +14,9 @@
 #include "trace/workloads.h"
 #include "util/stats.h"
 
+#include <cstddef>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -28,7 +30,11 @@ struct ExperimentConfig {
   trace::GeneratorConfig gen{};  ///< Trace scaling knobs.
   SimConfig sim{};               ///< Base config; dram_bytes set per batch.
   double dram_headroom = 1.12;   ///< DRAM = Σ working sets × headroom.
-  bool parallel = true;          ///< Run the five policies concurrently.
+  /// Run-farm width for multi-run entry points (run_batch_all, run_grid_all,
+  /// run_sim_tasks, run_batch_policy_repeated): 0 = farm::Farm::default_jobs()
+  /// (ITS_JOBS env or hardware_concurrency), 1 = serial reference execution.
+  /// Results are bit-identical at every value (docs/performance.md).
+  unsigned jobs = 0;
 
   ExperimentConfig() {
     // The mini traces are ~100x shorter than the paper's Valgrind captures;
@@ -67,6 +73,22 @@ struct BatchResult {
 
 /// Runs every policy over one batch with shared traces.
 BatchResult run_batch_all(const BatchSpec& batch, const ExperimentConfig& cfg = {});
+
+/// Runs every paper batch under every policy through one shared run farm:
+/// per-batch trace generation fans out first, then all (batch, policy)
+/// simulations execute as independent work-stealing tasks.  Results are
+/// collected by submission index, so the grid is byte-identical at any
+/// `cfg.jobs` — this is the engine behind every figure bench and
+/// `its_cli --policy=all` (see docs/performance.md).
+std::vector<BatchResult> run_grid_all(const ExperimentConfig& cfg = {});
+
+/// Farms `n` independent simulation tasks over `jobs` workers (0 =
+/// default width) and returns the metrics keyed by submission index —
+/// the harness the ablation sweeps run on.  `task` must not depend on
+/// execution order; nested calls from inside a farm task run inline.
+std::vector<SimMetrics> run_sim_tasks(
+    std::size_t n, unsigned jobs,
+    const std::function<SimMetrics(std::size_t)>& task);
 
 /// Aggregates over repeated runs with different seeds (the paper assigns
 /// priorities randomly; this measures how sensitive a result is to the

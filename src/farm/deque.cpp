@@ -1,0 +1,67 @@
+#include "farm/deque.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace its::farm {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TaskDeque::TaskDeque(std::size_t capacity) {
+  ring_.resize(round_up_pow2(capacity < 2 ? 2 : capacity));
+}
+
+void TaskDeque::push_back(std::uint64_t task) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (count_ == ring_.size()) grow_locked();
+  ring_[(head_ + count_) & (ring_.size() - 1)] = task;
+  ++count_;
+  if (count_ > max_depth_) max_depth_ = count_;
+}
+
+bool TaskDeque::try_pop_back(std::uint64_t* task) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (count_ == 0) return false;
+  --count_;
+  *task = ring_[(head_ + count_) & (ring_.size() - 1)];
+  return true;
+}
+
+std::size_t TaskDeque::steal_half(std::uint64_t* out, std::size_t max_out) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::size_t take = (count_ + 1) / 2;  // half, rounded up: a 1-deep deque is stealable
+  if (take > max_out) take = max_out;
+  for (std::size_t i = 0; i < take; ++i) {
+    out[i] = ring_[head_];
+    head_ = (head_ + 1) & (ring_.size() - 1);
+  }
+  count_ -= take;
+  return take;
+}
+
+std::size_t TaskDeque::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return count_;
+}
+
+std::size_t TaskDeque::max_depth() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return max_depth_;
+}
+
+void TaskDeque::grow_locked() {
+  std::vector<std::uint64_t> bigger(ring_.size() * 2);
+  for (std::size_t i = 0; i < count_; ++i)
+    bigger[i] = ring_[(head_ + i) & (ring_.size() - 1)];
+  ring_ = std::move(bigger);
+  head_ = 0;
+}
+
+}  // namespace its::farm

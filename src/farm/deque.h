@@ -1,0 +1,68 @@
+// Per-worker task deque for the run farm.
+//
+// Chase-Lev shape: the owning worker pushes and pops at the back (LIFO —
+// the freshest task is the one whose inputs are warmest), thieves take
+// from the front (FIFO — the oldest tasks are the ones the owner will get
+// to last) and take *half* the queue per steal so one visit rebalances a
+// loaded victim instead of trickling tasks over one at a time (the
+// exploit/explore scheduler shape; see docs/performance.md).
+//
+// Tasks are plain submission indices; the farm owns the callable.  A small
+// mutex guards each deque: a task here is an entire simulation run
+// (milliseconds to seconds), so queue operations are nowhere near the hot
+// path and an uncontended lock keeps every interleaving — including the
+// single-element owner-vs-thief race window — trivially correct and
+// ThreadSanitizer-clean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace its::farm {
+
+/// Work-stealing double-ended queue of task indices.
+///
+/// Storage is a power-of-two ring buffer that doubles when full, so
+/// wrap-around is routine rather than a capacity error; FIFO order of the
+/// front is preserved across growth and wrap.
+class TaskDeque {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit TaskDeque(std::size_t capacity = 64);
+
+  /// Owner: enqueue a task at the back.
+  void push_back(std::uint64_t task);
+
+  /// Owner: dequeue the most recently pushed task.  Returns false when
+  /// the deque is empty (the thief may have emptied it concurrently).
+  bool try_pop_back(std::uint64_t* task);
+
+  /// Thief: remove up to half the queue (rounded up, capped at `max_out`)
+  /// from the *front*, oldest first, into `out`.  Returns the number
+  /// taken; 0 means the deque was empty.  Stealing from a single-element
+  /// deque takes that element — the classic race window the mutex closes.
+  std::size_t steal_half(std::uint64_t* out, std::size_t max_out);
+
+  /// Tasks currently queued (racy snapshot between owner and thieves).
+  std::size_t size() const;
+
+  bool empty() const { return size() == 0; }
+
+  /// High-water mark of `size()` since construction (per-worker queue
+  /// depth counter surfaced through farm::FarmStats).
+  std::size_t max_depth() const;
+
+ private:
+  /// Doubles the ring, re-laying tasks out from slot 0.  Caller holds mu_.
+  void grow_locked();
+
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> ring_;  ///< Power-of-two capacity.
+  std::size_t head_ = 0;             ///< Ring index of the oldest task.
+  std::size_t count_ = 0;            ///< Tasks currently queued.
+  std::size_t max_depth_ = 0;        ///< High-water mark of count_.
+};
+
+}  // namespace its::farm

@@ -1,0 +1,130 @@
+// farm — the work-stealing run farm.
+//
+// Executes batches of *independent* tasks (in this repo: whole simulation
+// runs, each owning its RNG and event clock) across a fixed pool of worker
+// threads.  Each worker owns a cache-line-aligned slot holding its task
+// deque and counters; a worker whose deque runs dry steals half of a
+// victim's queue (farm/deque.h).  Determinism contract: tasks are named by
+// their submission index and results are collected by that index, so the
+// output of a farm run is byte-identical at any worker count and under any
+// steal interleaving — the golden files do not know the farm exists.  The
+// determinism matrix (tests/farm_test.cpp, ctest -L farm) and the TSAN CI
+// job enforce this; docs/performance.md describes the design.
+#pragma once
+
+#include "farm/deque.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace its::farm {
+
+/// Per-worker counters, written only by the owning worker during a run and
+/// safe to read once `run_indexed` has returned.
+struct WorkerStats {
+  std::uint64_t tasks_run = 0;     ///< Tasks this worker executed.
+  std::uint64_t steals = 0;        ///< Successful steal_half visits.
+  std::uint64_t stolen_tasks = 0;  ///< Tasks acquired by stealing.
+  std::uint64_t steal_misses = 0;  ///< Victims found empty.
+  std::size_t max_queue_depth = 0; ///< High-water mark of the own deque.
+};
+
+/// Aggregated view over every worker, returned by Farm::stats().
+struct FarmStats {
+  std::vector<WorkerStats> workers;
+
+  std::uint64_t total_tasks() const;
+  std::uint64_t total_steals() const;
+  std::uint64_t total_stolen_tasks() const;
+
+  /// Fraction of all executed tasks that worker `w` ran — the farm's
+  /// occupancy/balance measure (1/jobs each when perfectly balanced).
+  double occupancy(std::size_t w) const;
+};
+
+/// A fixed-width work-stealing thread pool.
+///
+/// `Farm(1)` spawns no threads and runs tasks inline in submission order —
+/// the exact serial semantics of the pre-farm code — so `--jobs 1` is
+/// always available as the bit-for-bit reference execution.  Nested
+/// `run_indexed` calls from inside a farm task also run inline, which
+/// makes composing farmed helpers (a farmed sweep whose tasks call a
+/// farmed grid) deadlock-free by construction.
+class Farm {
+ public:
+  /// `jobs` worker threads; 0 means default_jobs().
+  explicit Farm(unsigned jobs = 0);
+  ~Farm();
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  /// Worker width (≥ 1).
+  unsigned jobs() const { return static_cast<unsigned>(slots_.size()); }
+
+  /// Runs task(0), …, task(n-1), blocking until every task finished.
+  /// Tasks must be independent; they may run in any order on any worker.
+  /// The first exception a task throws is rethrown here after the batch
+  /// drains (remaining tasks still run).  Not reentrant from two external
+  /// threads; calls from inside a farm task execute inline.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  /// Per-worker counters.  Call only while no run is in flight.
+  FarmStats stats() const;
+
+  /// ITS_JOBS environment override, else std::thread::hardware_concurrency
+  /// (never 0).
+  static unsigned default_jobs();
+
+  /// True on a thread currently executing a farm task.
+  static bool in_worker();
+
+ private:
+  /// One worker's world, padded to its own cache line so deque and
+  /// counter traffic never false-shares with a neighbour.
+  struct alignas(64) Slot {
+    TaskDeque deque;
+    WorkerStats stats;
+  };
+
+  void worker_main(unsigned w);
+  /// Exploit-own-deque / explore-victims loop for the current batch.
+  void drain(unsigned w, const std::function<void(std::size_t)>& task);
+  void execute(unsigned w, const std::function<void(std::size_t)>& task,
+               std::uint64_t id);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> threads_;
+
+  std::mutex run_mu_;  ///< Serialises external run_indexed callers.
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< Signals a new batch (epoch_ bumped).
+  std::condition_variable cv_done_;  ///< Signals batch completion to the master.
+  const std::function<void(std::size_t)>* task_ = nullptr;  ///< Guarded by mu_.
+  std::uint64_t epoch_ = 0;       ///< Guarded by mu_.
+  std::size_t busy_ = 0;          ///< Workers inside drain(); guarded by mu_.
+  std::exception_ptr error_;      ///< First task failure; guarded by mu_.
+  bool stop_ = false;             ///< Guarded by mu_.
+  std::atomic<std::size_t> remaining_{0};  ///< Unfinished tasks this epoch.
+};
+
+/// Farms `task` over [0, n) and collects the results keyed by submission
+/// index — the deterministic-collection helper every caller should use.
+template <typename R>
+std::vector<R> run_collect(Farm& farm, std::size_t n,
+                           const std::function<R(std::size_t)>& task) {
+  std::vector<R> out(n);
+  farm.run_indexed(n, [&](std::size_t i) { out[i] = task(i); });
+  return out;
+}
+
+}  // namespace its::farm

@@ -1,0 +1,437 @@
+// Work-stealing run-farm suite (ctest label: farm).
+//
+// Three layers of guarantees:
+//   * TaskDeque unit behaviour — LIFO owner pops, FIFO steal-half from the
+//     front (including the single-element race window), ring wrap-around
+//     and growth, depth accounting;
+//   * Farm execution semantics — every task runs exactly once at any
+//     width, results collect by submission index, nested calls run inline,
+//     exceptions propagate, thousands of no-op tasks drain (stress), the
+//     stats ledger balances, ITS_JOBS is honoured;
+//   * the bit-determinism matrix — the same experiments at --jobs 1/2/8
+//     and under a shuffled submission order produce byte-identical metrics
+//     CSVs, and a --jobs 8 run reproduces the checked-in golden files
+//     (tests/golden/metrics.golden, fault_metrics.golden) byte for byte.
+//
+// The whole suite also runs under TSAN in CI (-DITS_SANITIZE=thread);
+// docs/performance.md describes the farm design these tests pin down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/experiment.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "farm/deque.h"
+#include "farm/farm.h"
+#include "fault/fault_injector.h"
+
+namespace its {
+namespace {
+
+#ifndef ITS_GOLDEN_DIR
+#error "ITS_GOLDEN_DIR must point at the checked-in golden directory"
+#endif
+
+using core::PolicyKind;
+using core::SimMetrics;
+
+// ---------------------------------------------------------------------------
+// TaskDeque.
+
+TEST(TaskDeque, OwnerPopsLifo) {
+  farm::TaskDeque d;
+  for (std::uint64_t t = 0; t < 4; ++t) d.push_back(t);
+  std::uint64_t got = 0;
+  for (std::uint64_t expect : {3u, 2u, 1u, 0u}) {
+    ASSERT_TRUE(d.try_pop_back(&got));
+    EXPECT_EQ(got, expect);
+  }
+  EXPECT_FALSE(d.try_pop_back(&got));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(TaskDeque, StealFromEmptyReturnsZero) {
+  farm::TaskDeque d;
+  std::uint64_t out[4];
+  EXPECT_EQ(d.steal_half(out, 4), 0u);
+  // Emptied-then-stolen: the pop wins, the thief sees nothing.
+  d.push_back(7);
+  std::uint64_t got = 0;
+  ASSERT_TRUE(d.try_pop_back(&got));
+  EXPECT_EQ(d.steal_half(out, 4), 0u);
+}
+
+TEST(TaskDeque, SingleElementStealTakesIt) {
+  // The classic Chase-Lev race window: one task, owner and thief both
+  // reaching for it.  Under the mutex exactly one side gets it; a thief
+  // arriving first takes the single element.
+  farm::TaskDeque d;
+  d.push_back(42);
+  std::uint64_t out[4];
+  ASSERT_EQ(d.steal_half(out, 4), 1u);
+  EXPECT_EQ(out[0], 42u);
+  std::uint64_t got = 0;
+  EXPECT_FALSE(d.try_pop_back(&got));
+}
+
+TEST(TaskDeque, StealHalfTakesOldestHalfInFifoOrder) {
+  farm::TaskDeque d;
+  for (std::uint64_t t = 0; t < 7; ++t) d.push_back(t);
+  std::uint64_t out[8];
+  // ceil(7/2) == 4, from the front: 0,1,2,3.
+  ASSERT_EQ(d.steal_half(out, 8), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  // Owner still pops its freshest work last-in-first-out.
+  std::uint64_t got = 0;
+  ASSERT_TRUE(d.try_pop_back(&got));
+  EXPECT_EQ(got, 6u);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(TaskDeque, StealHalfHonoursMaxOut) {
+  farm::TaskDeque d;
+  for (std::uint64_t t = 0; t < 10; ++t) d.push_back(t);
+  std::uint64_t out[2];
+  ASSERT_EQ(d.steal_half(out, 2), 2u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 1u);
+  EXPECT_EQ(d.size(), 8u);
+}
+
+TEST(TaskDeque, WrapAroundPreservesFifoFront) {
+  // Drive head_ around the ring: fill, drain from the front, refill past
+  // the physical end.  Steals must still see oldest-first order.
+  farm::TaskDeque d(4);
+  std::uint64_t out[16];
+  for (std::uint64_t t = 0; t < 3; ++t) d.push_back(t);
+  ASSERT_EQ(d.steal_half(out, 16), 2u);  // head advances to slot 2
+  for (std::uint64_t t = 3; t < 6; ++t) d.push_back(t);  // wraps
+  ASSERT_EQ(d.size(), 4u);
+  ASSERT_EQ(d.steal_half(out, 16), 2u);
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(out[1], 3u);
+  std::uint64_t got = 0;
+  ASSERT_TRUE(d.try_pop_back(&got));
+  EXPECT_EQ(got, 5u);
+  ASSERT_TRUE(d.try_pop_back(&got));
+  EXPECT_EQ(got, 4u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(TaskDeque, GrowthPreservesOrderAcrossWrap) {
+  farm::TaskDeque d(2);
+  std::uint64_t out[64];
+  // Misalign head first, then overflow the tiny ring several times over.
+  d.push_back(100);
+  ASSERT_EQ(d.steal_half(out, 1), 1u);
+  for (std::uint64_t t = 0; t < 33; ++t) d.push_back(t);
+  EXPECT_EQ(d.size(), 33u);
+  ASSERT_EQ(d.steal_half(out, 64), 17u);  // ceil(33/2)
+  for (std::uint64_t i = 0; i < 17; ++i) EXPECT_EQ(out[i], i);
+  std::uint64_t got = 0;
+  ASSERT_TRUE(d.try_pop_back(&got));
+  EXPECT_EQ(got, 32u);
+}
+
+TEST(TaskDeque, MaxDepthIsHighWaterMark) {
+  farm::TaskDeque d;
+  EXPECT_EQ(d.max_depth(), 0u);
+  for (std::uint64_t t = 0; t < 5; ++t) d.push_back(t);
+  std::uint64_t got = 0;
+  d.try_pop_back(&got);
+  d.try_pop_back(&got);
+  d.push_back(9);
+  EXPECT_EQ(d.max_depth(), 5u);
+  EXPECT_EQ(d.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Farm execution semantics.
+
+TEST(Farm, EveryTaskRunsExactlyOnceAtAnyWidth) {
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    farm::Farm farm(jobs);
+    EXPECT_EQ(farm.jobs(), jobs);
+    std::vector<std::atomic<int>> hits(257);
+    farm.run_indexed(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " at jobs=" << jobs;
+  }
+}
+
+TEST(Farm, RunCollectKeysResultsBySubmissionIndex) {
+  farm::Farm farm(4);
+  std::vector<std::uint64_t> got = farm::run_collect<std::uint64_t>(
+      farm, 100, [](std::size_t i) { return static_cast<std::uint64_t>(i * i); });
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i * i);
+}
+
+TEST(Farm, ReusableAcrossBatches) {
+  farm::Farm farm(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> ran{0};
+    farm.run_indexed(31 + round, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 31 + round);
+  }
+}
+
+TEST(Farm, NestedCallsRunInline) {
+  farm::Farm outer(4);
+  std::vector<std::atomic<int>> hits(64);
+  outer.run_indexed(8, [&](std::size_t o) {
+    EXPECT_TRUE(farm::Farm::in_worker());
+    // A farmed helper invoked from inside a farm task must not deadlock:
+    // the nested farm degrades to inline serial execution on this thread.
+    farm::Farm inner(4);
+    inner.run_indexed(8, [&](std::size_t i) { hits[o * 8 + i].fetch_add(1); });
+  });
+  EXPECT_FALSE(farm::Farm::in_worker());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Farm, FirstExceptionPropagatesAfterDrain) {
+  for (unsigned jobs : {1u, 4u}) {
+    farm::Farm farm(jobs);
+    std::atomic<int> ran{0};
+    try {
+      farm.run_indexed(40, [&](std::size_t i) {
+        if (i == 17) throw std::runtime_error("task 17 failed");
+        ran.fetch_add(1);
+      });
+      FAIL() << "expected the task exception to propagate (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 17 failed");
+    }
+    // The batch drains: every non-throwing task still ran.
+    EXPECT_EQ(ran.load(), 39);
+    // The farm stays usable after a failed batch.
+    std::atomic<int> again{0};
+    farm.run_indexed(10, [&](std::size_t) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), 10);
+  }
+}
+
+TEST(Farm, StressThousandsOfNoopTasks) {
+  farm::Farm farm(8);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    const std::size_t n = 5000;
+    farm.run_indexed(n, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n + 1) / 2);
+  }
+}
+
+TEST(Farm, StatsLedgerBalances) {
+  farm::Farm farm(4);
+  const std::size_t n = 1000;
+  farm.run_indexed(n, [](std::size_t) {});
+  farm::FarmStats st = farm.stats();
+  ASSERT_EQ(st.workers.size(), 4u);
+  EXPECT_EQ(st.total_tasks(), n);
+  double occ = 0.0;
+  std::uint64_t stolen = 0;
+  for (std::size_t w = 0; w < st.workers.size(); ++w) {
+    const farm::WorkerStats& ws = st.workers[w];
+    occ += st.occupancy(w);
+    stolen += ws.stolen_tasks;
+    EXPECT_GE(ws.max_queue_depth, ws.tasks_run > 0 ? 1u : 0u);
+  }
+  EXPECT_NEAR(occ, 1.0, 1e-9);
+  EXPECT_EQ(stolen, st.total_stolen_tasks());
+  EXPECT_LE(st.total_stolen_tasks(), n);
+}
+
+TEST(Farm, DefaultJobsHonoursItsJobsEnv) {
+  ASSERT_EQ(setenv("ITS_JOBS", "3", 1), 0);
+  EXPECT_EQ(farm::Farm::default_jobs(), 3u);
+  farm::Farm farm(0);
+  EXPECT_EQ(farm.jobs(), 3u);
+  ASSERT_EQ(setenv("ITS_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(farm::Farm::default_jobs(), 1u);  // falls back, never 0
+  ASSERT_EQ(unsetenv("ITS_JOBS"), 0);
+  EXPECT_GE(farm::Farm::default_jobs(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The bit-determinism matrix (the farm's reason to exist).
+
+core::ExperimentConfig golden_config() {
+  core::ExperimentConfig cfg;
+  cfg.gen.length_scale = 0.02;
+  cfg.gen.footprint_scale = 0.25;
+  cfg.sim.seed = 42;
+  return cfg;
+}
+
+std::string grid_csv(unsigned jobs) {
+  core::ExperimentConfig cfg = golden_config();
+  cfg.jobs = jobs;
+  std::vector<core::BatchResult> grid = core::run_grid_all(cfg);
+  return core::metrics_csv(grid);
+}
+
+TEST(FarmDeterminism, MetricsCsvByteIdenticalAtJobs1_2_8) {
+  const std::string serial = grid_csv(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(grid_csv(2), serial) << "--jobs 2 diverged from serial reference";
+  EXPECT_EQ(grid_csv(8), serial) << "--jobs 8 diverged from serial reference";
+}
+
+TEST(FarmDeterminism, ShuffledSubmissionOrderIsByteIdentical) {
+  // Submit the same (batch, policy) tasks in a permuted order and place
+  // each result back at its original index: any dependence on execution
+  // or submission order would move a byte.
+  core::ExperimentConfig cfg = golden_config();
+  const auto& batches = core::paper_batches();
+  const std::size_t np = std::size(core::kAllPolicies);
+  const std::size_t n = batches.size() * np;
+
+  std::vector<std::vector<std::shared_ptr<const trace::Trace>>> traces;
+  for (const auto& b : batches) traces.push_back(core::batch_traces(b, cfg.gen));
+
+  auto run_cell = [&](std::size_t cell) {
+    return core::run_batch_policy(batches[cell / np],
+                                  core::kAllPolicies[cell % np], cfg,
+                                  traces[cell / np]);
+  };
+  auto emit = [&](const std::vector<SimMetrics>& ms) {
+    std::vector<core::BatchResult> grid(batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      grid[b].spec = &batches[b];
+      for (std::size_t p = 0; p < np; ++p)
+        grid[b].by_policy.emplace(core::kAllPolicies[p], ms[b * np + p]);
+    }
+    return core::metrics_csv(grid);
+  };
+
+  std::vector<SimMetrics> in_order =
+      core::run_sim_tasks(n, 8, [&](std::size_t i) { return run_cell(i); });
+
+  // A fixed full-cycle permutation (stride 7 is coprime to 20).
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = (i * 7 + 3) % n;
+  std::vector<std::size_t> check = perm;
+  std::sort(check.begin(), check.end());
+  ASSERT_TRUE(std::adjacent_find(check.begin(), check.end()) == check.end());
+
+  std::vector<SimMetrics> shuffled_raw = core::run_sim_tasks(
+      n, 8, [&](std::size_t i) { return run_cell(perm[i]); });
+  std::vector<SimMetrics> shuffled(n);
+  for (std::size_t i = 0; i < n; ++i) shuffled[perm[i]] = shuffled_raw[i];
+
+  EXPECT_EQ(emit(shuffled), emit(in_order))
+      << "a shuffled submission order changed the metrics CSV";
+}
+
+// The checked-in golden files are the strongest witness: they were
+// recorded by the serial runner, so matching them from a farmed run proves
+// the farm is invisible in the output.
+
+void emit_metrics(std::ostream& os, const std::string& key,
+                  const SimMetrics& m) {
+  os << key << ".makespan=" << m.makespan << '\n';
+  os << key << ".cpu_busy=" << m.cpu_busy << '\n';
+  os << key << ".idle.mem_stall=" << m.idle.mem_stall << '\n';
+  os << key << ".idle.busy_wait=" << m.idle.busy_wait << '\n';
+  os << key << ".idle.ctx_switch=" << m.idle.ctx_switch << '\n';
+  os << key << ".idle.no_runnable=" << m.idle.no_runnable << '\n';
+  os << key << ".major_faults=" << m.major_faults << '\n';
+  os << key << ".minor_faults=" << m.minor_faults << '\n';
+  os << key << ".llc_misses=" << m.llc_misses << '\n';
+  os << key << ".prefetch_issued=" << m.prefetch_issued << '\n';
+  os << key << ".prefetch_useful=" << m.prefetch_useful << '\n';
+  os << key << ".preexec_episodes=" << m.preexec_episodes << '\n';
+  os << key << ".async_switches=" << m.async_switches << '\n';
+  os << key << ".evictions=" << m.evictions << '\n';
+  os << key << ".stolen_time=" << m.stolen_time << '\n';
+}
+
+TEST(FarmDeterminism, Jobs8ReproducesGoldenMetricsFile) {
+  if (const char* fp = std::getenv("ITS_FAULT_PROFILE");
+      fp != nullptr && std::string(fp) != "none")
+    GTEST_SKIP() << "golden snapshot is fault-free; ITS_FAULT_PROFILE=" << fp;
+
+  core::ExperimentConfig cfg = golden_config();
+  cfg.jobs = 8;
+  std::vector<core::BatchResult> grid = core::run_grid_all(cfg);
+
+  std::ostringstream os;
+  os << "# its_sim golden metrics — regenerate with ITS_UPDATE_GOLDEN=1 "
+        "./golden_test\n";
+  os << "# config: length_scale=0.02 footprint_scale=0.25 seed=42\n";
+  for (std::size_t bi = 0; bi < grid.size(); ++bi)
+    for (PolicyKind k : core::kAllPolicies)
+      emit_metrics(os,
+                   "batch" + std::to_string(bi) + "." +
+                       std::string(core::policy_name(k)),
+                   grid[bi].by_policy.at(k));
+
+  std::ifstream in(ITS_GOLDEN_DIR "/metrics.golden");
+  ASSERT_TRUE(in.good()) << "missing " << ITS_GOLDEN_DIR "/metrics.golden";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(os.str(), expected.str())
+      << "a --jobs 8 farmed grid diverged from the serial-recorded golden "
+         "file: the farm leaked into simulation results";
+}
+
+TEST(FarmDeterminism, Jobs8ReproducesFaultGoldenFile) {
+  // The hostile-profile golden: per-sim FaultInjector streams must be
+  // untouched by concurrency.  cfg.sim.fault is assigned explicitly, so
+  // the CI-wide ITS_FAULT_PROFILE default cannot interfere.
+  core::ExperimentConfig cfg = golden_config();
+  cfg.sim.fault = *fault::profile_by_name("hostile");
+  cfg.sim.fault.seed = 7;
+  const core::BatchSpec& batch = core::paper_batches()[1];
+  auto traces = core::batch_traces(batch, cfg.gen);
+
+  std::vector<SimMetrics> ms = core::run_sim_tasks(
+      std::size(core::kAllPolicies), 8, [&](std::size_t i) {
+        return core::run_batch_policy(batch, core::kAllPolicies[i], cfg, traces);
+      });
+
+  std::ostringstream os;
+  os << "# its_sim fault golden — regenerate with ITS_UPDATE_GOLDEN=1 "
+        "./fault_test\n";
+  os << "# config: batch1 length_scale=0.02 footprint_scale=0.25 seed=42 "
+        "fault=hostile fault_seed=7\n";
+  for (std::size_t i = 0; i < std::size(core::kAllPolicies); ++i) {
+    const SimMetrics& m = ms[i];
+    const std::string key{core::policy_name(core::kAllPolicies[i])};
+    os << key << ".makespan=" << m.makespan << '\n';
+    os << key << ".cpu_busy=" << m.cpu_busy << '\n';
+    os << key << ".idle.busy_wait=" << m.idle.busy_wait << '\n';
+    os << key << ".idle.ctx_switch=" << m.idle.ctx_switch << '\n';
+    os << key << ".idle.no_runnable=" << m.idle.no_runnable << '\n';
+    os << key << ".major_faults=" << m.major_faults << '\n';
+    os << key << ".stolen_time=" << m.stolen_time << '\n';
+    os << key << ".io_errors=" << m.io_errors << '\n';
+    os << key << ".io_retries=" << m.io_retries << '\n';
+    os << key << ".retry_exhausted=" << m.retry_exhausted << '\n';
+    os << key << ".deadline_aborts=" << m.deadline_aborts << '\n';
+    os << key << ".mode_fallbacks=" << m.mode_fallbacks << '\n';
+    os << key << ".degraded_time=" << m.degraded_time << '\n';
+  }
+
+  std::ifstream in(ITS_GOLDEN_DIR "/fault_metrics.golden");
+  ASSERT_TRUE(in.good()) << "missing " << ITS_GOLDEN_DIR "/fault_metrics.golden";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(os.str(), expected.str())
+      << "a --jobs 8 farmed hostile run diverged from the fault golden file";
+}
+
+}  // namespace
+}  // namespace its

@@ -26,12 +26,12 @@ ExperimentConfig tiny_experiment() {
 }
 
 TEST(Experiment, ParallelEqualsSerial) {
-  // The parallel runner must be a pure performance feature: identical
-  // deterministic results.
+  // The run farm must be a pure performance feature: identical
+  // deterministic results at any worker count.
   ExperimentConfig par = tiny_experiment();
-  par.parallel = true;
+  par.jobs = 8;
   ExperimentConfig ser = tiny_experiment();
-  ser.parallel = false;
+  ser.jobs = 1;
   BatchResult a = run_batch_all(paper_batches()[0], par);
   BatchResult b = run_batch_all(paper_batches()[0], ser);
   for (PolicyKind k : kAllPolicies) {

@@ -1,0 +1,3 @@
+#include "farm/worker.h"
+
+int runner_value() { return Worker{}.counters.u.v + Worker{}.u.v; }

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "obs/counters.h"
+#include "util/u.h"
+
+struct Worker {
+  Counters counters;
+  U u;
+};

@@ -1,0 +1,15 @@
+// det-rand fixture, farm flavour: entropy in steal-victim selection or
+// sweep-start shuffling breaks the run farm's bit-identical contract
+// (src/farm/ sweeps victims in a fixed ring order instead).
+#include <cstddef>
+#include <random>
+
+std::size_t entropy_victim(std::size_t workers) {
+  std::random_device rd;
+  return rd() % workers;
+}
+
+std::size_t shuffled_sweep_start(std::size_t workers) {
+  std::mt19937 gen;
+  return gen() % workers;
+}

@@ -144,6 +144,25 @@ TEST(LintDeterminism, RateNamesAreNotNanosecondQuantities) {
   EXPECT_TRUE(lint_file(f).empty());
 }
 
+TEST(LintDeterminism, DetRandCoversFarmVictimSelection) {
+  auto f = load_fixture("det_farm_rand.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetRand, 8},   // std::random_device rd;
+      {Rule::kDetRand, 13},  // std::mt19937 gen;
+  };
+  EXPECT_EQ(got, want);
+
+  // Seeded into src/farm/ the same code fails the src gate: the farm
+  // layer has no rng exemption (only util/rng.h and fault/ do), so
+  // entropy can never sneak into the bit-deterministic scheduler.
+  SourceFile as_src = f;
+  as_src.path = "src/farm/steal.cpp";
+  LintResult r;
+  r.findings = lint_file(as_src);
+  EXPECT_EQ(r.exit_code(), exit_code_for(Rule::kDetRand));
+}
+
 TEST(LintDeterminism, RngHomeAndFaultLayerAreExemptFromDetRand) {
   const std::string decl = "std::mt19937 gen;\n";
   EXPECT_TRUE(lint_file(SourceFile::from_text("src/util/rng.h", decl)).empty());
@@ -314,6 +333,19 @@ TEST(LintArch, LayerViolationFiresOnTheIncludeLine) {
   EXPECT_EQ(findings[0].file, "src/a/a.cpp");
   EXPECT_EQ(findings[0].line, 3u);
   EXPECT_NE(findings[0].message.find("'a' may not depend on 'b'"),
+            std::string::npos);
+}
+
+TEST(LintArch, FarmReverseEdgeIntoObsIsALayerFinding) {
+  // The run farm sits below obs in the manifest; a farm header reaching
+  // back into obs (say, to publish worker counters directly) is exactly
+  // one arch-layer finding on the offending include line.
+  auto findings = arch_scan("arch_farm_reverse");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kArchLayer);
+  EXPECT_EQ(findings[0].file, "src/farm/worker.h");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("'farm' may not depend on 'obs'"),
             std::string::npos);
 }
 

@@ -1,0 +1,256 @@
+// its_bench — the perf-trajectory snapshot tool (docs/performance.md).
+//
+//   its_bench --out BENCH_$(git rev-parse --short HEAD).json --rev=<rev>
+//   its_bench --quick --compare bench/snapshots/BENCH_baseline.json
+//
+// Measures (a) micro ns/op for the substrate data structures the simulator
+// spends its time in — the same operations bench/micro_substrates.cpp
+// benchmarks under google-benchmark, timed here with a plain steady_clock
+// loop so the result lands in machine-readable JSON — and (b) one macro
+// figure-regen: the full 4-batch x 5-policy grid through the work-stealing
+// run farm, serial and at --jobs width, reporting runs/sec and speedup.
+//
+// --compare gates on a committed baseline: >tolerance (default 15%)
+// regression in any micro metric or in macro runs/sec exits non-zero;
+// a missing baseline or a foreign machine fingerprint warns and exits 0
+// (see snapshot.h).  Wall-clock measurement lives in tools/ on purpose:
+// src/ is deterministic simulated time and its_lint bans clock reads there.
+#include "snapshot.h"
+
+#include "core/experiment.h"
+#include "farm/farm.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/preexec_cache.h"
+#include "mem/tlb.h"
+#include "storage/dma.h"
+#include "trace/workloads.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "vm/mm.h"
+#include "vm/prefetch.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace its;
+
+/// Keeps a computed value alive past the optimiser without a benchmark
+/// library dependency.
+template <typename T>
+inline void keep(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times `op` over `iters` iterations (after a 1/16 warm-up) and returns
+/// the amortised ns per operation.
+double time_ns_per_op(std::uint64_t iters, const std::function<void()>& op) {
+  for (std::uint64_t i = 0; i < iters / 16 + 1; ++i) op();
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) op();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+std::vector<its::Vpn> bench_footprint(unsigned pages) {
+  std::vector<its::Vpn> fp;
+  const its::Vpn base = trace::kHeapBase >> its::kPageShift;
+  for (unsigned i = 0; i < pages; ++i) fp.push_back(base + i);
+  return fp;
+}
+
+/// The micro suite — one entry per substrate op, mirroring
+/// bench/micro_substrates.cpp so the two harnesses cross-check.
+std::vector<perf::Metric> run_micro(bool quick) {
+  const std::uint64_t scale = quick ? 1 : 8;
+  std::vector<perf::Metric> out;
+  auto add = [&](const char* name, std::uint64_t iters,
+                 const std::function<void()>& op) {
+    std::cerr << "  micro " << name << " ...\n";
+    out.push_back({name, time_ns_per_op(iters * scale, op)});
+  };
+
+  {
+    auto fp = bench_footprint(4096);
+    vm::MemoryDescriptor mm(1, fp);
+    util::Rng rng(1);
+    add("page_table_walk", 200'000,
+        [&] { keep(mm.pte(fp[rng.below(fp.size())])); });
+  }
+  {
+    auto fp = bench_footprint(4096);
+    vm::MemoryDescriptor mm(1, fp);
+    add("page_table_cursor64", 20'000, [&] {
+      auto cur = mm.page_table().cursor_at(fp[0]);
+      its::Vpn vpn = 0;
+      for (int i = 0; i < 64; ++i) keep(cur.next(vpn));
+    });
+  }
+  {
+    mem::SetAssocCache c({4ull << 20, 16, 64, 1});
+    util::Rng rng(2);
+    add("cache_access", 200'000, [&] { keep(c.access(rng.below(64ull << 20))); });
+  }
+  {
+    mem::CacheHierarchy h;
+    util::Rng rng(3);
+    add("hierarchy_access", 100'000,
+        [&] { keep(h.access(rng.below(64ull << 20), 8)); });
+  }
+  {
+    mem::Tlb tlb(64);
+    for (its::Vpn v = 0; v < 64; ++v) tlb.insert(v);
+    util::Rng rng(4);
+    add("tlb_lookup", 400'000, [&] { keep(tlb.lookup(rng.below(128))); });
+  }
+  {
+    mem::PreexecCache px;
+    util::Rng rng(5);
+    add("preexec_cache_store_load", 200'000, [&] {
+      std::uint64_t a = rng.below(1ull << 22) & ~7ull;
+      px.store(a, 8, (a & 64) != 0);
+      keep(px.lookup(a, 8));
+    });
+  }
+  {
+    auto fp = bench_footprint(8192);
+    vm::MemoryDescriptor mm(1, fp);
+    for (unsigned i = 0; i < fp.size(); i += 2) mm.pte(fp[i])->map(i);
+    vm::VaPrefetcher pf({.degree = 8});
+    util::Rng rng(6);
+    add("va_prefetch_collect8", 50'000, [&] {
+      its::Vpn victim = fp[rng.below(fp.size() - 64)];
+      keep(pf.collect(mm, victim));
+    });
+  }
+  {
+    storage::DmaController dma;
+    its::SimTime now = 0;
+    add("dma_post_page", 200'000, [&] {
+      now += 3000;
+      keep(dma.post_page(now, storage::Dir::kRead));
+    });
+  }
+  {
+    trace::GeneratorConfig cfg;
+    cfg.length_scale = 0.02;
+    add("trace_generation", 20, [&] {
+      trace::Trace t = trace::generate(trace::WorkloadId::kRandomWalk, cfg);
+      keep(t.size());
+    });
+  }
+  return out;
+}
+
+/// The macro benchmark: regenerate the full figure grid (the workload
+/// behind every fig4*/fig5* bench) serially and on the farm.  Uses the
+/// golden-test scale so one run stays in CI budget while still executing
+/// all 20 simulations.
+perf::MacroResult run_macro(unsigned jobs) {
+  core::ExperimentConfig cfg;
+  cfg.gen.length_scale = 0.02;
+  cfg.gen.footprint_scale = 0.25;
+
+  perf::MacroResult m;
+  m.jobs = jobs == 0 ? farm::Farm::default_jobs() : jobs;
+  m.runs = static_cast<unsigned>(core::paper_batches().size() *
+                                 std::size(core::kAllPolicies));
+
+  std::cerr << "  macro figure_regen serial ...\n";
+  cfg.jobs = 1;
+  double t0 = now_ms();
+  keep(core::run_grid_all(cfg));
+  m.serial_wall_ms = now_ms() - t0;
+
+  std::cerr << "  macro figure_regen --jobs=" << m.jobs << " ...\n";
+  cfg.jobs = m.jobs;
+  t0 = now_ms();
+  keep(core::run_grid_all(cfg));
+  m.wall_ms = now_ms() - t0;
+
+  m.runs_per_sec = m.wall_ms > 0 ? 1e3 * m.runs / m.wall_ms : 0.0;
+  m.speedup = m.wall_ms > 0 ? m.serial_wall_ms / m.wall_ms : 0.0;
+  return m;
+}
+
+int run(int argc, char** argv) {
+  util::Args args(argc, argv);
+  for (const auto& u : args.unknown(
+           {"out", "compare", "tolerance", "jobs", "quick", "rev", "help"})) {
+    std::cerr << "unknown flag --" << u << " (try --help)\n";
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout
+        << "usage: its_bench [--out=FILE] [--compare=BASELINE.json]\n"
+           "                 [--tolerance=F] [--jobs=N] [--quick] [--rev=STR]\n"
+           "  Measures substrate micro ns/op and one figure-regen macro run\n"
+           "  (serial + farmed), emits a schema-versioned snapshot, and with\n"
+           "  --compare exits non-zero on a >tolerance (default 0.15)\n"
+           "  regression.  Missing baseline or a different machine\n"
+           "  fingerprint warns and exits 0.\n";
+    return 0;
+  }
+
+  perf::Snapshot snap;
+  snap.revision = args.get_string("rev", "worktree");
+  snap.machine = perf::host_machine();
+  const bool quick = args.has("quick");
+  std::cerr << "its_bench: " << (quick ? "quick" : "full") << " run on "
+            << snap.machine.cpus << " cpu(s), " << snap.machine.compiler
+            << ", " << snap.machine.build << "\n";
+  snap.micro = run_micro(quick);
+  snap.macro = run_macro(static_cast<unsigned>(args.get_u64("jobs", 0)));
+
+  for (const perf::Metric& m : snap.micro)
+    std::cout << "  " << m.name << ": " << m.ns_per_op << " ns/op\n";
+  std::cout << "  figure_regen: " << snap.macro.runs << " runs, serial "
+            << snap.macro.serial_wall_ms << " ms, --jobs=" << snap.macro.jobs
+            << " " << snap.macro.wall_ms << " ms (" << snap.macro.runs_per_sec
+            << " runs/sec, speedup " << snap.macro.speedup << "x)\n";
+
+  if (auto out = args.get("out")) {
+    if (!perf::save_snapshot(*out, snap)) {
+      std::cerr << "its_bench: cannot write " << *out << "\n";
+      return 3;
+    }
+    std::cout << "wrote " << *out << "\n";
+  }
+
+  if (auto baseline = args.get("compare")) {
+    perf::CompareReport rep = perf::compare_against_file(
+        *baseline, snap, args.get_double("tolerance", 0.15));
+    std::cout << "compare vs " << *baseline << ":\n";
+    for (const std::string& line : rep.lines) std::cout << "  " << line << "\n";
+    std::cout << (perf::exit_code(rep.status) == 0 ? "PASS" : "REGRESSED")
+              << "\n";
+    return perf::exit_code(rep.status);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "its_bench: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -1,0 +1,345 @@
+#include "snapshot.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace its::perf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writing.  Field order is fixed so snapshots diff cleanly in git.
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string num(double v) {
+  // Round-trippable, locale-independent formatting; trailing zeros trimmed.
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// JSON reading — a minimal recursive-descent parser for the subset to_json
+// emits: objects, arrays, strings, numbers.  Every error message carries the
+// byte offset so a hand-edited snapshot is debuggable.
+
+struct Value {
+  enum class Kind { kNumber, kString, kArray, kObject } kind = Kind::kNumber;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("snapshot JSON: " + why + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      default: return number_value();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      Value key = string_value();
+      expect(':');
+      v.object.emplace(key.string, value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value string_value() {
+    expect('"');
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) fail("dangling escape");
+      }
+      v.string += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return v;
+  }
+
+  Value number_value() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const Value& field(const Value& obj, const std::string& name) {
+  auto it = obj.object.find(name);
+  if (it == obj.object.end())
+    throw std::runtime_error("snapshot JSON: missing field '" + name + "'");
+  return it->second;
+}
+
+double pct(double ratio) { return 100.0 * (ratio - 1.0); }
+
+std::string fmt_pct(double ratio) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << (pct(ratio) >= 0 ? "+" : "") << pct(ratio) << "%";
+  return os.str();
+}
+
+}  // namespace
+
+Machine host_machine() {
+  Machine m;
+  m.cpus = std::thread::hardware_concurrency();
+#if defined(__clang__)
+  m.compiler = "clang " + std::to_string(__clang_major__) + "." +
+               std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  m.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+               std::to_string(__GNUC_MINOR__);
+#else
+  m.compiler = "unknown";
+#endif
+#ifdef ITS_BUILD_TYPE
+  m.build = ITS_BUILD_TYPE;
+#else
+  m.build = "unknown";
+#endif
+  return m;
+}
+
+std::string to_json(const Snapshot& s) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << s.schema_version << ",\n";
+  os << "  \"revision\": \"" << escape(s.revision) << "\",\n";
+  os << "  \"machine\": {\"cpus\": " << s.machine.cpus << ", \"compiler\": \""
+     << escape(s.machine.compiler) << "\", \"build\": \""
+     << escape(s.machine.build) << "\"},\n";
+  os << "  \"micro\": [\n";
+  for (std::size_t i = 0; i < s.micro.size(); ++i)
+    os << "    {\"name\": \"" << escape(s.micro[i].name)
+       << "\", \"ns_per_op\": " << num(s.micro[i].ns_per_op) << "}"
+       << (i + 1 < s.micro.size() ? "," : "") << "\n";
+  os << "  ],\n";
+  os << "  \"macro\": {\"jobs\": " << s.macro.jobs
+     << ", \"runs\": " << s.macro.runs
+     << ", \"wall_ms\": " << num(s.macro.wall_ms)
+     << ", \"runs_per_sec\": " << num(s.macro.runs_per_sec)
+     << ", \"serial_wall_ms\": " << num(s.macro.serial_wall_ms)
+     << ", \"speedup\": " << num(s.macro.speedup) << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+Snapshot parse_snapshot(const std::string& json) {
+  Value root = Parser(json).parse();
+  Snapshot s;
+  s.schema_version = static_cast<int>(field(root, "schema_version").number);
+  s.revision = field(root, "revision").string;
+  const Value& m = field(root, "machine");
+  s.machine.cpus = static_cast<unsigned>(field(m, "cpus").number);
+  s.machine.compiler = field(m, "compiler").string;
+  s.machine.build = field(m, "build").string;
+  for (const Value& e : field(root, "micro").array)
+    s.micro.push_back({field(e, "name").string, field(e, "ns_per_op").number});
+  const Value& mac = field(root, "macro");
+  s.macro.jobs = static_cast<unsigned>(field(mac, "jobs").number);
+  s.macro.runs = static_cast<unsigned>(field(mac, "runs").number);
+  s.macro.wall_ms = field(mac, "wall_ms").number;
+  s.macro.runs_per_sec = field(mac, "runs_per_sec").number;
+  s.macro.serial_wall_ms = field(mac, "serial_wall_ms").number;
+  s.macro.speedup = field(mac, "speedup").number;
+  return s;
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_snapshot(buf.str());
+}
+
+bool save_snapshot(const std::string& path, const Snapshot& s) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(s);
+  return static_cast<bool>(out);
+}
+
+int exit_code(CompareStatus s) {
+  return s == CompareStatus::kRegressed ? 1 : 0;
+}
+
+CompareReport compare_snapshots(const Snapshot& baseline, const Snapshot& current,
+                                double tolerance) {
+  CompareReport rep;
+  if (baseline.schema_version != current.schema_version) {
+    rep.status = CompareStatus::kSkippedSchema;
+    rep.lines.push_back("skip: baseline schema v" +
+                        std::to_string(baseline.schema_version) +
+                        " != current v" + std::to_string(current.schema_version));
+    return rep;
+  }
+  if (!(baseline.machine == current.machine)) {
+    rep.status = CompareStatus::kSkippedFingerprint;
+    rep.lines.push_back(
+        "skip: machine fingerprint differs (baseline " +
+        std::to_string(baseline.machine.cpus) + " cpus, " +
+        baseline.machine.compiler + ", " + baseline.machine.build +
+        " vs current " + std::to_string(current.machine.cpus) + " cpus, " +
+        current.machine.compiler + ", " + current.machine.build +
+        ") — cross-machine deltas are noise, not regressions");
+    return rep;
+  }
+
+  bool regressed = false;
+  for (const Metric& base : baseline.micro) {
+    const Metric* cur = nullptr;
+    for (const Metric& c : current.micro)
+      if (c.name == base.name) { cur = &c; break; }
+    if (cur == nullptr) {
+      rep.lines.push_back("note: metric '" + base.name +
+                          "' missing from current snapshot");
+      continue;
+    }
+    if (base.ns_per_op <= 0.0) continue;
+    double ratio = cur->ns_per_op / base.ns_per_op;
+    bool bad = ratio > 1.0 + tolerance;
+    regressed |= bad;
+    rep.lines.push_back(std::string(bad ? "FAIL" : "ok") + ": " + base.name +
+                        " " + num(base.ns_per_op) + " -> " +
+                        num(cur->ns_per_op) + " ns/op (" + fmt_pct(ratio) + ")");
+  }
+  for (const Metric& c : current.micro) {
+    bool known = false;
+    for (const Metric& base : baseline.micro) known |= base.name == c.name;
+    if (!known)
+      rep.lines.push_back("note: new metric '" + c.name + "' (no baseline)");
+  }
+
+  if (baseline.macro.runs_per_sec > 0.0) {
+    double ratio = current.macro.runs_per_sec / baseline.macro.runs_per_sec;
+    bool bad = ratio < 1.0 - tolerance;
+    regressed |= bad;
+    rep.lines.push_back(std::string(bad ? "FAIL" : "ok") + ": figure_regen " +
+                        num(baseline.macro.runs_per_sec) + " -> " +
+                        num(current.macro.runs_per_sec) + " runs/sec (" +
+                        fmt_pct(ratio) + ")");
+  }
+
+  rep.status = regressed ? CompareStatus::kRegressed : CompareStatus::kPass;
+  return rep;
+}
+
+CompareReport compare_against_file(const std::string& baseline_path,
+                                   const Snapshot& current, double tolerance) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    CompareReport rep;
+    rep.status = CompareStatus::kSkippedMissing;
+    rep.lines.push_back("skip: no baseline at " + baseline_path +
+                        " — record one with its_bench --out");
+    return rep;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Snapshot baseline;
+  try {
+    baseline = parse_snapshot(buf.str());
+  } catch (const std::exception& e) {
+    CompareReport rep;
+    rep.status = CompareStatus::kSkippedSchema;
+    rep.lines.push_back(std::string("skip: unreadable baseline: ") + e.what());
+    return rep;
+  }
+  return compare_snapshots(baseline, current, tolerance);
+}
+
+}  // namespace its::perf
