@@ -1,0 +1,85 @@
+// Ablation A13 — device outages (makespan + availability vs duty cycle).
+//
+// The watchdog handles a *slow* device; this ablation takes the device
+// away entirely.  Sweeps the scheduled-outage duty cycle (offline fraction
+// of each period, storage/device_health.h's FSM) over all five I/O-mode
+// policies and reports the makespan inflation over the outage-free run,
+// the availability split (healthy/degraded/offline/recovering time), and
+// the compressed-DRAM fallback-pool traffic — how much of the outage each
+// policy can hide by giving way instead of busy-waiting a dead device.
+#include "bench_common.h"
+
+#include "fault/fault_injector.h"
+
+#include <map>
+
+int main(int argc, char** argv) {
+  using namespace its;
+  std::cerr << "Ablation: device outages (makespan + availability vs duty)\n";
+  const core::BatchSpec& batch = core::paper_batches()[1];
+  core::ExperimentConfig base;
+  base.gen.length_scale = 0.05;  // match the resilience ablation's scale
+  auto traces = core::batch_traces(batch, base.gen);
+  const unsigned jobs = bench::jobs_from_args(argc, argv);
+  const std::size_t np = std::size(core::kAllPolicies);
+
+  // Outage-free baselines per policy, for the inflation column.
+  std::vector<core::SimMetrics> clean_ms = core::run_sim_tasks(
+      np, jobs, [&](std::size_t i) {
+        return core::run_batch_policy(batch, core::kAllPolicies[i], base, traces);
+      });
+  std::map<core::PolicyKind, core::SimMetrics> clean;
+  for (std::size_t i = 0; i < np; ++i)
+    clean.emplace(core::kAllPolicies[i], clean_ms[i]);
+
+  // Duty cycle = length / period at a fixed 2 ms period; the error model
+  // stays off so the sweep isolates the outage machinery.
+  const its::Duration period = 2'000'000;
+  const std::vector<double> duties{0.0, 0.1, 0.25, 0.5};
+  std::vector<core::SimMetrics> grid = core::run_sim_tasks(
+      duties.size() * np, jobs, [&](std::size_t i) {
+        const double duty = duties[i / np];
+        core::ExperimentConfig cfg = base;
+        cfg.sim.fault.enabled = true;
+        cfg.sim.fault.seed = 7;
+        cfg.sim.fault.outage.period = period;
+        cfg.sim.fault.outage.length =
+            static_cast<its::Duration>(static_cast<double>(period) * duty);
+        cfg.sim.fault.outage.recovery = period / 20;
+        return core::run_batch_policy(batch, core::kAllPolicies[i % np], cfg,
+                                      traces);
+      });
+
+  util::Table t({"duty", "policy", "makespan x", "offline (ms)",
+                 "recovering (ms)", "degraded faults", "pool st/hit/drn"});
+  std::size_t i = 0;
+  for (double duty : duties) {
+    for (core::PolicyKind k : core::kAllPolicies) {
+      const core::SimMetrics& m = grid[i++];
+      const double inflation = static_cast<double>(m.makespan) /
+                               static_cast<double>(clean.at(k).makespan);
+      t.add_row({util::Table::fmt(duty, 2),
+                 std::string(core::policy_name(k)),
+                 util::Table::fmt(inflation, 3),
+                 util::Table::fmt(static_cast<double>(m.health_offline_time) / 1e6,
+                                  2),
+                 util::Table::fmt(
+                     static_cast<double>(m.health_recovering_time) / 1e6, 2),
+                 util::Table::fmt(m.faults_served_degraded),
+                 util::Table::fmt(m.pool_stores) + "/" +
+                     util::Table::fmt(m.pool_hits) + "/" +
+                     util::Table::fmt(m.pool_drains)});
+    }
+  }
+
+  std::cout << "\n== Ablation A13 — device outages "
+               "(1_Data_Intensive, 2 ms period) ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: makespan inflation tracks the duty cycle "
+               "roughly linearly for every policy — offline windows stall "
+               "demand faults outright — but the sync-mode policies shed "
+               "their busy-wait penalty through the forced async fallback, "
+               "and pool traffic rises with duty as evictions land during "
+               "windows; availability times always partition the makespan.\n";
+  return 0;
+}

@@ -27,7 +27,10 @@ class AdaptivePolicy final : public core::IoPolicy {
   bool uses_preexec_cache() const override { return true; }
 
   core::FaultPlan plan_major_fault(const sched::Process& cur,
-                                   const sched::Scheduler& sched) override {
+                                   const sched::Scheduler& sched,
+                                   storage::DeviceHealth health) override {
+    if (health != storage::DeviceHealth::kHealthy)  // sick device: give way
+      return {.go_async = true};
     const sched::Process* next = sched.peek_next();
     if (next != nullptr && cur.priority() <= 30)  // below-median: give way
       return {.go_async = true};

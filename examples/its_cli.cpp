@@ -8,17 +8,20 @@
 // Flags: --batch=<0..3>  --policy=<Async|Sync|Sync_Runahead|Sync_Prefetch|
 // ITS|all>  --scheduler=<rr|cfs>  --seed=<n>  --degree=<n>  --media-us=<n>
 // --ctx-us=<n>  --length-scale=<f>  --csv=<dir>  --fault-profile=<name>
-// --fault-seed=<n>  --jobs=<n>  --list
+// --fault-seed=<n>  --fault-outage=<k=v,...>  --jobs=<n>  --list
 //
 // Exit codes: 0 success, 1 invariant violation, 2 usage error (unknown
 // flag / bad value), 3 unreadable or corrupt input file, 4 invalid fault
-// profile.
+// profile or outage spec, 5 unrecoverable outage (the device died and a
+// page was lost past the fallback pool — docs/robustness.md).
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/simulator.h"
 #include "fault/fault_injector.h"
+#include "vm/fallback_pool.h"
 #include "obs/invariant_checker.h"
 #include "obs/trace_json.h"
 #include "trace/lackey.h"
@@ -35,6 +38,7 @@ using namespace its;
 constexpr int kUsageError = 2;
 constexpr int kInputError = 3;
 constexpr int kBadFaultProfile = 4;
+constexpr int kUnrecoverableOutage = 5;
 
 int list_everything() {
   std::cout << "batches:\n";
@@ -79,6 +83,18 @@ void print_one(const std::string& policy, const core::SimMetrics& m) {
     t.add_row({"mode fallbacks", util::Table::fmt(m.mode_fallbacks)});
     t.add_row({"degraded time", ms(m.degraded_time)});
   }
+  if (m.health_degraded_time != 0 || m.health_offline_time != 0 ||
+      m.health_recovering_time != 0) {
+    t.add_row({"device degraded", ms(m.health_degraded_time)});
+    t.add_row({"device offline", ms(m.health_offline_time)});
+    t.add_row({"device recovering", ms(m.health_recovering_time)});
+    t.add_row({"pool stores/hits/drains",
+               util::Table::fmt(m.pool_stores) + " / " +
+                   util::Table::fmt(m.pool_hits) + " / " +
+                   util::Table::fmt(m.pool_drains)});
+    t.add_row({"faults served degraded",
+               util::Table::fmt(m.faults_served_degraded)});
+  }
   t.add_row({"makespan", ms(m.makespan)});
   t.add_row({"top-50% finish", ms(static_cast<its::Duration>(m.avg_finish_top_half()))});
   t.add_row({"bottom-50% finish",
@@ -111,6 +127,9 @@ int run_cli(int argc, char** argv);
 int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
+  } catch (const its::vm::PageLostError& e) {
+    std::cerr << "its_cli: unrecoverable outage: " << e.what() << '\n';
+    return kUnrecoverableOutage;
   } catch (const its::trace::TraceIoError& e) {
     std::cerr << "its_cli: cannot load input: " << e.what() << '\n';
     return kInputError;
@@ -122,8 +141,59 @@ int main(int argc, char** argv) {
 
 namespace {
 
-/// Resolves --fault-profile / --fault-seed into `fp`.  Returns 0 or the
-/// exit code to fail with (kBadFaultProfile, message already printed).
+/// Parses --fault-outage's comma-separated key=value list into the
+/// profile's outage model (fault::OutageModelConfig) and force-enables the
+/// injector — a scheduled outage is itself an injection, so the flag works
+/// standalone as well as stacked on a named profile.  Returns 0 or
+/// kBadFaultProfile with the message printed.
+int apply_outage_spec(const std::string& spec, fault::FaultProfile& fp) {
+  fault::OutageModelConfig& o = fp.outage;
+  for (std::size_t pos = 0; pos <= spec.size();) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    std::uint64_t val = 0;
+    try {
+      if (eq == std::string::npos) throw std::invalid_argument("missing '='");
+      val = std::stoull(item.substr(eq + 1));
+    } catch (const std::exception&) {
+      std::cerr << "invalid --fault-outage item '" << item
+                << "' (want key=nanoseconds)\n";
+      return kBadFaultProfile;
+    }
+    if (key == "period") o.period = val;
+    else if (key == "length") o.length = val;
+    else if (key == "recovery") o.recovery = val;
+    else if (key == "phase") o.phase = val;
+    else if (key == "dead-at") o.dead_at = val;
+    else if (key == "degrade-errors") o.degrade_errors = static_cast<unsigned>(val);
+    else if (key == "offline-timeouts") o.offline_timeouts = static_cast<unsigned>(val);
+    else if (key == "error-outage") o.error_outage = val;
+    else if (key == "degraded-hold") o.degraded_hold = val;
+    else {
+      std::cerr << "unknown --fault-outage key '" << key
+                << "'; choose from: period length recovery phase dead-at "
+                   "degrade-errors offline-timeouts error-outage "
+                   "degraded-hold\n";
+      return kBadFaultProfile;
+    }
+  }
+  if (!o.enabled()) {
+    std::cerr << "--fault-outage spec enables nothing (need period+length, "
+                 "dead-at, degrade-errors or offline-timeouts)\n";
+    return kBadFaultProfile;
+  }
+  fp.enabled = true;
+  return 0;
+}
+
+/// Resolves --fault-profile / --fault-seed / --fault-outage into `fp`.
+/// Returns 0 or the exit code to fail with (kBadFaultProfile, message
+/// already printed).
 int apply_fault_flags(const util::Args& args, fault::FaultProfile& fp) {
   if (auto name = args.get("fault-profile")) {
     auto preset = fault::profile_by_name(*name);
@@ -136,6 +206,9 @@ int apply_fault_flags(const util::Args& args, fault::FaultProfile& fp) {
     fp = *preset;
   }
   if (args.has("fault-seed")) fp.seed = args.get_u64("fault-seed", fp.seed);
+  if (auto spec = args.get("fault-outage")) {
+    if (int rc = apply_outage_spec(*spec, fp); rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -146,7 +219,8 @@ int run_cli(int argc, char** argv) {
   for (const auto& u : args.unknown({"batch", "policy", "scheduler", "seed", "degree",
                                      "media-us", "ctx-us", "length-scale", "csv",
                                      "trace", "trace-out", "dram-mb",
-                                     "fault-profile", "fault-seed", "jobs",
+                                     "fault-profile", "fault-seed",
+                                     "fault-outage", "jobs",
                                      "list", "help"})) {
     std::cerr << "unknown flag --" << u << " (try --help)\n";
     return kUsageError;
@@ -156,8 +230,9 @@ int run_cli(int argc, char** argv) {
                  "[--scheduler=rr|cfs]\n               [--seed=N] [--degree=N] "
                  "[--media-us=N] [--ctx-us=N]\n               "
                  "[--length-scale=F] [--csv=DIR] [--jobs=N]\n               "
-                 "[--fault-profile=none|tail|bursty|errors|hostile] "
+                 "[--fault-profile=none|tail|bursty|errors|outage|hostile] "
                  "[--fault-seed=N]\n               "
+                 "[--fault-outage=KEY=N,...] "
                  "[--trace-out=FILE.json]\n       its_cli "
                  "--trace=FILE.trc|FILE.lk --policy=NAME [--dram-mb=N]\n"
                  "  (.trc = binary trace, anything else parses as Valgrind "
@@ -165,6 +240,14 @@ int run_cli(int argc, char** argv) {
                  "  --fault-profile enables deterministic fault injection "
                  "(see\n  docs/robustness.md); --fault-seed reseeds the "
                  "injector stream.\n"
+                 "  --fault-outage schedules device outages (keys: period "
+                 "length recovery\n  phase dead-at degrade-errors "
+                 "offline-timeouts error-outage degraded-hold,\n  values in "
+                 "ns), stacking on any --fault-profile.\n"
+                 "  exit codes: 0 ok, 1 invariant violation, 2 usage, 3 bad "
+                 "input file,\n  4 bad fault profile/outage spec, 5 "
+                 "unrecoverable outage (page lost\n  past the fallback "
+                 "pool).\n"
                  "  --trace-out writes a Chrome trace_event JSON timeline "
                  "(load in\n  chrome://tracing or ui.perfetto.dev) and runs "
                  "the invariant checker;\n  needs a single --policy, not "

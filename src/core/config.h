@@ -14,6 +14,7 @@
 #include "storage/pcie_link.h"
 #include "storage/ull_device.h"
 #include "util/types.h"
+#include "vm/fallback_pool.h"
 #include "vm/prefetch.h"
 
 #include <cstdint>
@@ -78,6 +79,11 @@ struct SimConfig {
   /// (vm::RetryPolicy), and the sync busy-wait watchdog may abort a wait
   /// and fall back to asynchronous mode (see docs/robustness.md).
   fault::FaultProfile fault{};
+
+  /// Compressed-DRAM fallback pool for device outages (vm/fallback_pool.h).
+  /// Frames are carved from the DRAM pool tail only when `fault.outage` is
+  /// enabled; otherwise the pool is inert and the simulation bit-identical.
+  vm::FallbackPoolConfig fallback_pool{};
 
   // -- Reproducibility ----------------------------------------------------------
   std::uint64_t seed = 42;  ///< Priority shuffling and generator seeding.

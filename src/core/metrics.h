@@ -77,6 +77,19 @@ struct SimMetrics {
   its::Duration degraded_time = 0;      ///< ns faults spent completing in background
                                         ///< after a deadline abort.
 
+  // Device-outage availability (all zero with the outage model disabled;
+  // reconciled exactly against kHealthTransition/kPool* events by the
+  // obs::InvariantChecker — see docs/robustness.md).
+  its::Duration health_healthy_time = 0;    ///< ns device spent healthy.
+  its::Duration health_degraded_time = 0;   ///< ns device spent degraded.
+  its::Duration health_offline_time = 0;    ///< ns device spent offline.
+  its::Duration health_recovering_time = 0; ///< ns device spent recovering.
+  std::uint64_t pool_stores = 0;            ///< Pages compressed to the fallback pool.
+  std::uint64_t pool_hits = 0;              ///< Demand reads served from the pool.
+  std::uint64_t pool_drains = 0;            ///< Pooled pages drained back on recovery.
+  std::uint64_t drain_bytes = 0;            ///< Bytes written back by the drain.
+  std::uint64_t faults_served_degraded = 0; ///< Major faults entered while unhealthy.
+
   std::vector<ProcessOutcome> processes;
 
   /// Mean finish time over the ceil(n/2) highest-priority processes

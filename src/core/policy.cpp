@@ -2,6 +2,7 @@
 
 #include "sched/process.h"
 #include "sched/scheduler.h"
+#include "storage/device_health.h"
 
 #include <stdexcept>
 
@@ -28,7 +29,8 @@ namespace {
 class AsyncPolicy final : public IoPolicy {
  public:
   PolicyKind kind() const override { return PolicyKind::kAsync; }
-  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&,
+                             storage::DeviceHealth) override {
     return {.go_async = true};
   }
 };
@@ -36,7 +38,11 @@ class AsyncPolicy final : public IoPolicy {
 class SyncPolicy final : public IoPolicy {
  public:
   PolicyKind kind() const override { return PolicyKind::kSync; }
-  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&,
+                             storage::DeviceHealth health) override {
+    // Spinning on a device that is not serving is pure waste: give way and
+    // let the fault complete in the background once the device returns.
+    if (health == storage::DeviceHealth::kOffline) return {.go_async = true};
     return {};  // pure busy wait
   }
 };
@@ -49,7 +55,9 @@ class SyncRunaheadPolicy final : public IoPolicy {
   PolicyKind kind() const override { return PolicyKind::kSyncRunahead; }
   bool uses_preexec_cache() const override { return true; }
   bool runahead_on_llc_miss() const override { return true; }
-  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&,
+                             storage::DeviceHealth health) override {
+    if (health == storage::DeviceHealth::kOffline) return {.go_async = true};
     return {};
   }
 };
@@ -57,7 +65,11 @@ class SyncRunaheadPolicy final : public IoPolicy {
 class SyncPrefetchPolicy final : public IoPolicy {
  public:
   PolicyKind kind() const override { return PolicyKind::kSyncPrefetch; }
-  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&) override {
+  FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&,
+                             storage::DeviceHealth health) override {
+    if (health == storage::DeviceHealth::kOffline) return {.go_async = true};
+    // A degraded or recovering device gets no extra prefetch traffic.
+    if (health != storage::DeviceHealth::kHealthy) return {};
     return {.prefetch = PrefetchKind::kPop};
   }
 };
@@ -73,10 +85,16 @@ class ItsPolicy final : public IoPolicy {
   PolicyKind kind() const override { return PolicyKind::kIts; }
   bool uses_preexec_cache() const override { return opts_.pre_execute; }
   FaultPlan plan_major_fault(const sched::Process& cur,
-                             const sched::Scheduler& sched) override {
+                             const sched::Scheduler& sched,
+                             storage::DeviceHealth health) override {
+    // Degraded-mode routing: an offline device turns every fault into a
+    // self-sacrificing give-way — busy-waiting cannot be repaid.
+    if (health == storage::DeviceHealth::kOffline) return {.go_async = true};
     if (opts_.self_sacrificing && is_low_priority(cur, sched))
       return {.go_async = true};
-    return {.prefetch = opts_.page_prefetch ? opts_.prefetcher : PrefetchKind::kNone,
+    const bool healthy = health == storage::DeviceHealth::kHealthy;
+    return {.prefetch = opts_.page_prefetch && healthy ? opts_.prefetcher
+                                                       : PrefetchKind::kNone,
             .preexec = opts_.pre_execute};
   }
 

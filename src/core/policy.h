@@ -11,6 +11,7 @@
 
 #include "sched/process.h"
 #include "sched/scheduler.h"
+#include "storage/device_health.h"
 
 #include <cstdint>
 #include <memory>
@@ -58,9 +59,14 @@ class IoPolicy {
   /// (traditional runahead; the paper's Sync_Runahead baseline).
   virtual bool runahead_on_llc_miss() const { return false; }
 
-  /// Decision for a major fault of `cur`, given scheduler state.
+  /// Decision for a major fault of `cur`, given scheduler state and the
+  /// swap device's current health (storage/device_health.h).  Policies must
+  /// never plan a busy-wait against an offline device and should not feed
+  /// prefetches to a degraded one; with the outage model disabled `health`
+  /// is always kHealthy and every policy decides exactly as before.
   virtual FaultPlan plan_major_fault(const sched::Process& cur,
-                                     const sched::Scheduler& sched) = 0;
+                                     const sched::Scheduler& sched,
+                                     storage::DeviceHealth health) = 0;
 };
 
 std::unique_ptr<IoPolicy> make_policy(PolicyKind kind);

@@ -19,7 +19,10 @@ void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
         "async_switches,evictions,stolen_ns,makespan_ns,top50_finish_ns,"
         "bottom50_finish_ns,io_errors,io_retries,retry_exhausted,"
         "deadline_aborts,mode_fallbacks,degraded_ns,file_reads,file_writes,"
-        "file_writebacks,page_cache_hits,page_cache_misses\n";
+        "file_writebacks,page_cache_hits,page_cache_misses,"
+        "health_healthy_time_ns,health_degraded_time_ns,"
+        "health_offline_time_ns,health_recovering_time_ns,pool_stores,"
+        "pool_hits,pool_drains,drain_bytes,faults_served_degraded\n";
   for (const auto& r : grid) {
     for (PolicyKind k : kAllPolicies) {
       auto it = r.by_policy.find(k);
@@ -39,7 +42,11 @@ void write_metrics_csv(std::ostream& os, std::span<const BatchResult> grid) {
          << ',' << m.deadline_aborts << ',' << m.mode_fallbacks << ','
          << m.degraded_time << ',' << m.file_reads << ',' << m.file_writes
          << ',' << m.file_writebacks << ',' << m.page_cache_hits << ','
-         << m.page_cache_misses << '\n';
+         << m.page_cache_misses << ',' << m.health_healthy_time << ','
+         << m.health_degraded_time << ',' << m.health_offline_time << ','
+         << m.health_recovering_time << ',' << m.pool_stores << ','
+         << m.pool_hits << ',' << m.pool_drains << ',' << m.drain_bytes << ','
+         << m.faults_served_degraded << '\n';
     }
   }
 }

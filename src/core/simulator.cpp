@@ -11,9 +11,11 @@
 #include "sched/cfs.h"
 #include "sched/process.h"
 #include "sched/scheduler.h"
+#include "storage/device_health.h"
 #include "storage/dma.h"
 #include "trace/instr.h"
 #include "util/types.h"
+#include "vm/fallback_pool.h"
 #include "vm/frame_pool.h"
 #include "vm/mm.h"
 #include "vm/prefetch.h"
@@ -21,6 +23,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace its::core {
 
@@ -63,6 +66,16 @@ Simulator::Simulator(const SimConfig& cfg, std::unique_ptr<IoPolicy> policy)
   // disabled the injector is inert and the devices behave exactly as the
   // perfect-device model.
   dma_.attach_fault(&finj_);
+  // The outage substrate exists only when the profile schedules outages:
+  // the health monitor arms and the fallback pool carves DRAM frames off
+  // the pool tail.  Otherwise both stay default-constructed (inert) and the
+  // simulation is bit-identical to a build without them.
+  if (finj_.enabled() && cfg_.fault.outage.enabled()) {
+    health_ = storage::DeviceHealthMonitor(cfg_.fault.outage);
+    const std::uint64_t want = std::min<std::uint64_t>(
+        cfg_.fallback_pool.frames, frames_.num_frames() / 4);
+    pool_ = vm::FallbackPool(cfg_.fallback_pool, frames_.carve_tail(want));
+  }
 }
 
 std::unique_ptr<sched::Scheduler> Simulator::make_scheduler(const SimConfig& cfg) {
@@ -83,6 +96,8 @@ void Simulator::set_trace(obs::EventTrace* trace) {
   sched_->attach_trace(trace, &clock_);
   swap_.attach_trace(trace, &clock_);
   dma_.attach_trace(trace);
+  health_.attach_trace(trace);
+  pool_.attach_trace(trace, &clock_);
   va_pf_.attach_trace(trace, &clock_);
   pop_pf_.attach_trace(trace, &clock_);
   stride_pf_.attach_trace(trace, &clock_);
@@ -126,6 +141,21 @@ SimMetrics Simulator::run() {
   }
 
   m_.makespan = clock_;
+  if (health_.enabled()) {
+    // Close the availability books: integrate the FSM to the makespan so
+    // the four time-in-state counters partition it exactly (the
+    // obs::InvariantChecker reconciles this to the nanosecond).
+    health_.finalize(clock_);
+    m_.health_healthy_time = health_.time_in(storage::DeviceHealth::kHealthy);
+    m_.health_degraded_time = health_.time_in(storage::DeviceHealth::kDegraded);
+    m_.health_offline_time = health_.time_in(storage::DeviceHealth::kOffline);
+    m_.health_recovering_time =
+        health_.time_in(storage::DeviceHealth::kRecovering);
+  }
+  m_.pool_stores = pool_.stats().stores;
+  m_.pool_hits = pool_.stats().hits;
+  m_.pool_drains = pool_.stats().drains;
+  m_.drain_bytes = pool_.stats().drains * its::kPageSize;
   m_.file_reads = files_.stats().reads;
   m_.file_writes = files_.stats().writes;
   m_.page_cache_hits = pcache_.stats().hits;
@@ -265,6 +295,9 @@ its::SimTime Simulator::post_read_resilient(its::SimTime t, std::uint64_t bytes,
     // off (exponential, capped) and reposts.  Both events live on the
     // device timeline, stamped with their future detection/repost times.
     ++m_.io_errors;
+    // The FSM sees the error at post time (monotone with the simulation
+    // clock); the trace keeps the future detection stamp.
+    health_.note_error(clock_);
     const its::Duration backoff = retry_.backoff(attempt);
     ++m_.io_retries;
     if (trace_) {
@@ -331,8 +364,9 @@ bool Simulator::do_file_op(Process& p, const trace::Instr& in) {
 
 bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
                           std::uint64_t page_index) {
+  poll_health();
   its::SimTime done = post_read_resilient(clock_, its::kPageSize, key);
-  FaultPlan plan = policy_->plan_major_fault(p, *sched_);
+  FaultPlan plan = policy_->plan_major_fault(p, *sched_, health_.state());
 
   if (plan.go_async) {
     // Block until the page lands; the syscall restarts on wake (the landed
@@ -402,9 +436,15 @@ bool Simulator::file_miss(Process& p, std::uint64_t key, fs::FileId file,
 }
 
 bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
+  poll_health();
   ++p.metrics().major_faults;
   ++m_.major_faults;
-  if (trace_) trace_->record(EventKind::kFaultBegin, clock_, p.pid(), vpn);
+  const storage::DeviceHealth entry_health = health_.state();
+  if (entry_health != storage::DeviceHealth::kHealthy)
+    ++m_.faults_served_degraded;
+  if (trace_)
+    trace_->record(EventKind::kFaultBegin, clock_, p.pid(), vpn,
+                   static_cast<std::uint64_t>(entry_health));
   advance(p, cfg_.major_fault_sw_cost);  // kernel entry + handler: real work
 
   vm::Pte* pte = p.mm().pte(vpn);
@@ -414,6 +454,25 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
   if (pte->in_flight()) {
     // A prefetch already has the page in transit — wait out the remainder.
     done = arrival_.at(key_of(p.pid(), vpn));
+  } else if (pool_.load(p.pid(), vpn)) {
+    // Compressed-DRAM hit: the page's only fresh copy sits in the fallback
+    // pool — decompress it on the faulting CPU, no device I/O at all.
+    its::Pfn pfn = alloc_frame(p.pid(), vpn);
+    vm::Pte* fresh = p.mm().pte(vpn);
+    fresh->set_pfn(pfn);
+    advance(p, pool_.decompress_cost());
+    fresh->map(pfn);
+    fresh->set_inv(false);
+    p.mm().note_mapped();
+    if (trace_) trace_->record(EventKind::kFaultEnd, clock_, p.pid(), vpn);
+    return true;
+  } else if (device_dead() && swap_.has_slot(p.pid(), vpn)) {
+    // The only copy is on a permanently dead device and the pool missed:
+    // this page is gone.  The CLI maps the error to exit code 5.
+    throw vm::PageLostError(p.pid(), vpn,
+                            "demand read from a dead device (pid " +
+                                std::to_string(p.pid()) + ", vpn " +
+                                std::to_string(vpn) + ") missed the pool");
   } else {
     // Collect the aligned swap cluster around the victim (page-cluster
     // readahead; cluster size 1 = just the victim).
@@ -449,7 +508,12 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
     return true;
   }
 
-  FaultPlan plan = policy_->plan_major_fault(p, *sched_);
+  FaultPlan plan = policy_->plan_major_fault(p, *sched_, health_.state());
+  // Belt and braces for custom policies: never busy-wait an offline device.
+  // The stripped plan converts the fault to asynchronous completion on the
+  // spot (window 0) — the watchdog's abort machinery does the bookkeeping.
+  if (!plan.go_async && health_.state() == storage::DeviceHealth::kOffline)
+    return abort_sync_wait(p, vpn, done, FaultPlan{}, 0);
   if (plan.go_async) {
     // Self-sacrificing path / Async baseline: give the CPU away and let the
     // DMA finish in the background.  Each asynchronous fault costs exactly
@@ -475,8 +539,10 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
   // asynchronous mode (somebody else must be runnable for the switch to buy
   // anything; otherwise waiting in place is still optimal).
   const its::Duration deadline = sync_deadline();
-  if (deadline != 0 && wait > deadline && sched_->any_ready())
+  if (deadline != 0 && wait > deadline && sched_->any_ready()) {
+    health_.note_timeout(clock_);
     return abort_sync_wait(p, vpn, done, plan, deadline);
+  }
 
   if (plan.preexec &&
       cfg_.preexec.recovery_trigger == cpu::RecoveryTrigger::kPolling) {
@@ -620,6 +686,7 @@ void Simulator::complete_swap_in(Process& p, its::Vpn vpn) {
     frames_.unpin(pte->pfn());
     swap_.record_swap_in(p.pid(), vpn);
     arrival_.erase(key_of(p.pid(), vpn));
+    health_.note_ok(clock_);  // a demand transfer landed: the device serves
   }
   if (!pte->present()) {
     pte->map(pte->pfn());
@@ -647,9 +714,25 @@ void Simulator::evict_frame(its::Pfn pfn) {
   if (pte == nullptr) throw std::logic_error("evicting frame with no PTE");
   if (pte->present()) owner.mm().note_unmapped();
   if (pte->dirty()) {
-    // Fire-and-forget swap-out; it occupies device/link bandwidth only.
-    dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
-    swap_.record_swap_out(owner.pid(), info.vpn);
+    poll_health();
+    const storage::DeviceHealth h = health_.state();
+    const bool device_down = h == storage::DeviceHealth::kDegraded ||
+                             h == storage::DeviceHealth::kOffline;
+    if (device_down && pool_.store(owner.pid(), info.vpn)) {
+      // The device is not (reliably) serving: compress into the fallback
+      // pool instead of writing out.  The compression burns foreground CPU
+      // (zswap's trade); the page drains back on recovery.
+      clock_ += pool_.compress_cost();
+      m_.cpu_busy += pool_.compress_cost();
+    } else if (device_dead()) {
+      throw vm::PageLostError(owner.pid(), info.vpn,
+                              "dirty page evicted past the device death "
+                              "point with the fallback pool full");
+    } else {
+      // Fire-and-forget swap-out; it occupies device/link bandwidth only.
+      dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+      swap_.record_swap_out(owner.pid(), info.vpn);
+    }
   }
   pte->unmap();
   pte->set_inv(false);
@@ -659,6 +742,32 @@ void Simulator::evict_frame(its::Pfn pfn) {
   ++m_.evictions;
   if (trace_)
     trace_->record(EventKind::kEvict, clock_, owner.pid(), pfn, info.vpn);
+}
+
+void Simulator::poll_health() {
+  if (!health_.enabled()) return;
+  health_.poll(clock_);
+  const storage::DeviceHealth h = health_.state();
+  if ((h == storage::DeviceHealth::kHealthy ||
+       h == storage::DeviceHealth::kRecovering) &&
+      pool_.pooled_pages() > 0)
+    drain_pool();
+}
+
+void Simulator::drain_pool() {
+  // Recovery drain: every pooled page goes back to the swap device as a
+  // background write (fire-and-forget, like a normal swap-out), oldest
+  // first.  record_swap_out refreshes the slot so later demand reads hit
+  // the device copy.
+  while (auto page = pool_.pop_drain()) {
+    dma_.post(clock_, storage::Dir::kWrite, its::kPageSize);
+    swap_.record_swap_out(page->first, page->second);
+  }
+}
+
+bool Simulator::device_dead() const {
+  return finj_.enabled() && cfg_.fault.outage.dead_at > 0 &&
+         clock_ >= cfg_.fault.outage.dead_at;
 }
 
 void Simulator::advance(Process& p, its::Duration d) {
@@ -736,6 +845,9 @@ void Simulator::finish(Process& p) {
     const vm::FrameInfo& info = frames_.info(pfn);
     if (info.in_use && !info.pinned && info.owner == p.pid()) evict_frame(pfn);
   }
+  // Anything the exit eviction just pooled (or older pooled pages of this
+  // process) dies with it — no drain, no events, plain bookkeeping.
+  pool_.drop_pid(p.pid());
 }
 
 }  // namespace its::core

@@ -24,9 +24,11 @@
 #include "obs/event_trace.h"
 #include "sched/process.h"
 #include "sched/scheduler.h"
+#include "storage/device_health.h"
 #include "storage/dma.h"
 #include "trace/instr.h"
 #include "util/types.h"
+#include "vm/fallback_pool.h"
 #include "vm/frame_pool.h"
 #include "vm/prefetch.h"
 #include "vm/swap.h"
@@ -70,6 +72,8 @@ class Simulator {
   const vm::SwapArea& swap() const { return swap_; }
   const storage::DmaController& dma() const { return dma_; }
   const fault::FaultInjector& fault_injector() const { return finj_; }
+  const storage::DeviceHealthMonitor& device_health() const { return health_; }
+  const vm::FallbackPool& fallback_pool() const { return pool_; }
   const vm::RetryPolicy& retry_policy() const { return retry_; }
   const fs::FileSystem& filesystem() const { return files_; }
   const fs::PageCache& page_cache() const { return pcache_; }
@@ -137,6 +141,16 @@ class Simulator {
   its::Pfn alloc_frame(its::Pid pid, its::Vpn vpn);
   void evict_frame(its::Pfn pfn);
 
+  /// Advances the device-health FSM to `clock_` and, when the device is
+  /// back to serving (healthy or recovering), drains the fallback pool to
+  /// the swap device.  A no-op when the outage model is disabled.
+  void poll_health();
+  /// Writes every pooled page back to the swap device (recovery drain).
+  void drain_pool();
+  /// True once the outage model's permanent-death point has passed: pages
+  /// whose only copy is on the device (and not in the pool) are lost.
+  bool device_dead() const;
+
   /// Charges `d` of useful CPU time (compute, handlers, cache service):
   /// wait_in_place plus the cpu_busy accounting.
   void advance(sched::Process& p, its::Duration d);
@@ -158,6 +172,8 @@ class Simulator {
   vm::FramePool frames_;
   vm::SwapArea swap_;
   fault::FaultInjector finj_;
+  storage::DeviceHealthMonitor health_;
+  vm::FallbackPool pool_;
   vm::RetryPolicy retry_;
   fs::FileSystem files_;
   fs::PageCache pcache_;

@@ -37,6 +37,24 @@ bool FaultInjector::in_burst(its::SimTime t) const {
   return (t % lm.burst_period) < lm.burst_len;
 }
 
+bool FaultInjector::in_outage(its::SimTime t) const {
+  if (!cfg_.enabled) return false;
+  const auto& o = cfg_.outage;
+  if (o.dead_at > 0 && t >= o.dead_at) return true;
+  if (o.period == 0 || o.length == 0) return false;
+  return ((t + o.phase) % o.period) < o.length;
+}
+
+its::SimTime FaultInjector::outage_clear(its::SimTime t) const {
+  if (!cfg_.enabled) return t;
+  const auto& o = cfg_.outage;
+  if (o.dead_at > 0 && t >= o.dead_at) return t;  // permanent; see header
+  if (o.period == 0 || o.length == 0) return t;
+  const its::SimTime into = (t + o.phase) % o.period;
+  if (into < o.length) return t + (o.length - into);
+  return t;
+}
+
 its::Duration FaultInjector::tail_draw() {
   const auto& lm = cfg_.latency;
   if (lm.tail == TailKind::kNone || lm.tail_prob <= 0.0) return 0;
@@ -126,6 +144,14 @@ std::optional<FaultProfile> profile_by_name(std::string_view name) {
     p.link_error_rate = 0.005;
     return p;
   }
+  if (name == "outage") {
+    // Pure scheduled outages — no per-op faults, no RNG draws: the whole
+    // fault timeline is clock arithmetic, so replay is trivially exact.
+    p.outage.period = 1'500'000;   // every 1.5 ms ...
+    p.outage.length = 200'000;     // ... the device is gone for 200 µs
+    p.outage.recovery = 100'000;   // then drains/retrains for 100 µs
+    return p;
+  }
   if (name == "hostile") {
     p.read_error_rate = 0.03;
     p.write_error_rate = 0.01;
@@ -137,14 +163,19 @@ std::optional<FaultProfile> profile_by_name(std::string_view name) {
     p.latency.burst_period = 400'000;
     p.latency.burst_len = 60'000;
     p.latency.burst_multiplier = 4.0;
+    p.outage.period = 2'000'000;   // sustained resets on top of everything
+    p.outage.length = 150'000;
+    p.outage.recovery = 80'000;
+    p.outage.degrade_errors = 4;   // error-run trips degraded mode
+    p.outage.offline_timeouts = 3; // sync-abort run trips an error outage
     return p;
   }
   return std::nullopt;
 }
 
 const std::vector<std::string_view>& profile_names() {
-  static const std::vector<std::string_view> names{"none", "tail", "bursty",
-                                                   "errors", "hostile"};
+  static const std::vector<std::string_view> names{
+      "none", "tail", "bursty", "errors", "outage", "hostile"};
   return names;
 }
 

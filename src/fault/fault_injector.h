@@ -50,6 +50,35 @@ struct LatencyModelConfig {
   double burst_multiplier = 1.0;
 };
 
+/// Sustained device outages — firmware GC stalls, link retraining,
+/// controller resets — as opposed to the per-operation pathologies above.
+/// Scheduled windows are purely clock-driven (no RNG draws), so an outage
+/// schedule is reproducible from the profile alone; the error/timeout
+/// thresholds feed the storage::DeviceHealthMonitor state machine
+/// (docs/robustness.md).  All-zero (the default) means no outage model.
+struct OutageModelConfig {
+  // Scheduled offline windows: while ((t + phase) mod period) < length the
+  // device accepts no work; completions stall until the window ends.
+  its::Duration period = 0;    ///< 0 = no scheduled outages.
+  its::Duration length = 0;    ///< Offline span per period, ns.
+  its::Duration recovery = 0;  ///< Recovering span appended after each window.
+  its::Duration phase = 0;     ///< Offset of the first window, ns.
+  /// Permanent death: the device goes offline at this timestamp and never
+  /// recovers — demand reads that miss the fallback pool are *lost* (the
+  /// CLI maps that to exit code 5).  0 = never.
+  its::SimTime dead_at = 0;
+  // Error-driven transitions, consumed by storage::DeviceHealthMonitor.
+  unsigned degrade_errors = 0;     ///< Consecutive I/O errors → degraded. 0 = off.
+  unsigned offline_timeouts = 0;   ///< Consecutive sync aborts → offline. 0 = off.
+  its::Duration error_outage = 50'000;   ///< Offline span after a timeout trip, ns.
+  its::Duration degraded_hold = 100'000; ///< Quiet time before degraded clears, ns.
+
+  bool enabled() const {
+    return (period > 0 && length > 0) || dead_at > 0 || degrade_errors > 0 ||
+           offline_timeouts > 0;
+  }
+};
+
 /// One complete fault-resilience configuration: what to inject and how the
 /// kernel-side swap path responds (retry budget, backoff, sync deadline).
 struct FaultProfile {
@@ -74,6 +103,9 @@ struct FaultProfile {
   /// asynchronous mode.  0 = auto (2 × ctx_switch_cost — the point where
   /// paying for a switch-out/switch-in pair beats spinning).
   its::Duration sync_deadline = 0;
+
+  /// Sustained-outage model (scheduled windows + health-FSM thresholds).
+  OutageModelConfig outage{};
 };
 
 struct FaultStats {
@@ -111,6 +143,16 @@ class FaultInjector {
   /// True while `t` falls inside a configured burst window.
   bool in_burst(its::SimTime t) const;
 
+  /// True while `t` falls inside a scheduled outage window (or past a
+  /// permanent `dead_at`).  Pure clock arithmetic — never draws RNG.
+  bool in_outage(its::SimTime t) const;
+
+  /// Earliest time ≥ `t` at which the device accepts work again: the end
+  /// of the scheduled outage window covering `t`, or `t` itself when the
+  /// device is up.  Past a permanent `dead_at` the device never clears;
+  /// this returns `t` and callers must consult in_outage() first.
+  its::SimTime outage_clear(its::SimTime t) const;
+
   const FaultStats& stats() const { return stats_; }
 
   /// Re-seeds the RNG from the profile and zeroes the stats.
@@ -130,7 +172,8 @@ class FaultInjector {
 ///   tail     lognormal read-latency tail, no errors
 ///   bursty   periodic burst windows (device GC), no errors
 ///   errors   media/link error rates, no tail
-///   hostile  errors + Pareto tail + bursts — the worst of everything
+///   outage   scheduled whole-device outage windows, no per-op faults
+///   hostile  errors + Pareto tail + bursts + outages — the worst of everything
 std::optional<FaultProfile> profile_by_name(std::string_view name);
 
 /// The preset names accepted by profile_by_name, for error messages.

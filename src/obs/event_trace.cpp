@@ -25,6 +25,10 @@ std::string_view kind_name(EventKind k) {
     case EventKind::kIoRetry:       return "io_retry";
     case EventKind::kDeadlineAbort: return "deadline_abort";
     case EventKind::kModeFallback:  return "mode_fallback";
+    case EventKind::kHealthTransition: return "health_transition";
+    case EventKind::kPoolStore:     return "pool_store";
+    case EventKind::kPoolLoad:      return "pool_load";
+    case EventKind::kPoolDrain:     return "pool_drain";
   }
   return "unknown";
 }

@@ -23,7 +23,7 @@
 namespace its::obs {
 
 enum class EventKind : std::uint8_t {
-  kFaultBegin,     ///< Major fault entered the handler.        a=vpn
+  kFaultBegin,     ///< Major fault entered the handler.        a=vpn b=device health at entry
   kFaultEnd,       ///< Fault resolved (page mapped).           a=vpn b=busy-wait window c=stolen
   kFileWait,       ///< Sync wait on a page-cache page.         a=page key b=wait c=stolen
   kPrefetchIssue,  ///< Page posted to DMA by a prefetcher.     a=vpn/key b=source (PrefetchSource)
@@ -47,6 +47,13 @@ enum class EventKind : std::uint8_t {
   kIoRetry,        ///< Failed attempt reposted after backoff.  a=vpn/key b=attempt c=backoff ns
   kDeadlineAbort,  ///< Watchdog aborted a sync busy-wait.      a=vpn b=waited window c=stolen
   kModeFallback,   ///< Aborted fault fell back to async mode.  a=vpn b=remaining (background) ns
+  // Device-outage resilience (storage/device_health.h, vm/fallback_pool.h).
+  // HealthTransition lives on the device timeline (kDevicePid); the pool
+  // events carry the owning process.
+  kHealthTransition, ///< Health FSM edge taken.                a=from b=to (DeviceHealth)
+  kPoolStore,      ///< Page compressed into the fallback pool. a=vpn b=compress ns
+  kPoolLoad,       ///< Demand read served from the pool.       a=vpn b=decompress ns
+  kPoolDrain,      ///< Pooled page written back on recovery.   a=vpn b=bytes
 };
 
 /// Derived from the lexically-last enumerator so adding a kind cannot leave
@@ -55,8 +62,8 @@ enum class EventKind : std::uint8_t {
 /// mapping in trace_json.cpp, and the invariant checker — its_lint's
 /// registry rules enforce all four).
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kModeFallback) + 1;
-static_assert(kNumEventKinds == 21,
+    static_cast<std::size_t>(EventKind::kPoolDrain) + 1;
+static_assert(kNumEventKinds == 25,
               "EventKind grew: extend kind_name(), trace_json.cpp, and "
               "invariant_checker.cpp, then bump this count");
 

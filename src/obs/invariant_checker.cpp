@@ -65,9 +65,38 @@ Timeline timeline_of(EventKind k) {
     case EventKind::kPrefetchWalk:
     case EventKind::kDeadlineAbort:
     case EventKind::kModeFallback:
+    case EventKind::kHealthTransition:
+    case EventKind::kPoolStore:
+    case EventKind::kPoolLoad:
+    case EventKind::kPoolDrain:
       return Timeline::kProcess;
   }
   return Timeline::kProcess;
+}
+
+/// Legal edges of the device-health FSM (storage/device_health.h):
+/// healthy→degraded, degraded→{offline,healthy}, offline→recovering,
+/// recovering→{healthy,degraded}.  States are the DeviceHealth values
+/// 0=healthy 1=degraded 2=offline 3=recovering carried in the
+/// kHealthTransition operands.
+bool legal_health_edge(std::uint64_t from, std::uint64_t to) {
+  switch (from) {
+    case 0: return to == 1;
+    case 1: return to == 2 || to == 0;
+    case 2: return to == 3;
+    case 3: return to == 0 || to == 1;
+  }
+  return false;
+}
+
+const char* health_state_name(std::uint64_t s) {
+  switch (s) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "offline";
+    case 3: return "recovering";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -104,6 +133,14 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
   Event pending_error{};
   bool want_fallback = false;
   Event pending_abort{};
+  // Health-FSM chain state: the device starts healthy at t = 0; every
+  // kHealthTransition must continue from the previous state along a legal
+  // edge.  Time-in-state is integrated alongside for the reconciliation
+  // in section (6).
+  std::uint64_t health_state = 0;
+  its::SimTime health_ts = 0;
+  its::Duration health_time[4] = {0, 0, 0, 0};
+  std::uint64_t degraded_faults = 0;
   std::size_t idx = 0;
   for (const Event& e : trace.events()) {
     // (0) the byte on the wire must name a real kind (a corrupted or
@@ -207,6 +244,25 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
                    " while vpn %#" PRIx64 " is still open",
                    idx, e.pid, e.a, f.vpn));
         f = {true, e.a, e.ts};
+        if (e.b != 0) ++degraded_faults;  // b = device health at entry
+        break;
+      }
+      case EventKind::kHealthTransition: {
+        if (e.a != health_state)
+          fail(fmt("event %zu: health transition starts from %s but the "
+                   "device was %s",
+                   idx, health_state_name(e.a),
+                   health_state_name(health_state)));
+        if (e.a == e.b)
+          fail(fmt("event %zu: health self-transition in state %s",
+                   idx, health_state_name(e.a)));
+        else if (!legal_health_edge(e.a, e.b))
+          fail(fmt("event %zu: illegal health edge %s -> %s",
+                   idx, health_state_name(e.a), health_state_name(e.b)));
+        if (e.ts >= health_ts && health_state < 4)
+          health_time[health_state] += e.ts - health_ts;
+        health_state = e.b < 4 ? e.b : health_state;
+        health_ts = e.ts;
         break;
       }
       case EventKind::kFaultEnd: {
@@ -320,6 +376,52 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
   if (stolen != m.stolen_time)
     fail(fmt("stolen credits from events %" PRIu64 " != stolen_time %" PRIu64,
              stolen, m.stolen_time));
+
+  // (6) device-outage availability: the four time-in-state counters
+  // integrate the kHealthTransition timeline exactly and partition the
+  // makespan, and each fallback-pool counter equals its event count.  A
+  // run without the outage model (no transitions, all four counters zero)
+  // skips the partition check — nothing to reconcile.
+  const bool outage_active =
+      trace.count(EventKind::kHealthTransition) != 0 ||
+      m.health_healthy_time != 0 || m.health_degraded_time != 0 ||
+      m.health_offline_time != 0 || m.health_recovering_time != 0;
+  if (outage_active) {
+    if (m.makespan >= health_ts && health_state < 4)
+      health_time[health_state] += m.makespan - health_ts;  // final segment
+    const struct {
+      const char* name;
+      its::Duration want;
+      its::Duration got;
+    } states[4] = {
+        {"health_healthy_time", m.health_healthy_time, health_time[0]},
+        {"health_degraded_time", m.health_degraded_time, health_time[1]},
+        {"health_offline_time", m.health_offline_time, health_time[2]},
+        {"health_recovering_time", m.health_recovering_time, health_time[3]},
+    };
+    for (const auto& s : states)
+      if (s.got != s.want)
+        fail(fmt("%s from events %" PRIu64 " != metrics %" PRIu64,
+                 s.name, s.got, s.want));
+    const its::Duration in_state =
+        m.health_healthy_time + m.health_degraded_time +
+        m.health_offline_time + m.health_recovering_time;
+    if (in_state != m.makespan)
+      fail(fmt("health time-in-state total %" PRIu64
+               " does not partition the makespan %" PRIu64,
+               in_state, m.makespan));
+  }
+  expect_count(EventKind::kPoolStore, m.pool_stores, "pool_stores");
+  expect_count(EventKind::kPoolLoad, m.pool_hits, "pool_hits");
+  expect_count(EventKind::kPoolDrain, m.pool_drains, "pool_drains");
+  const std::uint64_t drained = trace.sum_b(EventKind::kPoolDrain);
+  if (drained != m.drain_bytes)
+    fail(fmt("drained bytes from events %" PRIu64 " != drain_bytes %" PRIu64,
+             drained, m.drain_bytes));
+  if (degraded_faults != m.faults_served_degraded)
+    fail(fmt("degraded-entry faults from events %" PRIu64
+             " != faults_served_degraded %" PRIu64,
+             degraded_faults, m.faults_served_degraded));
 
   return r;
 }

@@ -61,6 +61,16 @@ struct RunTotals {
   std::uint64_t deadline_aborts = 0;
   std::uint64_t mode_fallbacks = 0;
   its::Duration degraded_time = 0;
+  // Device-outage availability (storage/device_health.h, vm/fallback_pool.h).
+  its::Duration health_healthy_time = 0;
+  its::Duration health_degraded_time = 0;
+  its::Duration health_offline_time = 0;
+  its::Duration health_recovering_time = 0;
+  std::uint64_t pool_stores = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_drains = 0;
+  std::uint64_t drain_bytes = 0;
+  std::uint64_t faults_served_degraded = 0;
 };
 
 struct CheckResult {
@@ -100,6 +110,15 @@ CheckResult check_invariants(const EventTrace& trace, const Metrics& metrics,
   t.deadline_aborts = metrics.deadline_aborts;
   t.mode_fallbacks = metrics.mode_fallbacks;
   t.degraded_time = metrics.degraded_time;
+  t.health_healthy_time = metrics.health_healthy_time;
+  t.health_degraded_time = metrics.health_degraded_time;
+  t.health_offline_time = metrics.health_offline_time;
+  t.health_recovering_time = metrics.health_recovering_time;
+  t.pool_stores = metrics.pool_stores;
+  t.pool_hits = metrics.pool_hits;
+  t.pool_drains = metrics.pool_drains;
+  t.drain_bytes = metrics.drain_bytes;
+  t.faults_served_degraded = metrics.faults_served_degraded;
   return check_invariants(trace, t, cfg);
 }
 

@@ -63,6 +63,10 @@ std::string_view slice_name(EventKind k) {
     case EventKind::kIoRetry:
     case EventKind::kDeadlineAbort:
     case EventKind::kModeFallback:
+    case EventKind::kHealthTransition:
+    case EventKind::kPoolStore:
+    case EventKind::kPoolLoad:
+    case EventKind::kPoolDrain:
       return kind_name(k);
   }
   return kind_name(k);
@@ -100,6 +104,10 @@ Phase phase_of(EventKind k) {
     case EventKind::kIoRetry:
     case EventKind::kDeadlineAbort:
     case EventKind::kModeFallback:
+    case EventKind::kHealthTransition:
+    case EventKind::kPoolStore:
+    case EventKind::kPoolLoad:
+    case EventKind::kPoolDrain:
       return Phase::kInstant;
   }
   return Phase::kInstant;

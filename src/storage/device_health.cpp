@@ -1,0 +1,185 @@
+#include "storage/device_health.h"
+
+#include "fault/fault_injector.h"
+#include "obs/event_trace.h"
+#include "util/types.h"
+
+#include <algorithm>
+
+namespace its::storage {
+
+namespace {
+
+constexpr its::SimTime kNever = ~0ull;
+
+/// Severity for max-combining concurrent contributions: a device that is
+/// both inside a scheduled window (offline) and error-degraded is offline.
+constexpr int severity(DeviceHealth h) {
+  switch (h) {
+    case DeviceHealth::kHealthy:    return 0;
+    case DeviceHealth::kDegraded:   return 1;
+    case DeviceHealth::kRecovering: return 2;
+    case DeviceHealth::kOffline:    return 3;
+  }
+  return 0;
+}
+
+constexpr DeviceHealth worse(DeviceHealth a, DeviceHealth b) {
+  return severity(a) >= severity(b) ? a : b;
+}
+
+constexpr std::size_t idx(DeviceHealth h) {
+  return static_cast<std::size_t>(h);
+}
+
+/// Next hop along the legal edge set {H→D, D→O, D→H, O→R, R→H, R→D} on the
+/// shortest path from `from` toward `to` (from != to).
+DeviceHealth next_hop(DeviceHealth from, DeviceHealth to) {
+  using H = DeviceHealth;
+  switch (from) {
+    case H::kHealthy:    return H::kDegraded;                       // via D
+    case H::kDegraded:   return to == H::kHealthy ? H::kHealthy : H::kOffline;
+    case H::kOffline:    return H::kRecovering;                     // via R
+    case H::kRecovering: return to == H::kHealthy ? H::kHealthy : H::kDegraded;
+  }
+  return to;
+}
+
+}  // namespace
+
+std::string_view health_name(DeviceHealth h) {
+  switch (h) {
+    case DeviceHealth::kHealthy:    return "healthy";
+    case DeviceHealth::kDegraded:   return "degraded";
+    case DeviceHealth::kOffline:    return "offline";
+    case DeviceHealth::kRecovering: return "recovering";
+  }
+  return "?";
+}
+
+DeviceHealthMonitor::DeviceHealthMonitor(const fault::OutageModelConfig& cfg)
+    : cfg_(cfg), enabled_(cfg.enabled()) {
+  // Clamp the scheduled window so offline + recovering fit inside one
+  // period — overlapping windows would make state_at ambiguous.
+  if (cfg_.period > 0) {
+    cfg_.length = std::min(cfg_.length, cfg_.period);
+    cfg_.recovery = std::min(cfg_.recovery, cfg_.period - cfg_.length);
+  }
+}
+
+DeviceHealth DeviceHealthMonitor::state_at(its::SimTime t) const {
+  DeviceHealth sched = DeviceHealth::kHealthy;
+  if (cfg_.dead_at > 0 && t >= cfg_.dead_at) {
+    sched = DeviceHealth::kOffline;
+  } else if (cfg_.period > 0 && cfg_.length > 0) {
+    const its::SimTime into = (t + cfg_.phase) % cfg_.period;
+    if (into < cfg_.length)
+      sched = DeviceHealth::kOffline;
+    else if (into < cfg_.length + cfg_.recovery)
+      sched = DeviceHealth::kRecovering;
+  }
+  DeviceHealth err = DeviceHealth::kHealthy;
+  if (t < err_offline_until_)
+    err = DeviceHealth::kOffline;
+  else if (t < err_recover_until_)
+    err = DeviceHealth::kRecovering;
+  const DeviceHealth deg = t < degraded_until_ ? DeviceHealth::kDegraded
+                                               : DeviceHealth::kHealthy;
+  return worse(worse(sched, err), deg);
+}
+
+its::SimTime DeviceHealthMonitor::next_boundary(its::SimTime t) const {
+  its::SimTime nb = kNever;
+  const bool dead = cfg_.dead_at > 0 && t >= cfg_.dead_at;
+  if (cfg_.dead_at > 0 && t < cfg_.dead_at) nb = std::min(nb, cfg_.dead_at);
+  if (!dead && cfg_.period > 0 && cfg_.length > 0) {
+    const its::SimTime into = (t + cfg_.phase) % cfg_.period;
+    its::SimTime next;
+    if (into < cfg_.length)
+      next = t + (cfg_.length - into);
+    else if (into < cfg_.length + cfg_.recovery)
+      next = t + (cfg_.length + cfg_.recovery - into);
+    else
+      next = t + (cfg_.period - into);
+    nb = std::min(nb, next);
+  }
+  for (its::SimTime b : {degraded_until_, err_offline_until_, err_recover_until_})
+    if (b > t) nb = std::min(nb, b);
+  return nb;
+}
+
+void DeviceHealthMonitor::advance_to(its::SimTime t) {
+  if (!enabled_ || t <= ts_) return;
+  // Sync before integrating the first segment: a scheduled window can open
+  // exactly at ts_ (e.g. phase 0 puts the device offline at t = 0).
+  const DeviceHealth at = state_at(ts_);
+  if (at != state_) transition_to(at, ts_);
+  while (ts_ < t) {
+    const its::SimTime stop = std::min(next_boundary(ts_), t);
+    time_in_[idx(state_)] += stop - ts_;
+    ts_ = stop;
+    const DeviceHealth ns = state_at(ts_);
+    if (ns != state_) transition_to(ns, ts_);
+  }
+}
+
+void DeviceHealthMonitor::transition_to(DeviceHealth to, its::SimTime t) {
+  while (state_ != to) {
+    const DeviceHealth step = next_hop(state_, to);
+    if (trace_)
+      trace_->record(obs::EventKind::kHealthTransition, t, obs::kDevicePid,
+                     static_cast<std::uint64_t>(state_),
+                     static_cast<std::uint64_t>(step));
+    state_ = step;
+  }
+}
+
+void DeviceHealthMonitor::poll(its::SimTime t) { advance_to(t); }
+
+void DeviceHealthMonitor::note_error(its::SimTime t) {
+  if (!enabled_) return;
+  advance_to(t);
+  ++err_run_;
+  if (cfg_.degrade_errors > 0 && err_run_ >= cfg_.degrade_errors) {
+    degraded_until_ = std::max(degraded_until_, t + cfg_.degraded_hold);
+    const DeviceHealth ns = state_at(ts_);
+    if (ns != state_) transition_to(ns, ts_);
+  }
+}
+
+void DeviceHealthMonitor::note_timeout(its::SimTime t) {
+  if (!enabled_) return;
+  advance_to(t);
+  ++timeout_run_;
+  if (cfg_.offline_timeouts > 0 && timeout_run_ >= cfg_.offline_timeouts) {
+    timeout_run_ = 0;
+    err_offline_until_ = std::max(err_offline_until_, t + cfg_.error_outage);
+    err_recover_until_ = err_offline_until_ + cfg_.recovery;
+    const DeviceHealth ns = state_at(ts_);
+    if (ns != state_) transition_to(ns, ts_);
+  }
+}
+
+void DeviceHealthMonitor::note_ok(its::SimTime t) {
+  if (!enabled_) return;
+  advance_to(t);
+  err_run_ = 0;
+  timeout_run_ = 0;
+}
+
+void DeviceHealthMonitor::finalize(its::SimTime makespan) {
+  advance_to(makespan);
+}
+
+void DeviceHealthMonitor::reset() {
+  state_ = DeviceHealth::kHealthy;
+  ts_ = 0;
+  time_in_ = {};
+  err_run_ = 0;
+  timeout_run_ = 0;
+  degraded_until_ = 0;
+  err_offline_until_ = 0;
+  err_recover_until_ = 0;
+}
+
+}  // namespace its::storage

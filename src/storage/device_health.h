@@ -1,0 +1,113 @@
+// Device-health state machine — the outage-resilience substrate.
+//
+// The paper's busy-wait bet assumes the ULL device is *always there*.  A
+// real Z-NAND device is not: firmware GC stalls, link retraining and
+// controller resets take it away for milliseconds at a time.  This monitor
+// tracks an explicit health FSM
+//
+//     healthy → degraded → offline → recovering → healthy
+//
+// driven deterministically by two signal classes (fault/fault_injector.h's
+// OutageModelConfig):
+//
+//   * scheduled outage windows — pure clock arithmetic, no RNG: while
+//     ((t + phase) mod period) < length the device is offline, then
+//     recovering for `recovery` ns, then healthy again.  `dead_at` models a
+//     permanent controller death.
+//   * error-driven trips — a run of `degrade_errors` consecutive I/O errors
+//     forces degraded (clearing after `degraded_hold` quiet ns); a run of
+//     `offline_timeouts` consecutive sync-wait aborts forces an
+//     `error_outage`-long offline window followed by recovery.
+//
+// The effective state at any instant is the most severe of all active
+// contributions (offline > recovering > degraded > healthy).  Transitions
+// are emitted as kHealthTransition events on the device timeline and only
+// ever along the legal edges {H→D, D→O, D→H, O→R, R→H, R→D}; a larger jump
+// (e.g. healthy straight into a scheduled window) expands into its legal
+// hop sequence at the same timestamp.  Exact time-in-state accounting is
+// integrated alongside, so obs::check_invariants can reconcile the four
+// SimMetrics availability counters against the makespan to the nanosecond.
+#pragma once
+
+#include "fault/fault_injector.h"
+#include "obs/event_trace.h"
+#include "util/types.h"
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace its::storage {
+
+/// Health of the swap device, ordered as the FSM progresses.  Numeric
+/// values are stable — they ride in Event operands and metrics CSVs.
+enum class DeviceHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kOffline = 2,
+  kRecovering = 3,
+};
+
+std::string_view health_name(DeviceHealth h);
+
+/// Deterministic health FSM.  One instance per Simulator; all inputs are
+/// stamped with the (monotone) simulation clock.  With an all-zero
+/// OutageModelConfig the monitor is inert: state() stays healthy, no
+/// events, all accumulators zero — bit-identical simulation.
+class DeviceHealthMonitor {
+ public:
+  DeviceHealthMonitor() = default;
+  explicit DeviceHealthMonitor(const fault::OutageModelConfig& cfg);
+
+  bool enabled() const { return enabled_; }
+  DeviceHealth state() const { return state_; }
+
+  /// Advances the FSM to time `t`, emitting any transitions whose
+  /// boundaries fall in (last, t].  Inert when disabled.
+  void poll(its::SimTime t);
+
+  /// A demand I/O attempt failed at `t` (surfaced media/link error).
+  void note_error(its::SimTime t);
+
+  /// A synchronous busy-wait was aborted by the watchdog at `t`.
+  void note_timeout(its::SimTime t);
+
+  /// A demand I/O completed cleanly at `t` — resets the error/timeout runs.
+  void note_ok(its::SimTime t);
+
+  /// Final accounting up to the makespan; call once, after the last event.
+  void finalize(its::SimTime makespan);
+
+  /// Attaches the event trace transitions are recorded into.
+  void attach_trace(obs::EventTrace* trace) { trace_ = trace; }
+
+  /// Exact ns spent in `h` over [0, last polled time).
+  its::Duration time_in(DeviceHealth h) const {
+    return time_in_[static_cast<std::size_t>(h)];
+  }
+
+  void reset();
+
+ private:
+  DeviceHealth state_at(its::SimTime t) const;
+  its::SimTime next_boundary(its::SimTime t) const;
+  void advance_to(its::SimTime t);
+  void transition_to(DeviceHealth to, its::SimTime t);
+
+  fault::OutageModelConfig cfg_{};
+  bool enabled_ = false;
+  obs::EventTrace* trace_ = nullptr;
+
+  DeviceHealth state_ = DeviceHealth::kHealthy;
+  its::SimTime ts_ = 0;  ///< Time the FSM has been advanced to.
+  std::array<its::Duration, 4> time_in_{};
+
+  // Error-driven contribution state.
+  unsigned err_run_ = 0;
+  unsigned timeout_run_ = 0;
+  its::SimTime degraded_until_ = 0;
+  its::SimTime err_offline_until_ = 0;
+  its::SimTime err_recover_until_ = 0;
+};
+
+}  // namespace its::storage

@@ -18,6 +18,9 @@ its::SimTime UllDevice::schedule(its::SimTime ready, bool write,
   its::SimTime start = std::max(ready, *it);
   its::Duration lat = write ? cfg_.write_latency : cfg_.read_latency;
   if (inj_ != nullptr && inj_->enabled()) {
+    // A scheduled outage window stalls the whole device: requests queue
+    // and service resumes when the window clears (fault/fault_injector.h).
+    start = inj_->outage_clear(start);
     lat = inj_->inflate_media_latency(start, lat, write);
     if (inj_->media_error(write, /*surfaced=*/error_out != nullptr)) {
       if (error_out != nullptr)

@@ -33,6 +33,8 @@ class UllDevice {
   /// a media error.  When `error_out` is non-null a drawn error is surfaced
   /// (`*error_out` set true — the caller retries); when it is null the
   /// device redoes the operation internally, doubling its occupancy.
+  /// A scheduled outage window (OutageModelConfig) stalls the start of
+  /// service until the window clears — requests queue, none are dropped.
   its::SimTime schedule(its::SimTime ready, bool write,
                         bool* error_out = nullptr);
 

@@ -1,0 +1,94 @@
+#include "vm/fallback_pool.h"
+
+#include "obs/event_trace.h"
+#include "util/types.h"
+
+#include <algorithm>
+
+namespace its::vm {
+
+namespace {
+
+constexpr its::Pid pid_of_key(std::uint64_t key) {
+  return static_cast<its::Pid>(key >> 48);
+}
+
+constexpr its::Vpn vpn_of_key(std::uint64_t key) {
+  return key & ((1ull << 48) - 1);
+}
+
+}  // namespace
+
+FallbackPool::FallbackPool(const FallbackPoolConfig& cfg,
+                           std::uint64_t carved_frames)
+    : cfg_(cfg) {
+  const double ratio = std::max(cfg.ratio, 1.0);
+  capacity_pages_ =
+      static_cast<std::uint64_t>(static_cast<double>(carved_frames) * ratio);
+}
+
+bool FallbackPool::store(its::Pid pid, its::Vpn vpn) {
+  if (!enabled() || full()) {
+    if (enabled()) ++stats_.full_rejects;
+    return false;
+  }
+  const std::uint64_t key = its::pid_key(pid, vpn);
+  auto [it, fresh] = by_key_.try_emplace(key, next_seq_);
+  if (!fresh) return false;  // already pooled: nothing to compress
+  by_seq_.emplace(next_seq_, key);
+  ++next_seq_;
+  ++stats_.stores;
+  stats_.peak_pages = std::max(stats_.peak_pages, pooled_pages());
+  if (trace_)
+    trace_->record(obs::EventKind::kPoolStore, *clock_, pid, vpn,
+                   cfg_.compress_cost);
+  return true;
+}
+
+bool FallbackPool::load(its::Pid pid, its::Vpn vpn) {
+  const std::uint64_t key = its::pid_key(pid, vpn);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return false;
+  by_seq_.erase(it->second);
+  by_key_.erase(it);
+  ++stats_.hits;
+  if (trace_)
+    trace_->record(obs::EventKind::kPoolLoad, *clock_, pid, vpn,
+                   cfg_.decompress_cost);
+  return true;
+}
+
+std::optional<std::pair<its::Pid, its::Vpn>> FallbackPool::pop_drain() {
+  if (by_seq_.empty()) return std::nullopt;
+  auto it = by_seq_.begin();
+  const std::uint64_t key = it->second;
+  by_key_.erase(key);
+  by_seq_.erase(it);
+  ++stats_.drains;
+  const its::Pid pid = pid_of_key(key);
+  const its::Vpn vpn = vpn_of_key(key);
+  if (trace_)
+    trace_->record(obs::EventKind::kPoolDrain, *clock_, pid, vpn,
+                   its::kPageSize);
+  return std::make_pair(pid, vpn);
+}
+
+void FallbackPool::drop_pid(its::Pid pid) {
+  for (auto it = by_seq_.begin(); it != by_seq_.end();) {
+    if (pid_of_key(it->second) == pid) {
+      by_key_.erase(it->second);
+      it = by_seq_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FallbackPool::reset() {
+  by_seq_.clear();
+  by_key_.clear();
+  next_seq_ = 0;
+  stats_ = FallbackPoolStats{};
+}
+
+}  // namespace its::vm

@@ -1,0 +1,118 @@
+// Compressed-DRAM fallback pool — zswap for a dead swap device.
+//
+// While the swap device is degraded or offline (storage/device_health.h),
+// evicted dirty pages cannot be written out; instead of wedging or losing
+// them, the mini-kernel compresses them into frames carved off the tail of
+// the DRAM pool (FramePool::carve_tail).  A demand read consults the pool
+// before touching the device, paying a modeled decompress latency instead
+// of a media read; on recovery the simulator drains pooled pages back to
+// the device as background writes.
+//
+// The pool is pure bookkeeping plus deterministic FIFO order: pages are
+// keyed by (pid, vpn) and drained oldest-first via a monotone store
+// sequence, so a given fault schedule always produces the same drain
+// order.  With `capacity_pages() == 0` (no carve — the outage model off)
+// every entry point is inert and the simulation is bit-identical.
+#pragma once
+
+#include "obs/event_trace.h"
+#include "util/types.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace its::vm {
+
+/// Sizing and latency model for the fallback pool (SimConfig::fallback_pool;
+/// docs/configuration.md).  Only consulted when the fault profile's outage
+/// model is enabled — otherwise no frames are carved and the pool is inert.
+struct FallbackPoolConfig {
+  std::uint64_t frames = 64;   ///< Frames carved from the DRAM pool tail.
+  double ratio = 3.0;          ///< Compression ratio: pages stored per frame.
+  its::Duration compress_cost = 2'000;    ///< CPU ns to compress one page.
+  its::Duration decompress_cost = 1'000;  ///< CPU ns to decompress one page.
+};
+
+/// A page was irrecoverably lost: the device is permanently dead and the
+/// fallback pool could not cover it.  The CLI maps this to exit code 5.
+struct PageLostError : std::runtime_error {
+  PageLostError(its::Pid pid_, its::Vpn vpn_, const std::string& what)
+      : std::runtime_error(what), pid(pid_), vpn(vpn_) {}
+  its::Pid pid;
+  its::Vpn vpn;
+};
+
+struct FallbackPoolStats {
+  std::uint64_t stores = 0;      ///< Pages compressed into the pool.
+  std::uint64_t hits = 0;        ///< Demand reads served from the pool.
+  std::uint64_t drains = 0;      ///< Pages drained back to the device.
+  std::uint64_t full_rejects = 0;///< Stores refused because the pool was full.
+  std::uint64_t peak_pages = 0;  ///< High-water mark of pooled pages.
+};
+
+class FallbackPool {
+ public:
+  FallbackPool() = default;  ///< Disabled (zero-capacity) pool.
+
+  /// `carved_frames` is what FramePool::carve_tail actually granted;
+  /// capacity is carved_frames × ratio pages.
+  FallbackPool(const FallbackPoolConfig& cfg, std::uint64_t carved_frames);
+
+  bool enabled() const { return capacity_pages_ > 0; }
+  std::uint64_t capacity_pages() const { return capacity_pages_; }
+  std::uint64_t pooled_pages() const { return by_seq_.size(); }
+  bool full() const { return pooled_pages() >= capacity_pages_; }
+
+  its::Duration compress_cost() const { return cfg_.compress_cost; }
+  its::Duration decompress_cost() const { return cfg_.decompress_cost; }
+
+  bool contains(its::Pid pid, its::Vpn vpn) const {
+    return by_key_.count(its::pid_key(pid, vpn)) != 0;
+  }
+
+  /// Compresses (pid, vpn) into the pool; emits kPoolStore.  Returns false
+  /// (and counts a full_reject) when the pool is full or disabled.
+  bool store(its::Pid pid, its::Vpn vpn);
+
+  /// Serves a demand read from the pool, removing the page; emits
+  /// kPoolLoad.  Returns false if the page is not pooled.
+  bool load(its::Pid pid, its::Vpn vpn);
+
+  /// Pops the oldest pooled page for the recovery drain; emits kPoolDrain.
+  /// Returns nullopt when the pool is empty.
+  std::optional<std::pair<its::Pid, its::Vpn>> pop_drain();
+
+  /// Drops every page owned by `pid` (the process exited while pooled).
+  void drop_pid(its::Pid pid);
+
+  const FallbackPoolStats& stats() const { return stats_; }
+
+  /// Emits kPoolStore/kPoolLoad/kPoolDrain to `trace`, stamped from
+  /// `*clock` — the SwapArea::attach_trace idiom.
+  void attach_trace(obs::EventTrace* trace, const its::SimTime* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
+  void reset();
+
+ private:
+  FallbackPoolConfig cfg_{};
+  std::uint64_t capacity_pages_ = 0;
+
+  /// FIFO drain order via a monotone store sequence; std::map keeps the
+  /// iteration deterministic (docs/determinism rules ban unordered walks).
+  std::map<std::uint64_t, std::uint64_t> by_seq_;          // seq -> key
+  std::unordered_map<std::uint64_t, std::uint64_t> by_key_;  // key -> seq
+  std::uint64_t next_seq_ = 0;
+
+  FallbackPoolStats stats_{};
+  obs::EventTrace* trace_ = nullptr;
+  const its::SimTime* clock_ = nullptr;
+};
+
+}  // namespace its::vm

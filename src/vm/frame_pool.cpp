@@ -73,6 +73,21 @@ void FramePool::assign(its::Pfn pfn, its::Pid owner, its::Vpn vpn) {
   f.pinned = false;
 }
 
+std::uint64_t FramePool::carve_tail(std::uint64_t count) {
+  // The constructor pushes high pfns first, so the tail of the pool sits
+  // at the front of the free list; always keep at least one frame usable.
+  if (free_.size() <= 1) return 0;
+  count = std::min<std::uint64_t>(count, free_.size() - 1);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FrameInfo& f = frames_[free_[i]];
+    f.in_use = true;
+    f.pinned = true;
+  }
+  free_.erase(free_.begin(),
+              free_.begin() + static_cast<std::ptrdiff_t>(count));
+  return count;
+}
+
 void FramePool::pin(its::Pfn pfn) { at(pfn).pinned = true; }
 void FramePool::unpin(its::Pfn pfn) { at(pfn).pinned = false; }
 void FramePool::mark_referenced(its::Pfn pfn) { at(pfn).referenced = true; }

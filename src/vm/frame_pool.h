@@ -55,6 +55,13 @@ class FramePool {
   void unpin(its::Pfn pfn);
   void mark_referenced(its::Pfn pfn);
 
+  /// Carves up to `count` frames off the tail (highest pfns) of the free
+  /// list for an external owner — the compressed fallback pool
+  /// (vm/fallback_pool.h).  Carved frames are marked in-use and pinned so
+  /// the CLOCK hand never considers them.  Call before the first
+  /// allocation; returns the number actually carved.
+  std::uint64_t carve_tail(std::uint64_t count);
+
   const FrameInfo& info(its::Pfn pfn) const;
   const FramePoolStats& stats() const { return stats_; }
 

@@ -127,8 +127,14 @@ TEST_F(ScaledExperiment, PolicyInvariantsHold) {
 
   EXPECT_EQ(async.stolen_time, 0u);
   EXPECT_EQ(sync.stolen_time, 0u);
-  EXPECT_EQ(sync.async_switches, 0u);
-  EXPECT_EQ(async.async_switches, async.major_faults);
+  // Sync chooses async only to give way to an offline device — possible
+  // when the ambient CI fault profile (ITS_FAULT_PROFILE) schedules
+  // outages, and then only on faults entered unhealthy; with injection
+  // off, faults_served_degraded is zero and this stays the strict form.
+  EXPECT_LE(sync.async_switches, sync.faults_served_degraded);
+  // Every Async fault switches, except demand reads served straight from
+  // the compressed-DRAM fallback pool (no device wait to hide).
+  EXPECT_EQ(async.async_switches + async.pool_hits, async.major_faults);
   EXPECT_GT(its.prefetch_issued, 0u);
   EXPECT_GT(pre.prefetch_issued, 0u);
   // Prefetching policies convert majors into minors.

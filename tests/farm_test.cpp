@@ -423,6 +423,14 @@ TEST(FarmDeterminism, Jobs8ReproducesFaultGoldenFile) {
     os << key << ".deadline_aborts=" << m.deadline_aborts << '\n';
     os << key << ".mode_fallbacks=" << m.mode_fallbacks << '\n';
     os << key << ".degraded_time=" << m.degraded_time << '\n';
+    os << key << ".health_healthy_time=" << m.health_healthy_time << '\n';
+    os << key << ".health_degraded_time=" << m.health_degraded_time << '\n';
+    os << key << ".health_offline_time=" << m.health_offline_time << '\n';
+    os << key << ".health_recovering_time=" << m.health_recovering_time << '\n';
+    os << key << ".pool_stores=" << m.pool_stores << '\n';
+    os << key << ".pool_hits=" << m.pool_hits << '\n';
+    os << key << ".pool_drains=" << m.pool_drains << '\n';
+    os << key << ".faults_served_degraded=" << m.faults_served_degraded << '\n';
   }
 
   std::ifstream in(ITS_GOLDEN_DIR "/fault_metrics.golden");
@@ -431,6 +439,29 @@ TEST(FarmDeterminism, Jobs8ReproducesFaultGoldenFile) {
   expected << in.rdbuf();
   EXPECT_EQ(os.str(), expected.str())
       << "a --jobs 8 farmed hostile run diverged from the fault golden file";
+}
+
+TEST(FarmDeterminism, HostileProfileCsvByteIdenticalAtJobs1_2_8) {
+  // The hostile profile now schedules device outages, so every sim carries
+  // the health monitor and fallback pool — state that must stay strictly
+  // per-simulator.  Running the full grid under fault injection at three
+  // widths is the sharpest probe for shared mutable state in that path.
+  auto hostile_csv = [](unsigned jobs) {
+    core::ExperimentConfig cfg = golden_config();
+    cfg.sim.fault = *fault::profile_by_name("hostile");
+    cfg.sim.fault.seed = 7;
+    cfg.jobs = jobs;
+    std::vector<core::BatchResult> grid = core::run_grid_all(cfg);
+    return core::metrics_csv(grid);
+  };
+  const std::string serial = hostile_csv(1);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_NE(serial.find("health_offline_time_ns"), std::string::npos)
+      << "metrics CSV is missing the availability columns";
+  EXPECT_EQ(hostile_csv(2), serial)
+      << "--jobs 2 hostile run diverged from serial reference";
+  EXPECT_EQ(hostile_csv(8), serial)
+      << "--jobs 8 hostile run diverged from serial reference";
 }
 
 }  // namespace

@@ -149,7 +149,37 @@ TEST(FaultInjector, NamedProfiles) {
     EXPECT_TRUE(fault::profile_by_name(name).has_value()) << name;
   EXPECT_FALSE(fault::profile_by_name("none")->enabled);
   EXPECT_TRUE(fault::profile_by_name("hostile")->enabled);
+  EXPECT_TRUE(fault::profile_by_name("outage")->outage.enabled());
+  EXPECT_TRUE(fault::profile_by_name("hostile")->outage.enabled());
+  EXPECT_FALSE(fault::profile_by_name("tail")->outage.enabled());
   EXPECT_FALSE(fault::profile_by_name("no-such-profile").has_value());
+}
+
+TEST(FaultInjector, OutageWindowsStallTheDevice) {
+  fault::FaultProfile p;
+  p.enabled = true;
+  p.outage.period = 1000;
+  p.outage.length = 200;
+  fault::FaultInjector inj(p);
+  EXPECT_TRUE(inj.in_outage(0));
+  EXPECT_TRUE(inj.in_outage(199));
+  EXPECT_FALSE(inj.in_outage(200));
+  EXPECT_FALSE(inj.in_outage(999));
+  EXPECT_TRUE(inj.in_outage(1000));
+  // A request posted inside the window queues until the window closes; one
+  // posted outside starts immediately.
+  EXPECT_EQ(inj.outage_clear(100), 200u);
+  EXPECT_EQ(inj.outage_clear(500), 500u);
+
+  // Past the death point the outage never clears — callers must consult
+  // in_outage and treat the device as gone.
+  fault::FaultProfile dead;
+  dead.enabled = true;
+  dead.outage.dead_at = 5000;
+  fault::FaultInjector dinj(dead);
+  EXPECT_FALSE(dinj.in_outage(4999));
+  EXPECT_TRUE(dinj.in_outage(5000));
+  EXPECT_EQ(dinj.outage_clear(6000), 6000u);
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +314,70 @@ TEST(FaultSim, DisabledProfileLeavesResilienceCountersZero) {
   EXPECT_EQ(m.deadline_aborts, 0u);
   EXPECT_EQ(m.mode_fallbacks, 0u);
   EXPECT_EQ(m.degraded_time, 0);
+  // The outage substrate is fully inert too: no health time is accounted,
+  // no frames are carved, no pool traffic exists.
+  EXPECT_EQ(m.health_healthy_time + m.health_degraded_time +
+                m.health_offline_time + m.health_recovering_time,
+            0);
+  EXPECT_EQ(m.pool_stores + m.pool_hits + m.pool_drains + m.drain_bytes, 0u);
+  EXPECT_EQ(m.faults_served_degraded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Device-outage state machine + fallback pool (docs/robustness.md).
+
+TEST(OutageSim, DeterministicReplayIncludingHealthTransitions) {
+  obs::EventTrace t1, t2;
+  SimMetrics m1 = run_profile("outage", PolicyKind::kIts, &t1);
+  SimMetrics m2 = run_profile("outage", PolicyKind::kIts, &t2);
+  EXPECT_TRUE(metrics_equal(m1, m2));
+  EXPECT_EQ(m1.health_offline_time, m2.health_offline_time);
+  EXPECT_EQ(m1.pool_stores, m2.pool_stores);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    const obs::Event &a = t1.events()[i], &b = t2.events()[i];
+    ASSERT_TRUE(a.ts == b.ts && a.kind == b.kind && a.pid == b.pid &&
+                a.a == b.a && a.b == b.b && a.c == b.c)
+        << "event " << i << " differs between identical outage replays";
+  }
+  // The outage schedule actually fired, and every transition is on record.
+  EXPECT_GT(m1.health_offline_time, 0);
+  EXPECT_GT(t1.count(EventKind::kHealthTransition), 0u);
+}
+
+TEST(OutageSim, AvailabilityCountersPartitionTheMakespan) {
+  for (PolicyKind k : core::kAllPolicies) {
+    obs::EventTrace et;
+    SimMetrics m = run_profile("outage", k, &et);
+    EXPECT_EQ(m.health_healthy_time + m.health_degraded_time +
+                  m.health_offline_time + m.health_recovering_time,
+              m.makespan)
+        << core::policy_name(k);
+    obs::CheckResult res = obs::check_invariants(et, m);
+    EXPECT_TRUE(res.ok()) << core::policy_name(k) << ":\n" << res.summary();
+  }
+}
+
+TEST(OutageSim, FaultsEnteredUnhealthyAreCounted) {
+  obs::EventTrace et;
+  SimMetrics m = run_profile("outage", PolicyKind::kSync, &et);
+  std::uint64_t unhealthy_begins = 0;
+  for (const auto& e : et.events())
+    if (e.kind == EventKind::kFaultBegin && e.b != 0) ++unhealthy_begins;
+  EXPECT_EQ(m.faults_served_degraded, unhealthy_begins);
+  // The scheduled windows are long enough that some faults land in them.
+  EXPECT_GT(m.faults_served_degraded, 0u);
+}
+
+TEST(OutageSim, HostileProfileExercisesThePool) {
+  obs::EventTrace et;
+  SimMetrics m = run_profile("hostile", PolicyKind::kIts, &et);
+  obs::CheckResult res = obs::check_invariants(et, m);
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(et.count(EventKind::kPoolStore), m.pool_stores);
+  EXPECT_EQ(et.count(EventKind::kPoolLoad), m.pool_hits);
+  EXPECT_EQ(et.count(EventKind::kPoolDrain), m.pool_drains);
+  EXPECT_EQ(m.drain_bytes, m.pool_drains * its::kPageSize);
 }
 
 // ---------------------------------------------------------------------------
@@ -310,6 +404,14 @@ void emit_fault_metrics(std::ostream& os, const std::string& key,
   os << key << ".deadline_aborts=" << m.deadline_aborts << '\n';
   os << key << ".mode_fallbacks=" << m.mode_fallbacks << '\n';
   os << key << ".degraded_time=" << m.degraded_time << '\n';
+  os << key << ".health_healthy_time=" << m.health_healthy_time << '\n';
+  os << key << ".health_degraded_time=" << m.health_degraded_time << '\n';
+  os << key << ".health_offline_time=" << m.health_offline_time << '\n';
+  os << key << ".health_recovering_time=" << m.health_recovering_time << '\n';
+  os << key << ".pool_stores=" << m.pool_stores << '\n';
+  os << key << ".pool_hits=" << m.pool_hits << '\n';
+  os << key << ".pool_drains=" << m.pool_drains << '\n';
+  os << key << ".faults_served_degraded=" << m.faults_served_degraded << '\n';
 }
 
 TEST(FaultGolden, HostileRunMatchesSnapshot) {
@@ -461,6 +563,110 @@ TEST(FaultChecker, AcceptsWellFormedResilienceTimeline) {
   et.record(EventKind::kIoRetry, 150, obs::kDevicePid, 7, 1, 50);
   m.io_errors = 1;
   m.io_retries = 1;
+  obs::CheckResult res = obs::check_invariants(et, m);
+  EXPECT_TRUE(res.ok()) << res.summary();
+}
+
+// ---------------------------------------------------------------------------
+// ... and malformed availability timelines.
+
+namespace hk {
+constexpr std::uint64_t kHealthy = 0, kDegraded = 1, kOffline = 2,
+                        kRecovering = 3;
+}  // namespace hk
+
+TEST(FaultChecker, RejectsIllegalHealthEdge) {
+  obs::EventTrace et;
+  // healthy → offline skips the mandatory degraded hop.
+  et.record(EventKind::kHealthTransition, 100, obs::kDevicePid, hk::kHealthy,
+            hk::kOffline);
+  SimMetrics m;
+  m.makespan = 1000;
+  m.cpu_busy = 1000;
+  m.health_healthy_time = 100;
+  m.health_offline_time = 900;
+  EXPECT_FALSE(obs::check_invariants(et, m).ok());
+}
+
+TEST(FaultChecker, RejectsBrokenHealthChain) {
+  obs::EventTrace et;
+  et.record(EventKind::kHealthTransition, 100, obs::kDevicePid, hk::kHealthy,
+            hk::kDegraded);
+  // Next edge claims to leave offline — but the device was degraded.
+  et.record(EventKind::kHealthTransition, 200, obs::kDevicePid, hk::kOffline,
+            hk::kRecovering);
+  SimMetrics m;
+  m.makespan = 1000;
+  m.cpu_busy = 1000;
+  EXPECT_FALSE(obs::check_invariants(et, m).ok());
+}
+
+TEST(FaultChecker, RejectsTimeInStateMismatch) {
+  obs::EventTrace et;
+  et.record(EventKind::kHealthTransition, 100, obs::kDevicePid, hk::kHealthy,
+            hk::kDegraded);
+  et.record(EventKind::kHealthTransition, 300, obs::kDevicePid, hk::kDegraded,
+            hk::kHealthy);
+  SimMetrics m;
+  m.makespan = 1000;
+  m.cpu_busy = 1000;
+  m.health_healthy_time = 800;
+  m.health_degraded_time = 123;  // the events say 200
+  EXPECT_FALSE(obs::check_invariants(et, m).ok());
+}
+
+TEST(FaultChecker, RejectsPoolCountMismatch) {
+  obs::EventTrace et;
+  et.record(EventKind::kPoolStore, 100, 0, 7, 2000);
+  SimMetrics m;
+  m.pool_stores = 2;  // only one kPoolStore on record
+  EXPECT_FALSE(obs::check_invariants(et, m).ok());
+}
+
+TEST(FaultChecker, RejectsDrainByteMismatch) {
+  obs::EventTrace et;
+  et.record(EventKind::kPoolDrain, 100, 0, 7, its::kPageSize);
+  SimMetrics m;
+  m.pool_drains = 1;
+  m.drain_bytes = 17;  // the event says kPageSize
+  EXPECT_FALSE(obs::check_invariants(et, m).ok());
+}
+
+TEST(FaultChecker, RejectsDegradedFaultCountMismatch) {
+  obs::EventTrace et;
+  et.record(EventKind::kHealthTransition, 0, obs::kDevicePid, hk::kHealthy,
+            hk::kDegraded);
+  et.record(EventKind::kFaultBegin, 100, 0, 7, hk::kDegraded);
+  et.record(EventKind::kFaultEnd, 200, 0, 7);
+  SimMetrics m;
+  m.makespan = 1000;
+  m.cpu_busy = 1000;
+  m.major_faults = 1;
+  m.health_degraded_time = 1000;
+  m.faults_served_degraded = 0;  // the FaultBegin operand says 1
+  EXPECT_FALSE(obs::check_invariants(et, m).ok());
+}
+
+TEST(FaultChecker, AcceptsWellFormedAvailabilityTimeline) {
+  obs::EventTrace et;
+  et.record(EventKind::kHealthTransition, 100, obs::kDevicePid, hk::kHealthy,
+            hk::kDegraded);
+  et.record(EventKind::kHealthTransition, 100, obs::kDevicePid, hk::kDegraded,
+            hk::kOffline);
+  et.record(EventKind::kHealthTransition, 300, obs::kDevicePid, hk::kOffline,
+            hk::kRecovering);
+  et.record(EventKind::kHealthTransition, 400, obs::kDevicePid,
+            hk::kRecovering, hk::kHealthy);
+  et.record(EventKind::kPoolStore, 150, 0, 7, 2000);
+  et.record(EventKind::kPoolLoad, 200, 0, 7, 1000);
+  SimMetrics m;
+  m.makespan = 1000;
+  m.cpu_busy = 1000;
+  m.health_healthy_time = 700;  // [0,100) + [400,1000)
+  m.health_offline_time = 200;  // [100,300)
+  m.health_recovering_time = 100;  // [300,400)
+  m.pool_stores = 1;
+  m.pool_hits = 1;
   obs::CheckResult res = obs::check_invariants(et, m);
   EXPECT_TRUE(res.ok()) << res.summary();
 }

@@ -1,0 +1,11 @@
+#include "fault/fault_injector.h"
+#include "obs/event_trace.h"
+#include "storage/device_health.h"
+#include "util/types.h"
+#include "vm/fallback_pool.h"
+
+unsigned long long survive(const OutageWindow& w) {
+  HealthFsm fsm{w, Probe{}, Ticks{}};
+  PoolLedger pool{Probe{}, Ticks{}};
+  return fsm.now.ns + pool.cost.ns;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "util/types.h"
+
+struct Probe {
+  Ticks at;
+};

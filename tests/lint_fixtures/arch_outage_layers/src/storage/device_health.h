@@ -1,0 +1,11 @@
+#pragma once
+
+#include "fault/fault_injector.h"
+#include "obs/event_trace.h"
+#include "util/types.h"
+
+struct HealthFsm {
+  OutageWindow window;
+  Probe probe;
+  Ticks now;
+};

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "obs/event_trace.h"
+#include "util/types.h"
+
+struct PoolLedger {
+  Probe probe;
+  Ticks cost;
+};

@@ -1,0 +1,5 @@
+#pragma once
+
+struct Ticks {
+  unsigned long long ns = 0;
+};

@@ -1,0 +1,11 @@
+#pragma once
+
+#include "obs/event_trace.h"
+#include "storage/device_health.h"
+#include "util/types.h"
+
+struct PoolLedger {
+  Probe probe;
+  HealthFsm fsm;
+  Ticks cost;
+};

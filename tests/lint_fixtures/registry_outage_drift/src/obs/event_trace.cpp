@@ -1,0 +1,25 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// kind_name() kept up: every outage kind is named here, so only the count
+// and the Chrome-trace mapping have drifted in this tree.
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+      return "fault_begin";
+    case EventKind::kFaultEnd:
+      return "fault_end";
+    case EventKind::kHealthTransition:
+      return "health_transition";
+    case EventKind::kPoolStore:
+      return "pool_store";
+    case EventKind::kPoolLoad:
+      return "pool_load";
+    case EventKind::kPoolDrain:
+      return "pool_drain";
+  }
+  return "unknown";
+}
+
+}  // namespace its::obs

@@ -1,0 +1,21 @@
+// Drifted outage registry: the four device-outage kinds (kHealthTransition,
+// kPoolStore, kPoolLoad, kPoolDrain) were appended to the enum, but the
+// hand-written count and its static_assert still say 2.
+#pragma once
+#include <cstddef>
+
+namespace its::obs {
+
+enum class EventKind : unsigned char {
+  kFaultBegin,
+  kFaultEnd,
+  kHealthTransition,
+  kPoolStore,
+  kPoolLoad,
+  kPoolDrain,
+};
+
+inline constexpr std::size_t kNumEventKinds = 2;
+static_assert(kNumEventKinds == 2, "bump me when the enum grows");
+
+}  // namespace its::obs

@@ -1,0 +1,20 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// The checker references every kind (so reg-invariant stays quiet and the
+// fixture isolates reg-kind-count + reg-chrome-map).
+bool replayable(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+    case EventKind::kFaultEnd:
+    case EventKind::kHealthTransition:
+    case EventKind::kPoolStore:
+    case EventKind::kPoolLoad:
+    case EventKind::kPoolDrain:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace its::obs

@@ -1,0 +1,18 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// The four outage kinds never got a Chrome-trace mapping: reg-chrome-map
+// must flag each one.
+char phase_of(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+      return 'B';
+    case EventKind::kFaultEnd:
+      return 'E';
+    default:
+      return 'i';
+  }
+}
+
+}  // namespace its::obs

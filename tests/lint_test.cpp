@@ -235,6 +235,36 @@ TEST(LintRegistry, DriftedTreeFlagsEveryRegistryRule) {
   EXPECT_FALSE(has_finding(findings, Rule::kRegConfigDoc, "'knob'"));
 }
 
+TEST(LintRegistry, UnregisteredOutageKindsTripCountAndChromeMap) {
+  // The device-outage kinds (kHealthTransition, kPoolStore, kPoolLoad,
+  // kPoolDrain) appended to the enum without bumping the registry: four
+  // reg-chrome-map findings (one per kind, whole-file) plus two exact
+  // reg-kind-count findings — the stale `kNumEventKinds = 2` definition
+  // on line 18 and the `static_assert` still pinning 2 on line 19.
+  std::vector<std::string> errors;
+  auto findings = scan_registry(
+      registry_inputs_for_root(fixture("registry_outage_drift")), &errors);
+  EXPECT_TRUE(errors.empty());
+
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kRegChromeMap, 0},   // kHealthTransition
+      {Rule::kRegChromeMap, 0},   // kPoolStore
+      {Rule::kRegChromeMap, 0},   // kPoolLoad
+      {Rule::kRegChromeMap, 0},   // kPoolDrain
+      {Rule::kRegKindCount, 18},  // inline constexpr ... kNumEventKinds = 2;
+      {Rule::kRegKindCount, 19},  // static_assert(kNumEventKinds == 2, ...)
+  };
+  EXPECT_EQ(locations(findings), want);
+
+  for (const char* kind :
+       {"kHealthTransition", "kPoolStore", "kPoolLoad", "kPoolDrain"}) {
+    EXPECT_TRUE(has_finding(findings, Rule::kRegChromeMap, kind)) << kind;
+    // Fully registered elsewhere: named and replayed.
+    EXPECT_FALSE(has_finding(findings, Rule::kRegKindName, kind)) << kind;
+    EXPECT_FALSE(has_finding(findings, Rule::kRegInvariant, kind)) << kind;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Parsers.
 
@@ -333,6 +363,26 @@ TEST(LintArch, LayerViolationFiresOnTheIncludeLine) {
   EXPECT_EQ(findings[0].file, "src/a/a.cpp");
   EXPECT_EQ(findings[0].line, 3u);
   EXPECT_NE(findings[0].message.find("'a' may not depend on 'b'"),
+            std::string::npos);
+}
+
+TEST(LintArch, OutageModulesRespectTheLayerManifest) {
+  // A mini-tree mirroring the device-outage modules' real include edges
+  // (storage: util fault obs; vm: util obs; core on top of both) is
+  // accepted without a single finding.
+  EXPECT_TRUE(arch_scan("arch_outage_layers").empty());
+}
+
+TEST(LintArch, FallbackPoolReachingIntoStorageIsALayerFinding) {
+  // vm sits beside storage, not above it: the pool consuming the health
+  // FSM directly (instead of core mediating) is exactly one arch-layer
+  // finding on the offending include line.
+  auto findings = arch_scan("arch_outage_reverse");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kArchLayer);
+  EXPECT_EQ(findings[0].file, "src/vm/fallback_pool.h");
+  EXPECT_EQ(findings[0].line, 4u);
+  EXPECT_NE(findings[0].message.find("'vm' may not depend on 'storage'"),
             std::string::npos);
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/policy.h"
+#include "storage/device_health.h"
 #include "trace/instr.h"
 
 namespace its::core {
@@ -58,7 +59,7 @@ TEST_F(PolicyTest, EmptyQueueMeansHighPriority) {
 
 TEST_F(PolicyTest, AsyncAlwaysGivesWay) {
   auto p = make_policy(PolicyKind::kAsync);
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_TRUE(plan.go_async);
   EXPECT_FALSE(p->uses_preexec_cache());
   EXPECT_FALSE(p->runahead_on_llc_miss());
@@ -66,7 +67,7 @@ TEST_F(PolicyTest, AsyncAlwaysGivesWay) {
 
 TEST_F(PolicyTest, SyncBusyWaits) {
   auto p = make_policy(PolicyKind::kSync);
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_FALSE(plan.go_async);
   EXPECT_EQ(plan.prefetch, PrefetchKind::kNone);
   EXPECT_FALSE(plan.preexec);
@@ -77,14 +78,14 @@ TEST_F(PolicyTest, SyncRunaheadRunsOnLlcMissesOnly) {
   EXPECT_TRUE(p->runahead_on_llc_miss());
   EXPECT_TRUE(p->uses_preexec_cache());
   // §4.1 footnote 4: traditional runahead does NOT work the fault window.
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_FALSE(plan.preexec);
   EXPECT_FALSE(plan.go_async);
 }
 
 TEST_F(PolicyTest, SyncPrefetchUsesPageOnPageUnits) {
   auto p = make_policy(PolicyKind::kSyncPrefetch);
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_EQ(plan.prefetch, PrefetchKind::kPop);
   EXPECT_FALSE(plan.preexec);
   EXPECT_FALSE(p->uses_preexec_cache());
@@ -93,7 +94,7 @@ TEST_F(PolicyTest, SyncPrefetchUsesPageOnPageUnits) {
 TEST_F(PolicyTest, ItsSelfImprovingForHighPriority) {
   auto p = make_policy(PolicyKind::kIts);
   sched_.add(&low_);  // next-to-be-run has priority 10
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_FALSE(plan.go_async);
   EXPECT_EQ(plan.prefetch, PrefetchKind::kVa);
   EXPECT_TRUE(plan.preexec);
@@ -103,7 +104,7 @@ TEST_F(PolicyTest, ItsSelfImprovingForHighPriority) {
 TEST_F(PolicyTest, ItsSelfSacrificingForLowPriority) {
   auto p = make_policy(PolicyKind::kIts);
   sched_.add(&high_);
-  FaultPlan plan = p->plan_major_fault(low_, sched_);
+  FaultPlan plan = p->plan_major_fault(low_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_TRUE(plan.go_async);
 }
 
@@ -111,7 +112,7 @@ TEST_F(PolicyTest, ItsAloneActsSelfImproving) {
   // After higher-priority processes finish, a low-priority process gets
   // the self-improving treatment ("more concentrated attention", §1).
   auto p = make_policy(PolicyKind::kIts);
-  FaultPlan plan = p->plan_major_fault(low_, sched_);
+  FaultPlan plan = p->plan_major_fault(low_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_FALSE(plan.go_async);
   EXPECT_EQ(plan.prefetch, PrefetchKind::kVa);
 }
@@ -119,24 +120,51 @@ TEST_F(PolicyTest, ItsAloneActsSelfImproving) {
 TEST_F(PolicyTest, ItsKnockoutNoSacrifice) {
   auto p = make_its_policy({.self_sacrificing = false});
   sched_.add(&high_);
-  FaultPlan plan = p->plan_major_fault(low_, sched_);
+  FaultPlan plan = p->plan_major_fault(low_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_FALSE(plan.go_async);
   EXPECT_EQ(plan.prefetch, PrefetchKind::kVa);
 }
 
 TEST_F(PolicyTest, ItsKnockoutNoPrefetch) {
   auto p = make_its_policy({.page_prefetch = false});
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_EQ(plan.prefetch, PrefetchKind::kNone);
   EXPECT_TRUE(plan.preexec);
 }
 
 TEST_F(PolicyTest, ItsKnockoutNoPreexec) {
   auto p = make_its_policy({.pre_execute = false});
-  FaultPlan plan = p->plan_major_fault(high_, sched_);
+  FaultPlan plan = p->plan_major_fault(high_, sched_, storage::DeviceHealth::kHealthy);
   EXPECT_FALSE(plan.preexec);
   // No pre-execute cache ⇒ the LLC is not halved.
   EXPECT_FALSE(p->uses_preexec_cache());
+}
+
+TEST_F(PolicyTest, EveryPolicyGivesWayToAnOfflineDevice) {
+  // Busy-waiting a device that is not serving can never be repaid: all the
+  // sync-family policies must convert to asynchronous completion.
+  for (PolicyKind k : kAllPolicies) {
+    auto p = make_policy(k);
+    FaultPlan plan =
+        p->plan_major_fault(high_, sched_, storage::DeviceHealth::kOffline);
+    EXPECT_TRUE(plan.go_async)
+        << p->name() << " busy-waits a device in state "
+        << storage::health_name(storage::DeviceHealth::kOffline);
+  }
+}
+
+TEST_F(PolicyTest, UnhealthyDeviceGetsNoPrefetchTraffic) {
+  auto sp = make_policy(PolicyKind::kSyncPrefetch);
+  EXPECT_EQ(sp->plan_major_fault(high_, sched_,
+                                 storage::DeviceHealth::kDegraded)
+                .prefetch,
+            PrefetchKind::kNone);
+  // ITS keeps pre-execution (it touches no device) but drops the prefetch.
+  auto its = make_policy(PolicyKind::kIts);
+  FaultPlan plan = its->plan_major_fault(high_, sched_,
+                                         storage::DeviceHealth::kRecovering);
+  EXPECT_EQ(plan.prefetch, PrefetchKind::kNone);
+  EXPECT_TRUE(plan.preexec);
 }
 
 TEST_F(PolicyTest, EqualPriorityIsNotLow) {

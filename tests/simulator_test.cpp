@@ -264,8 +264,8 @@ TEST(Simulator, CustomPolicyInjection) {
   class AlwaysAsync final : public IoPolicy {
    public:
     PolicyKind kind() const override { return PolicyKind::kAsync; }
-    FaultPlan plan_major_fault(const sched::Process&,
-                               const sched::Scheduler&) override {
+    FaultPlan plan_major_fault(const sched::Process&, const sched::Scheduler&,
+                               storage::DeviceHealth) override {
       return {.go_async = true};
     }
   };

@@ -1,0 +1,277 @@
+// Chaos soak harness (ctest label: soak; CI runs it under asan+ubsan).
+//
+// Hammers the device-outage state machine and the compressed-DRAM fallback
+// pool with seeded *randomized* fault schedules — outage period, window
+// length, recovery span, phase, error/timeout trip counts and pool sizing
+// all drawn from a deterministic chaos RNG — and pins down three
+// guarantees per trial:
+//
+//   * byte-identical results across farm widths (--jobs 1/2/8): randomized
+//     schedules must not open any nondeterminism the fixed profiles miss;
+//   * invariant-clean timelines: every chaos trial's event trace passes
+//     obs::check_invariants, including the availability-partition and
+//     pool-reconciliation families;
+//   * deterministic replay: re-running a trial reproduces the metrics and
+//     the event timeline exactly, kHealthTransition events included.
+//
+// When a trial fails, the harness writes a repro bundle
+// (soak_repro_<trial>.txt in the working directory — CI uploads it as an
+// artifact) carrying every parameter needed to rerun the exact schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/experiment.h"
+#include "core/policy.h"
+#include "fault/fault_injector.h"
+#include "obs/event_trace.h"
+#include "obs/invariant_checker.h"
+#include "vm/fallback_pool.h"
+
+namespace its {
+namespace {
+
+using core::PolicyKind;
+using core::SimMetrics;
+
+// ---------------------------------------------------------------------------
+// Chaos schedule generation.
+
+/// Everything needed to reproduce one chaos trial exactly.
+struct ChaosTrial {
+  std::size_t id = 0;
+  const char* base_profile = "errors";  ///< Named profile the trial mutates.
+  std::uint64_t fault_seed = 0;
+  PolicyKind policy = PolicyKind::kIts;
+  fault::OutageModelConfig outage{};
+  vm::FallbackPoolConfig pool{};
+};
+
+/// Deterministic chaos: the master seed fans out through one mt19937_64 so
+/// the whole schedule set is a pure function of (kMasterSeed, n).
+std::vector<ChaosTrial> make_trials(std::uint64_t master_seed, std::size_t n) {
+  std::mt19937_64 rng(master_seed);
+  const char* bases[] = {"errors", "bursty", "hostile"};
+  std::vector<ChaosTrial> trials(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ChaosTrial& t = trials[i];
+    t.id = i;
+    t.base_profile = bases[rng() % std::size(bases)];
+    t.fault_seed = 1 + rng() % 10'000;
+    t.policy = core::kAllPolicies[i % std::size(core::kAllPolicies)];
+    t.outage.period = 600'000 + rng() % 2'400'000;
+    t.outage.length = 40'000 + rng() % (t.outage.period / 2);
+    t.outage.recovery = 20'000 + rng() % 180'000;
+    t.outage.phase = rng() % t.outage.period;
+    t.outage.degrade_errors = static_cast<unsigned>(rng() % 7);     // 0 = off
+    t.outage.offline_timeouts = static_cast<unsigned>(rng() % 5);   // 0 = off
+    t.outage.error_outage = 20'000 + rng() % 130'000;
+    t.outage.degraded_hold = 50'000 + rng() % 250'000;
+    t.pool.frames = 4 + rng() % 61;
+    t.pool.ratio = 1.0 + static_cast<double>(rng() % 3);
+    t.pool.compress_cost = 500 + rng() % 3'000;
+    t.pool.decompress_cost = 250 + rng() % 1'500;
+  }
+  return trials;
+}
+
+constexpr std::uint64_t kMasterSeed = 0xC0FFEE;
+constexpr std::size_t kTrials = 6;
+
+const core::BatchSpec& soak_batch() { return core::paper_batches()[1]; }
+
+core::ExperimentConfig trial_config(const ChaosTrial& t) {
+  core::ExperimentConfig cfg;
+  cfg.gen.length_scale = 0.01;  // half the fault suite: 3 widths × n trials
+  cfg.gen.footprint_scale = 0.25;
+  cfg.sim.seed = 42;
+  cfg.sim.fault = *fault::profile_by_name(t.base_profile);
+  cfg.sim.fault.seed = t.fault_seed;
+  cfg.sim.fault.outage = t.outage;
+  cfg.sim.fallback_pool = t.pool;
+  return cfg;
+}
+
+SimMetrics run_trial(const ChaosTrial& t, obs::EventTrace* et = nullptr) {
+  core::ExperimentConfig cfg = trial_config(t);
+  auto traces = core::batch_traces(soak_batch(), cfg.gen);
+  return core::run_batch_policy(soak_batch(), t.policy, cfg, traces, et);
+}
+
+// ---------------------------------------------------------------------------
+// Repro bundles.
+
+std::string describe_trial(const ChaosTrial& t) {
+  std::ostringstream os;
+  os << "trial=" << t.id << '\n'
+     << "master_seed=" << kMasterSeed << '\n'
+     << "base_profile=" << t.base_profile << '\n'
+     << "fault_seed=" << t.fault_seed << '\n'
+     << "policy=" << core::policy_name(t.policy) << '\n'
+     << "batch=1 length_scale=0.01 footprint_scale=0.25 sim_seed=42\n"
+     << "outage.period=" << t.outage.period << '\n'
+     << "outage.length=" << t.outage.length << '\n'
+     << "outage.recovery=" << t.outage.recovery << '\n'
+     << "outage.phase=" << t.outage.phase << '\n'
+     << "outage.degrade_errors=" << t.outage.degrade_errors << '\n'
+     << "outage.offline_timeouts=" << t.outage.offline_timeouts << '\n'
+     << "outage.error_outage=" << t.outage.error_outage << '\n'
+     << "outage.degraded_hold=" << t.outage.degraded_hold << '\n'
+     << "pool.frames=" << t.pool.frames << '\n'
+     << "pool.ratio=" << t.pool.ratio << '\n'
+     << "pool.compress_cost=" << t.pool.compress_cost << '\n'
+     << "pool.decompress_cost=" << t.pool.decompress_cost << '\n';
+  return os.str();
+}
+
+/// Writes soak_repro_<id>.txt next to the test binary; CI uploads the
+/// bundle as an artifact so a failed schedule can be replayed locally by
+/// pasting the parameters into a ChaosTrial.
+void write_repro_bundle(const ChaosTrial& t, const std::string& reason) {
+  const std::string path = "soak_repro_" + std::to_string(t.id) + ".txt";
+  std::ofstream out(path, std::ios::trunc);
+  out << "# its_sim soak repro bundle — rebuild the ChaosTrial below and\n"
+         "# call run_trial() to replay the failing schedule.\n"
+      << "reason=" << reason << '\n'
+      << describe_trial(t);
+  ADD_FAILURE() << "soak trial " << t.id << " failed (" << reason
+                << ") — repro bundle written to " << path << "\n"
+                << describe_trial(t);
+}
+
+std::string emit_metrics(const SimMetrics& m) {
+  std::ostringstream os;
+  os << m.makespan << ' ' << m.cpu_busy << ' ' << m.idle.mem_stall << ' '
+     << m.idle.busy_wait << ' ' << m.idle.ctx_switch << ' '
+     << m.idle.no_runnable << ' ' << m.major_faults << ' ' << m.io_errors
+     << ' ' << m.io_retries << ' ' << m.deadline_aborts << ' '
+     << m.mode_fallbacks << ' ' << m.stolen_time << ' '
+     << m.health_healthy_time << ' ' << m.health_degraded_time << ' '
+     << m.health_offline_time << ' ' << m.health_recovering_time << ' '
+     << m.pool_stores << ' ' << m.pool_hits << ' ' << m.pool_drains << ' '
+     << m.drain_bytes << ' ' << m.faults_served_degraded;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The soak itself.
+
+TEST(SoakChaos, SchedulesAreDeterministicAndActuallyChaotic) {
+  std::vector<ChaosTrial> a = make_trials(kMasterSeed, kTrials);
+  std::vector<ChaosTrial> b = make_trials(kMasterSeed, kTrials);
+  ASSERT_EQ(a.size(), kTrials);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(describe_trial(a[i]), describe_trial(b[i]))
+        << "chaos generation is not a pure function of the master seed";
+    EXPECT_TRUE(a[i].outage.enabled()) << "trial " << i << " has no outages";
+    if (i > 0 && a[i].outage.period != a[0].outage.period) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ) << "every trial drew the same schedule";
+}
+
+TEST(SoakChaos, ByteIdenticalAcrossFarmWidths) {
+  const std::vector<ChaosTrial> trials = make_trials(kMasterSeed, kTrials);
+  auto sweep = [&](unsigned jobs) {
+    return core::run_sim_tasks(trials.size(), jobs, [&](std::size_t i) {
+      return run_trial(trials[i]);
+    });
+  };
+  const std::vector<SimMetrics> reference = sweep(1);
+  std::vector<std::string> serial;
+  for (const SimMetrics& m : reference) serial.push_back(emit_metrics(m));
+  for (unsigned jobs : {2u, 8u}) {
+    const std::vector<SimMetrics> wide = sweep(jobs);
+    ASSERT_EQ(wide.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      if (emit_metrics(wide[i]) != serial[i])
+        write_repro_bundle(trials[i],
+                           "--jobs " + std::to_string(jobs) +
+                               " diverged from serial: " +
+                               emit_metrics(wide[i]) + " vs " + serial[i]);
+  }
+  // The soak must actually exercise the outage machinery somewhere.
+  std::uint64_t offline = 0, pooled = 0;
+  for (const SimMetrics& m : reference) {
+    offline += m.health_offline_time;
+    pooled += m.pool_stores;
+  }
+  EXPECT_GT(offline, 0u) << "no trial ever took the device offline";
+  EXPECT_GT(pooled, 0u) << "no trial ever stored a page in the fallback pool";
+}
+
+TEST(SoakChaos, EveryTrialIsInvariantClean) {
+  for (const ChaosTrial& t : make_trials(kMasterSeed, kTrials)) {
+    obs::EventTrace et;
+    SimMetrics m = run_trial(t, &et);
+    obs::CheckResult r = obs::check_invariants(et, m);
+    if (!r.ok()) write_repro_bundle(t, "invariant violation: " + r.summary());
+    // The availability counters partition the makespan exactly.
+    const its::Duration avail = m.health_healthy_time +
+                                m.health_degraded_time +
+                                m.health_offline_time +
+                                m.health_recovering_time;
+    if (avail != m.makespan)
+      write_repro_bundle(t, "availability partition broke: " +
+                                std::to_string(avail) + " != makespan " +
+                                std::to_string(m.makespan));
+  }
+}
+
+TEST(SoakChaos, DeterministicReplayEventByEvent) {
+  // Replay the two most eventful trials (first and last) and require the
+  // full timeline — health transitions and pool traffic included — to
+  // match event by event.
+  const std::vector<ChaosTrial> trials = make_trials(kMasterSeed, kTrials);
+  for (std::size_t pick : {std::size_t{0}, trials.size() - 1}) {
+    const ChaosTrial& t = trials[pick];
+    obs::EventTrace t1, t2;
+    SimMetrics m1 = run_trial(t, &t1);
+    SimMetrics m2 = run_trial(t, &t2);
+    if (emit_metrics(m1) != emit_metrics(m2)) {
+      write_repro_bundle(t, "metrics changed between identical replays");
+      continue;
+    }
+    ASSERT_EQ(t1.size(), t2.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+      const obs::Event &a = t1.events()[i], &b = t2.events()[i];
+      if (!(a.ts == b.ts && a.kind == b.kind && a.pid == b.pid &&
+            a.a == b.a && a.b == b.b && a.c == b.c)) {
+        write_repro_bundle(t, "event " + std::to_string(i) +
+                                  " differs between identical replays");
+        break;
+      }
+    }
+  }
+}
+
+TEST(SoakChaos, PermanentDeathIsDeterministic) {
+  // A dead_at schedule may legitimately lose a page (vm::PageLostError) —
+  // the soak's contract is that whichever way a schedule falls, it falls
+  // the same way every time, with the same final word.
+  ChaosTrial t = make_trials(kMasterSeed, kTrials)[0];
+  t.id = 900;  // distinct repro-bundle name
+  t.outage.dead_at = 2'000'000;
+  auto attempt = [&]() -> std::string {
+    try {
+      return "completed: " + emit_metrics(run_trial(t));
+    } catch (const vm::PageLostError& e) {
+      return "page_lost: pid=" + std::to_string(e.pid) +
+             " vpn=" + std::to_string(e.vpn) + " what=" + e.what();
+    }
+  };
+  const std::string first = attempt();
+  const std::string second = attempt();
+  if (first != second)
+    write_repro_bundle(t, "dead-device outcome flapped: \"" + first +
+                              "\" vs \"" + second + "\"");
+}
+
+}  // namespace
+}  // namespace its

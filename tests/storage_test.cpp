@@ -2,6 +2,9 @@
 // controller composition.
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.h"
+#include "obs/event_trace.h"
+#include "storage/device_health.h"
 #include "storage/dma.h"
 #include "storage/pcie_link.h"
 #include "storage/ull_device.h"
@@ -147,6 +150,119 @@ TEST_P(DmaLatencySweep, ReadLatencyScalesWithMedia) {
 
 INSTANTIATE_TEST_SUITE_P(MediaLatencies, DmaLatencySweep,
                          ::testing::Values(1000, 3000, 10000, 25000));
+
+// ---------------------------------------------------------------------------
+// Device-health FSM (storage/device_health.h).
+
+TEST(DeviceHealth, NamesAreStable) {
+  EXPECT_EQ(health_name(DeviceHealth::kHealthy), "healthy");
+  EXPECT_EQ(health_name(DeviceHealth::kDegraded), "degraded");
+  EXPECT_EQ(health_name(DeviceHealth::kOffline), "offline");
+  EXPECT_EQ(health_name(DeviceHealth::kRecovering), "recovering");
+}
+
+TEST(DeviceHealth, DisabledMonitorIsInert) {
+  DeviceHealthMonitor mon;  // all-zero config
+  EXPECT_FALSE(mon.enabled());
+  mon.poll(1'000'000);
+  mon.note_error(1'000'000);
+  mon.note_timeout(1'000'000);
+  mon.finalize(2'000'000);
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);
+  for (auto h : {DeviceHealth::kHealthy, DeviceHealth::kDegraded,
+                 DeviceHealth::kOffline, DeviceHealth::kRecovering})
+    EXPECT_EQ(mon.time_in(h), 0);
+}
+
+TEST(DeviceHealth, ScheduledWindowWalksTheFsm) {
+  fault::OutageModelConfig cfg;
+  cfg.period = 1000;
+  cfg.length = 200;
+  cfg.recovery = 100;
+  obs::EventTrace et;
+  DeviceHealthMonitor mon(cfg);
+  mon.attach_trace(&et);
+  ASSERT_TRUE(mon.enabled());
+
+  mon.poll(100);  // window opened at t = 0 (phase 0)
+  EXPECT_EQ(mon.state(), DeviceHealth::kOffline);
+  mon.poll(250);
+  EXPECT_EQ(mon.state(), DeviceHealth::kRecovering);
+  mon.poll(500);
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);
+  mon.finalize(2000);  // boundary: the second window reopens exactly here
+
+  // Two full periods: 200 ns offline + 100 ns recovering + 700 ns healthy
+  // each, and the partition is exact.
+  EXPECT_EQ(mon.time_in(DeviceHealth::kOffline), 400);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kRecovering), 200);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kHealthy), 1400);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kDegraded), 0);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kHealthy) +
+                mon.time_in(DeviceHealth::kDegraded) +
+                mon.time_in(DeviceHealth::kOffline) +
+                mon.time_in(DeviceHealth::kRecovering),
+            2000);
+
+  // Every emitted edge is legal; a healthy→offline jump expands via
+  // degraded at the same timestamp.
+  ASSERT_GT(et.size(), 0u);
+  const auto& ev = et.events();
+  EXPECT_EQ(ev[0].ts, 0u);
+  EXPECT_EQ(ev[0].a, static_cast<std::uint64_t>(DeviceHealth::kHealthy));
+  EXPECT_EQ(ev[0].b, static_cast<std::uint64_t>(DeviceHealth::kDegraded));
+  EXPECT_EQ(ev[1].ts, 0u);
+  EXPECT_EQ(ev[1].a, static_cast<std::uint64_t>(DeviceHealth::kDegraded));
+  EXPECT_EQ(ev[1].b, static_cast<std::uint64_t>(DeviceHealth::kOffline));
+  for (std::size_t i = 1; i < ev.size(); ++i)
+    EXPECT_EQ(ev[i].a, ev[i - 1].b) << "broken transition chain at " << i;
+}
+
+TEST(DeviceHealth, ErrorRunTripsDegradedAndClears) {
+  fault::OutageModelConfig cfg;
+  cfg.degrade_errors = 2;
+  cfg.degraded_hold = 100;
+  DeviceHealthMonitor mon(cfg);
+  mon.note_error(10);
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);  // run of 1: below trip
+  mon.note_error(20);
+  EXPECT_EQ(mon.state(), DeviceHealth::kDegraded);  // run of 2: tripped
+  mon.poll(200);  // degraded_hold expired at 120
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kDegraded), 100);
+  mon.note_ok(210);  // resets the run: next error starts from scratch
+  mon.note_error(220);
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);
+}
+
+TEST(DeviceHealth, TimeoutRunForcesAnErrorOutage) {
+  fault::OutageModelConfig cfg;
+  cfg.offline_timeouts = 1;
+  cfg.error_outage = 50;
+  cfg.recovery = 25;
+  DeviceHealthMonitor mon(cfg);
+  mon.note_timeout(100);
+  EXPECT_EQ(mon.state(), DeviceHealth::kOffline);
+  mon.poll(160);
+  EXPECT_EQ(mon.state(), DeviceHealth::kRecovering);
+  mon.finalize(300);
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kOffline), 50);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kRecovering), 25);
+}
+
+TEST(DeviceHealth, DeadAtIsPermanent) {
+  fault::OutageModelConfig cfg;
+  cfg.dead_at = 500;
+  DeviceHealthMonitor mon(cfg);
+  mon.finalize(1000);
+  EXPECT_EQ(mon.state(), DeviceHealth::kOffline);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kHealthy), 500);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kOffline), 500);
+  mon.reset();
+  EXPECT_EQ(mon.state(), DeviceHealth::kHealthy);
+  EXPECT_EQ(mon.time_in(DeviceHealth::kOffline), 0);
+}
 
 }  // namespace
 }  // namespace its::storage

@@ -5,7 +5,9 @@
 
 #include <vector>
 
+#include "obs/event_trace.h"
 #include "util/types.h"
+#include "vm/fallback_pool.h"
 #include "vm/frame_pool.h"
 #include "vm/mm.h"
 #include "vm/page_table.h"
@@ -421,6 +423,99 @@ TEST(PopPrefetcher, UnitAtRegionEdgeHandlesMissingPtes) {
   // may include 0x8001 only... (pages after 0x8001 exist as empty leaf
   // slots in the same table, which are legitimate swap-resident targets).
   for (its::Vpn v : r.pages) EXPECT_NE(v, 0x8000u);
+}
+
+// ---------------------------------------------------------------------------
+// Fallback-pool substrate: carve_tail + the compressed-DRAM pool itself.
+
+TEST(FramePool, CarveTailRemovesHighFramesFromCirculation) {
+  FramePool pool(4 * its::kPageSize);
+  EXPECT_EQ(pool.carve_tail(2), 2u);
+  // Only two frames remain allocatable.
+  EXPECT_TRUE(pool.try_alloc(1, 0).has_value());
+  EXPECT_TRUE(pool.try_alloc(1, 1).has_value());
+  EXPECT_FALSE(pool.try_alloc(1, 2).has_value());
+  // Carved frames are pinned: the CLOCK hand never evicts them.
+  EXPECT_FALSE(pool.clock_victim().has_value() &&
+               pool.info(*pool.clock_victim()).pinned);
+}
+
+TEST(FramePool, CarveTailAlwaysLeavesOneUsableFrame) {
+  FramePool pool(3 * its::kPageSize);
+  EXPECT_EQ(pool.carve_tail(99), 2u);  // clamped: one frame must survive
+  FramePool tiny(its::kPageSize);
+  EXPECT_EQ(tiny.carve_tail(1), 0u);
+}
+
+TEST(FallbackPool, DefaultIsDisabledAndInert) {
+  FallbackPool pool;
+  EXPECT_FALSE(pool.enabled());
+  EXPECT_EQ(pool.capacity_pages(), 0u);
+  EXPECT_FALSE(pool.store(1, 7));
+  EXPECT_FALSE(pool.load(1, 7));
+  EXPECT_FALSE(pool.pop_drain().has_value());
+  const FallbackPoolStats& s = pool.stats();
+  EXPECT_EQ(s.stores + s.hits + s.drains + s.full_rejects + s.peak_pages, 0u);
+}
+
+TEST(FallbackPool, StoreLoadRoundTripEmitsEvents) {
+  obs::EventTrace et;
+  its::SimTime clock = 500;
+  FallbackPool pool({.ratio = 2.0, .compress_cost = 111, .decompress_cost = 55},
+                    /*carved_frames=*/2);
+  pool.attach_trace(&et, &clock);
+  ASSERT_TRUE(pool.enabled());
+  EXPECT_EQ(pool.capacity_pages(), 4u);
+
+  EXPECT_TRUE(pool.store(1, 0x10));
+  EXPECT_TRUE(pool.contains(1, 0x10));
+  EXPECT_FALSE(pool.store(1, 0x10));  // duplicate store is refused
+  EXPECT_TRUE(pool.load(1, 0x10));
+  EXPECT_FALSE(pool.contains(1, 0x10));
+  EXPECT_FALSE(pool.load(1, 0x10));  // gone after the hit
+
+  ASSERT_EQ(et.size(), 2u);
+  EXPECT_EQ(et.events()[0].kind, obs::EventKind::kPoolStore);
+  EXPECT_EQ(et.events()[0].b, 111u);
+  EXPECT_EQ(et.events()[1].kind, obs::EventKind::kPoolLoad);
+  EXPECT_EQ(et.events()[1].b, 55u);
+  EXPECT_EQ(pool.stats().stores, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(FallbackPool, CapacityIsEnforcedAndDrainIsFifo) {
+  FallbackPool pool({.ratio = 1.0}, 2);  // capacity: 2 pages
+  EXPECT_TRUE(pool.store(1, 10));
+  EXPECT_TRUE(pool.store(2, 20));
+  EXPECT_TRUE(pool.full());
+  EXPECT_FALSE(pool.store(3, 30));
+  EXPECT_EQ(pool.stats().full_rejects, 1u);
+  EXPECT_EQ(pool.stats().peak_pages, 2u);
+
+  auto first = pool.pop_drain();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first, 1u);   // oldest store drains first
+  EXPECT_EQ(first->second, 10u);
+  auto second = pool.pop_drain();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->first, 2u);
+  EXPECT_FALSE(pool.pop_drain().has_value());
+  EXPECT_EQ(pool.stats().drains, 2u);
+}
+
+TEST(FallbackPool, DropPidDiscardsOnlyThatProcess) {
+  FallbackPool pool({.ratio = 4.0}, 2);
+  pool.store(1, 10);
+  pool.store(2, 20);
+  pool.store(1, 11);
+  pool.drop_pid(1);
+  EXPECT_EQ(pool.pooled_pages(), 1u);
+  EXPECT_FALSE(pool.contains(1, 10));
+  EXPECT_TRUE(pool.contains(2, 20));
+  EXPECT_EQ(pool.stats().drains, 0u);  // a drop is not a drain
+  pool.reset();
+  EXPECT_EQ(pool.pooled_pages(), 0u);
+  EXPECT_EQ(pool.stats().stores, 0u);
 }
 
 }  // namespace
