@@ -1,8 +1,10 @@
 #include "farm/deque.h"
 
+#include "util/mutex.h"
+
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <vector>
 
 namespace its::farm {
 
@@ -15,11 +17,13 @@ std::size_t round_up_pow2(std::size_t n) {
 }  // namespace
 
 TaskDeque::TaskDeque(std::size_t capacity) {
+  // Constructors run before the object is shared; the analysis (and the
+  // conc pass) exempt them from the lock requirement.
   ring_.resize(round_up_pow2(capacity < 2 ? 2 : capacity));
 }
 
 void TaskDeque::push_back(std::uint64_t task) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(mu_);
   if (count_ == ring_.size()) grow_locked();
   ring_[(head_ + count_) & (ring_.size() - 1)] = task;
   ++count_;
@@ -27,7 +31,7 @@ void TaskDeque::push_back(std::uint64_t task) {
 }
 
 bool TaskDeque::try_pop_back(std::uint64_t* task) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(mu_);
   if (count_ == 0) return false;
   --count_;
   *task = ring_[(head_ + count_) & (ring_.size() - 1)];
@@ -35,7 +39,7 @@ bool TaskDeque::try_pop_back(std::uint64_t* task) {
 }
 
 std::size_t TaskDeque::steal_half(std::uint64_t* out, std::size_t max_out) {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(mu_);
   std::size_t take = (count_ + 1) / 2;  // half, rounded up: a 1-deep deque is stealable
   if (take > max_out) take = max_out;
   for (std::size_t i = 0; i < take; ++i) {
@@ -47,12 +51,12 @@ std::size_t TaskDeque::steal_half(std::uint64_t* out, std::size_t max_out) {
 }
 
 std::size_t TaskDeque::size() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(mu_);
   return count_;
 }
 
 std::size_t TaskDeque::max_depth() const {
-  std::lock_guard<std::mutex> l(mu_);
+  util::MutexLock l(mu_);
   return max_depth_;
 }
 

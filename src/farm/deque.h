@@ -12,12 +12,17 @@
 // (milliseconds to seconds), so queue operations are nowhere near the hot
 // path and an uncontended lock keeps every interleaving — including the
 // single-element owner-vs-thief race window — trivially correct and
-// ThreadSanitizer-clean.
+// ThreadSanitizer-clean (tests/farm_test.cpp hammers exactly that window
+// under TSan).  The members are GUARDED_BY(mu_) so clang -Wthread-safety
+// proves the discipline and its_lint's conc-guarded rule keeps the
+// annotations present on every compiler (docs/concurrency.md).
 #pragma once
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 namespace its::farm {
@@ -56,13 +61,13 @@ class TaskDeque {
 
  private:
   /// Doubles the ring, re-laying tasks out from slot 0.  Caller holds mu_.
-  void grow_locked();
+  void grow_locked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::uint64_t> ring_;  ///< Power-of-two capacity.
-  std::size_t head_ = 0;             ///< Ring index of the oldest task.
-  std::size_t count_ = 0;            ///< Tasks currently queued.
-  std::size_t max_depth_ = 0;        ///< High-water mark of count_.
+  mutable util::Mutex mu_;
+  std::vector<std::uint64_t> ring_ GUARDED_BY(mu_);  ///< Power-of-two size.
+  std::size_t head_ GUARDED_BY(mu_) = 0;       ///< Index of the oldest task.
+  std::size_t count_ GUARDED_BY(mu_) = 0;      ///< Tasks currently queued.
+  std::size_t max_depth_ GUARDED_BY(mu_) = 0;  ///< High-water mark of count_.
 };
 
 }  // namespace its::farm

@@ -1,5 +1,7 @@
 #include "farm/farm.h"
 
+#include "util/mutex.h"
+
 #include <array>
 #include <atomic>
 #include <cstddef>
@@ -8,7 +10,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 namespace its::farm {
@@ -75,7 +76,7 @@ Farm::Farm(unsigned jobs) {
 
 Farm::~Farm() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -104,9 +105,9 @@ void Farm::run_indexed(std::size_t n,
     return;
   }
 
-  std::lock_guard<std::mutex> serial(run_mu_);
+  util::MutexLock serial(run_mu_);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(mu_);
     // Round-robin initial distribution; stealing rebalances from there.
     for (std::size_t i = 0; i < n; ++i)
       slots_[i % slots_.size()]->deque.push_back(i);
@@ -119,12 +120,14 @@ void Farm::run_indexed(std::size_t n,
 
   std::exception_ptr first_error;
   {
-    std::unique_lock<std::mutex> l(mu_);
+    util::MutexLock l(mu_);
+    // Explicit wait loop, not a predicate lambda: a lambda body is
+    // analyzed as a separate unannotated function, so -Wthread-safety
+    // would lose the fact that busy_ is only ever read under mu_.
     // Waiting for busy_ == 0 (not just remaining_ == 0) guarantees no
     // worker still holds a pointer into this call's `task` when we return.
-    cv_done_.wait(l, [&] {
-      return remaining_.load(std::memory_order_acquire) == 0 && busy_ == 0;
-    });
+    while (remaining_.load(std::memory_order_acquire) != 0 || busy_ != 0)
+      cv_done_.wait(l);
     task_ = nullptr;
     first_error = error_;
     error_ = nullptr;
@@ -138,8 +141,8 @@ void Farm::worker_main(unsigned w) {
   for (;;) {
     const std::function<void(std::size_t)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> l(mu_);
-      cv_work_.wait(l, [&] { return stop_ || epoch_ != seen; });
+      util::MutexLock l(mu_);
+      while (!stop_ && epoch_ == seen) cv_work_.wait(l);
       if (stop_) return;
       seen = epoch_;
       task = task_;
@@ -149,7 +152,7 @@ void Farm::worker_main(unsigned w) {
     }
     drain(w, *task);
     {
-      std::lock_guard<std::mutex> l(mu_);
+      util::MutexLock l(mu_);
       --busy_;
     }
     cv_done_.notify_all();
@@ -194,14 +197,14 @@ void Farm::execute(unsigned w, const std::function<void(std::size_t)>& task,
   try {
     task(static_cast<std::size_t>(id));
   } catch (...) {
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(mu_);
     if (!error_) error_ = std::current_exception();
   }
   ++slots_[w]->stats.tasks_run;
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last task of the batch: wake the master (lock pairs the notify with
     // its cv_done_ wait).
-    std::lock_guard<std::mutex> l(mu_);
+    util::MutexLock l(mu_);
     cv_done_.notify_all();
   }
 }

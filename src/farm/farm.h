@@ -10,18 +10,23 @@
 // steal interleaving — the golden files do not know the farm exists.  The
 // determinism matrix (tests/farm_test.cpp, ctest -L farm) and the TSAN CI
 // job enforce this; docs/performance.md describes the design.
+//
+// Lock discipline (docs/concurrency.md): every mutable member is either
+// GUARDED_BY(mu_), atomic with explicit memory_order at each access, or
+// immutable after construction — annotated for clang -Wthread-safety and
+// checked portably by its_lint's conc pass.
 #pragma once
 
 #include "farm/deque.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -75,7 +80,9 @@ class Farm {
   /// The first exception a task throws is rethrown here after the batch
   /// drains (remaining tasks still run).  Not reentrant from two external
   /// threads; calls from inside a farm task execute inline.
-  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& task);
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& task)
+      EXCLUDES(run_mu_, mu_);
 
   /// Per-worker counters.  Call only while no run is in flight.
   FarmStats stats() const;
@@ -90,7 +97,7 @@ class Farm {
  private:
   /// One worker's world, padded to its own cache line so deque and
   /// counter traffic never false-shares with a neighbour.
-  struct alignas(64) Slot {
+  struct alignas(util::kDestructiveInterferenceSize) Slot {
     TaskDeque deque;
     WorkerStats stats;
   };
@@ -101,20 +108,34 @@ class Farm {
   void execute(unsigned w, const std::function<void(std::size_t)>& task,
                std::uint64_t id);
 
+  // Sized in the constructor, immutable afterwards; workers index their
+  // own slot lock-free by design.
+  // its-lint: allow(conc-guarded): immutable after construction
   std::vector<std::unique_ptr<Slot>> slots_;
+  // Spawned in the constructor, joined in the destructor, never touched
+  // in between.
+  // its-lint: allow(conc-guarded): ctor/dtor-only access
   std::vector<std::thread> threads_;
 
-  std::mutex run_mu_;  ///< Serialises external run_indexed callers.
+  util::Mutex run_mu_;  ///< Serialises external run_indexed callers.
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;  ///< Signals a new batch (epoch_ bumped).
-  std::condition_variable cv_done_;  ///< Signals batch completion to the master.
-  const std::function<void(std::size_t)>* task_ = nullptr;  ///< Guarded by mu_.
-  std::uint64_t epoch_ = 0;       ///< Guarded by mu_.
-  std::size_t busy_ = 0;          ///< Workers inside drain(); guarded by mu_.
-  std::exception_ptr error_;      ///< First task failure; guarded by mu_.
-  bool stop_ = false;             ///< Guarded by mu_.
-  std::atomic<std::size_t> remaining_{0};  ///< Unfinished tasks this epoch.
+  /// The batch-handshake lock, on its own cache line so worker handshake
+  /// traffic never false-shares with the caller-serialisation lock above
+  /// (its_lint conc-false-share).
+  alignas(util::kDestructiveInterferenceSize) mutable util::Mutex mu_;
+  util::CondVar cv_work_;  ///< Signals a new batch (epoch_ bumped).
+  util::CondVar cv_done_;  ///< Signals batch completion to the master.
+  const std::function<void(std::size_t)>* task_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ GUARDED_BY(mu_) = 0;  ///< Batch generation counter.
+  std::size_t busy_ GUARDED_BY(mu_) = 0;     ///< Workers inside drain().
+  std::exception_ptr error_ GUARDED_BY(mu_); ///< First task failure.
+  bool stop_ GUARDED_BY(mu_) = false;        ///< Destructor shutdown flag.
+  /// Unfinished tasks this epoch.  Deliberately *not* guarded: drain()
+  /// polls it lock-free on the task fast path, so every access states its
+  /// memory_order explicitly (acquire loads pair with the release store in
+  /// run_indexed and the acq_rel fetch_sub in execute — the exemplar for
+  /// its_lint's conc-atomic-order rule).
+  std::atomic<std::size_t> remaining_{0};
 };
 
 /// Farms `task` over [0, n) and collects the results keyed by submission

@@ -1,0 +1,83 @@
+// Annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no Clang Thread Safety capability
+// attributes, so GUARDED_BY(some_std_mutex) parses but enforces nothing.
+// Mutex wraps std::mutex in a CAPABILITY type and MutexLock is the
+// matching SCOPED_CAPABILITY guard, so annotated classes get real
+// -Wthread-safety checking on clang (and its_lint's conc pass checks the
+// annotation *presence* on every compiler — docs/concurrency.md).
+//
+// CondVar wraps std::condition_variable_any, which waits on any
+// BasicLockable — i.e. directly on a MutexLock.  It deliberately offers
+// no predicate overload: callers write an explicit `while (!ready)
+// cv.wait(l);` loop, because a predicate lambda is analyzed as a separate
+// unannotated function and silently loses the guarded-read checking the
+// wrapper exists to provide (see Farm::run_indexed for the idiom).
+#pragma once
+
+#include "util/thread_annotations.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace its::util {
+
+/// Cache-line size used to pad hot synchronization members apart
+/// (its_lint conc-false-share).  std::hardware_destructive_interference_
+/// size would be the portable spelling, but its value may change with
+/// compiler flags and releases; a pinned constant keeps struct layout —
+/// and therefore the determinism fingerprint — toolchain-independent.
+inline constexpr std::size_t kDestructiveInterferenceSize = 64;
+
+/// std::mutex as a Clang Thread Safety capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex (the project's lock_guard/unique_lock).  Also a
+/// BasicLockable so CondVar::wait can release and reacquire it.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// BasicLockable surface for CondVar::wait only — the analysis sees the
+  /// wait as a no-op on the capability, which is exactly right: the lock
+  /// is held again whenever the caller's code runs.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits directly on a MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `l`, sleeps, reacquires `l` before returning.
+  /// Spurious wakeups happen: always wait in a `while (!predicate)` loop.
+  void wait(MutexLock& l) { cv_.wait(l); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace its::util

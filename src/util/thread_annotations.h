@@ -1,0 +1,45 @@
+// Clang Thread Safety Analysis attribute shim.
+//
+// The macros below expand to clang's capability attributes when the
+// compiler understands them and to nothing everywhere else, so annotated
+// code compiles identically under gcc while clang builds get static
+// lock-discipline checking (-Wthread-safety, promoted to an error under
+// ITS_WERROR — see the top-level CMakeLists.txt).  libstdc++'s std::mutex
+// carries no capability attributes, which is why src/util/mutex.h wraps
+// it in an annotated its::util::Mutex: GUARDED_BY on a raw std::mutex
+// would parse but never be enforced.
+//
+// its_lint's conc pass (tools/its_lint/conc.cpp) is the portable half of
+// the same contract: it requires GUARDED_BY on every mutable member of a
+// lock-owning class regardless of the compiler, so the annotations cannot
+// rot on a gcc-only machine.  docs/concurrency.md states the rules.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ITS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ITS_THREAD_ANNOTATION(x)  // no-op: gcc and friends
+#endif
+
+/// A type whose instances are capabilities (locks).
+#define CAPABILITY(x) ITS_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY ITS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given lock.
+#define GUARDED_BY(x) ITS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Function that must be called with the given lock(s) already held.
+#define REQUIRES(...) ITS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given lock(s) and returns holding them.
+#define ACQUIRE(...) ITS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given lock(s).
+#define RELEASE(...) ITS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the given lock(s) held —
+/// non-reentrancy documentation the analysis enforces at every call site.
+#define EXCLUDES(...) ITS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))

@@ -26,6 +26,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch.h"
@@ -154,6 +155,55 @@ TEST(TaskDeque, MaxDepthIsHighWaterMark) {
   d.push_back(9);
   EXPECT_EQ(d.max_depth(), 5u);
   EXPECT_EQ(d.size(), 4u);
+}
+
+// Owner-vs-thief hammer on the single-element race window: the owner
+// pushes one task and immediately pops it back while a thief spins on
+// steal_half, so nearly every round contends for a deque of size one.
+// Exactly one side must win each task — under TSAN (CI runs this suite
+// with -DITS_SANITIZE=thread) this also proves the mutex discipline in
+// deque.cpp is data-race-free, not merely count-correct.
+TEST(TaskDeque, SingleElementOwnerVsThiefRaceIsExactlyOnce) {
+  constexpr std::uint64_t kRounds = 20000;
+  farm::TaskDeque d(2);
+  std::atomic<bool> ready{false};
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> owner_got, thief_got;
+  owner_got.reserve(kRounds);
+  thief_got.reserve(kRounds);
+
+  std::thread thief([&] {
+    ready.store(true, std::memory_order_release);
+    std::uint64_t out[4];
+    for (;;) {
+      const std::size_t n = d.steal_half(out, 4);
+      for (std::size_t i = 0; i < n; ++i) thief_got.push_back(out[i]);
+      if (n == 0 && done.load(std::memory_order_acquire) && d.empty()) break;
+    }
+  });
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  for (std::uint64_t t = 0; t < kRounds; ++t) {
+    d.push_back(t);
+    // Every 16th task is left in the deque: it sits at the *front* (the
+    // owner pops the back), so only the thief can take it — guaranteeing
+    // the steal path runs even if the thief loses every size-1 race.
+    if (t % 16 == 0) continue;
+    std::uint64_t back = 0;
+    if (d.try_pop_back(&back)) owner_got.push_back(back);
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  ASSERT_EQ(owner_got.size() + thief_got.size(), kRounds);
+  std::vector<unsigned> seen(kRounds, 0);
+  for (std::uint64_t t : owner_got) ++seen[t];
+  for (std::uint64_t t : thief_got) ++seen[t];
+  for (std::uint64_t t = 0; t < kRounds; ++t)
+    ASSERT_EQ(seen[t], 1u) << "task " << t;
+  // The skipped tasks can only leave through steal_half, so the steal
+  // path is guaranteed to have run under contention.
+  EXPECT_GE(thief_got.size(), kRounds / 16);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,15 @@
+// conc-atomic-order fixture: bare atomic ops vs explicit memory_order.
+#include <atomic>
+
+namespace fix {
+
+std::atomic<int> g_count{0};
+
+void bad_store() { g_count.store(1); }
+void bad_load() { (void)g_count.load(); }
+void bad_rmw() { g_count.fetch_add(2); }
+void good_store() { g_count.store(1, std::memory_order_release); }
+int good_load() { return g_count.load(std::memory_order_acquire); }
+void bad_incr() { ++g_count; }
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// conc-false-share fixture: adjacent atomics with no padding.
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+struct HotCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+struct PaddedCounters {
+  std::atomic<std::uint64_t> hits{0};
+  alignas(64) std::atomic<std::uint64_t> misses{0};
+};
+
+}  // namespace fix

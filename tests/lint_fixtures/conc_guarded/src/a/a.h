@@ -1,0 +1,19 @@
+// conc-guarded fixture: a lock-owning class with unguarded members.
+#pragma once
+#include <cstddef>
+#include <mutex>
+
+namespace fix {
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;
+  std::size_t count_ = 0;
+  bool dirty_ = false;
+  const std::size_t limit_ = 64;
+};
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+#include "a/locks.h"
+
+#include <mutex>
+
+namespace fix {
+
+std::mutex g_alpha;
+std::mutex g_beta;
+
+void alpha_then_beta() {
+  std::lock_guard<std::mutex> a(g_alpha);
+  std::lock_guard<std::mutex> b(g_beta);
+}
+
+}  // namespace fix

@@ -1,0 +1,10 @@
+// conc-lock-order fixture: two globals taken in opposite orders.
+#pragma once
+#include <mutex>
+
+namespace fix {
+extern std::mutex g_alpha;
+extern std::mutex g_beta;
+void alpha_then_beta();
+void beta_then_alpha();
+}  // namespace fix

@@ -1,0 +1,12 @@
+#include "a/locks.h"
+
+#include <mutex>
+
+namespace fix {
+
+void beta_then_alpha() {
+  std::lock_guard<std::mutex> b(g_beta);
+  std::lock_guard<std::mutex> a(g_alpha);
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// conc-shared-static fixture: mutable static and global state.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+std::size_t g_hits = 0;
+static std::vector<int> g_scratch;
+const std::size_t kLimit = 64;
+thread_local std::size_t tl_depth = 0;
+
+std::size_t next_id() {
+  static std::size_t counter = 0;
+  return ++counter;
+}
+
+}  // namespace fix

@@ -283,6 +283,28 @@ std::vector<Symbol> parse_exports(const ArchFile& f) {
       if (p >= text.size() || !ident_char(text[p])) continue;  // anonymous
       std::size_t name_end = p;
       std::string name = read_ident(text, p, &name_end);
+      // Attribute macros (util/thread_annotations.h) and alignas precede
+      // the tag name — `class CAPABILITY("mutex") Mutex` — and the tag,
+      // not the annotation, is the export.
+      while (name == "CAPABILITY" || name == "SCOPED_CAPABILITY" ||
+             name == "alignas") {
+        std::size_t a = skip_ws(text, name_end);
+        if (a < text.size() && text[a] == '(') {
+          int depth = 0;
+          while (a < text.size()) {
+            if (text[a] == '(') ++depth;
+            if (text[a] == ')' && --depth == 0) {
+              ++a;
+              break;
+            }
+            ++a;
+          }
+        }
+        a = skip_ws(text, a);
+        if (a >= text.size() || !ident_char(text[a])) break;
+        p = a;
+        name = read_ident(text, p, &name_end);
+      }
       std::size_t name_line = f.line_of(p);
       std::size_t q = skip_ws(text, name_end);
       if (q < text.size() && ident_char(text[q])) {  // "final"

@@ -1,0 +1,1513 @@
+// Concurrency rules: the whole-program lock-discipline checks.
+//
+// Clang's -Wthread-safety proves the GUARDED_BY/REQUIRES annotations
+// (src/util/thread_annotations.h) — but only on clang, and only where the
+// annotations already exist.  This pass is the portable other half: it
+// runs on every compiler the repo builds with and checks that the
+// annotations (and the broader discipline around them) are *present*:
+//
+//   conc-guarded        a class that owns a mutex must GUARDED_BY every
+//                       mutable non-atomic data member, so the clang job
+//                       has something to prove.
+//   conc-lock-order     cycles in the cross-file lock-acquisition-order
+//                       graph (an edge A -> B: somebody acquires B while
+//                       holding A, directly or through a call resolved by
+//                       method name).  The graph is committed as
+//                       docs/locks.dot and CI diffs it like
+//                       architecture.dot.
+//   conc-atomic-order   std::atomic access without an explicit
+//                       memory_order — implicit seq_cst hides whether the
+//                       ordering is load-acquire/store-release by intent
+//                       or by accident (src/farm/farm.cpp is the
+//                       exemplar).
+//   conc-shared-static  mutable namespace-scope or function-local static
+//                       state: invisible sharing once the SMP refactor
+//                       puts farm workers behind every entry point.
+//   conc-false-share    adjacent mutex/atomic members with no alignas
+//                       separation (util::kDestructiveInterferenceSize) —
+//                       a false-sharing hot spot.
+//
+// Like the arch pass this is a tokenizer, not a compiler front end: lock
+// acquisition is recognised through the project's RAII guards
+// (util::MutexLock, std::lock_guard/unique_lock/scoped_lock) and calls
+// are resolved by method name, so a same-named method on two classes is
+// merged conservatively.  Every rule honours the reasoned-suppression
+// syntax; see docs/concurrency.md for the model the rules enforce.
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <filesystem>
+
+namespace its::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::vector<std::string> collect_tree(const std::string& dir,
+                                      std::vector<std::string>* errors) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec))
+    if (it->is_regular_file() && cpp_source(it->path()))
+      files.push_back(it->path().generic_string());
+  if (ec) errors->push_back(dir + ": " + ec.message());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0)
+    ++i;
+  return i;
+}
+
+std::string read_ident(std::string_view text, std::size_t i,
+                       std::size_t* end) {
+  std::size_t j = i;
+  while (j < text.size() && ident_char(text[j])) ++j;
+  *end = j;
+  return std::string(text.substr(i, j - i));
+}
+
+/// Skips a balanced <...>; stops at ';' (not a template after all).
+std::size_t skip_angles(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>' && --depth == 0) return i + 1;
+    if (text[i] == ';') return i;
+  }
+  return text.size();
+}
+
+std::size_t skip_to_matching_brace(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i + 1;
+  }
+  return text.size();
+}
+
+/// Skips a balanced (...) starting at or after `i` (whitespace allowed);
+/// returns `i` unchanged when no '(' follows.
+std::size_t skip_parens(std::string_view text, std::size_t i) {
+  std::size_t p = skip_ws(text, i);
+  if (p >= text.size() || text[p] != '(') return i;
+  int depth = 0;
+  for (; p < text.size(); ++p) {
+    if (text[p] == '(') ++depth;
+    if (text[p] == ')' && --depth == 0) return p + 1;
+  }
+  return text.size();
+}
+
+/// One loaded file plus the joined-text views every rule shares (the same
+/// shape the arch pass uses).
+struct ConcFile {
+  SourceFile src;
+  std::string text;  ///< Joined code lines.
+  std::vector<std::size_t> line_start;
+
+  std::size_t line_of(std::size_t offset) const {
+    auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+};
+
+void build_views(ConcFile* f) {
+  for (const std::string& l : f->src.code_lines) {
+    f->line_start.push_back(f->text.size());
+    f->text += l;
+    f->text += '\n';
+  }
+}
+
+/// Whole-word occurrences of `word` in `text`, as offsets.
+std::vector<std::size_t> word_occurrences(std::string_view text,
+                                          std::string_view word) {
+  std::vector<std::size_t> out;
+  std::size_t at = 0;
+  while ((at = text.find(word, at)) != std::string_view::npos) {
+    bool left_ok = at == 0 || !ident_char(text[at - 1]);
+    std::size_t end = at + word.size();
+    bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) out.push_back(at);
+    at = end;
+  }
+  return out;
+}
+
+/// The annotation macros from util/thread_annotations.h (plus alignas):
+/// their '(' must never be mistaken for a function declarator or a call.
+bool annotation_macro(std::string_view w) {
+  return w == "GUARDED_BY" || w == "REQUIRES" || w == "EXCLUDES" ||
+         w == "ACQUIRE" || w == "RELEASE" || w == "CAPABILITY" ||
+         w == "SCOPED_CAPABILITY" || w == "alignas";
+}
+
+/// Keywords whose parens/braces are control flow, not declarators.
+bool control_keyword(std::string_view w) {
+  return w == "if" || w == "for" || w == "while" || w == "switch" ||
+         w == "catch" || w == "return" || w == "sizeof" || w == "alignof" ||
+         w == "decltype" || w == "noexcept" || w == "static_assert" ||
+         w == "new" || w == "delete" || w == "throw" || w == "do" ||
+         w == "else" || w == "try" || w == "case" || w == "default" ||
+         w == "co_return" || w == "co_await" || w == "co_yield" ||
+         w == "assert";
+}
+
+// ---------------------------------------------------------------------------
+// Class and member parsing (conc-guarded, conc-false-share, and the
+// class -> mutex-member index the lock-order resolver uses).
+
+struct Member {
+  std::string name;
+  std::size_t line = 0;
+  bool is_mutex = false;    ///< mutex / Mutex member (or reference).
+  bool is_sync = false;     ///< is_mutex, condition_variable, or CondVar.
+  bool is_atomic = false;
+  bool is_const = false;    ///< const non-pointer: immutable, needs no guard.
+  bool has_alignas = false;
+  bool has_guard = false;   ///< Carries GUARDED_BY(...).
+};
+
+struct ClassInfo {
+  std::string name;
+  std::size_t file = 0;  ///< Index into the scanned file list.
+  std::size_t line = 0;
+  bool has_alignas = false;  ///< alignas on the struct/class itself.
+  std::vector<Member> members;
+};
+
+/// Head-of-declaration type flags, shared by the member parser and the
+/// static/global scanners.
+struct TypeFlags {
+  bool is_mutex = false, is_sync = false, is_atomic = false, is_const = false;
+};
+
+TypeFlags classify_head(std::string_view head) {
+  TypeFlags t;
+  t.is_mutex = contains_word(head, "mutex") || contains_word(head, "Mutex");
+  t.is_sync = t.is_mutex ||
+              head.find("condition_variable") != std::string_view::npos ||
+              contains_word(head, "CondVar");
+  t.is_atomic = contains_word(head, "atomic");
+  t.is_const = contains_word(head, "const") &&
+               head.find('*') == std::string_view::npos;
+  return t;
+}
+
+/// Parses the data members of one class body `[b, e)`.  Functions, nested
+/// types, static members, using/typedef/friend declarations and access
+/// labels are recognised and skipped; everything else is a data member.
+std::vector<Member> parse_members(const ConcFile& f, std::size_t b,
+                                  std::size_t e) {
+  std::string_view text = f.text;
+  std::vector<Member> out;
+  std::size_t i = b;
+  while (i < e) {
+    i = skip_ws(text, i);
+    if (i >= e) break;
+    char c = text[i];
+    if (c == ';' || c == ':' || c == '}') {
+      ++i;
+      continue;
+    }
+    if (c == '{') {  // stray block (should not happen): stay safe
+      i = skip_to_matching_brace(text, i);
+      continue;
+    }
+    if (c == '#') {
+      while (i < e && text[i] != '\n') ++i;
+      continue;
+    }
+    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    std::size_t stmt_start = i;
+    std::size_t we = i;
+    std::string w = read_ident(text, i, &we);
+    if (w == "public" || w == "private" || w == "protected") {
+      i = skip_ws(text, we);
+      if (i < e && text[i] == ':') ++i;
+      continue;
+    }
+    if (w == "template") {
+      std::size_t lt = skip_ws(text, we);
+      if (lt < e && text[lt] == '<') we = skip_angles(text, lt);
+      // Fall through: the generic scan below classifies what it declares.
+      i = skip_ws(text, we);
+      if (i >= e) break;
+      stmt_start = i;
+      // Re-read the first word of the templated declaration.
+      if (ident_char(text[i])) w = read_ident(text, i, &we);
+    }
+    if (w == "using" || w == "typedef" || w == "friend" ||
+        w == "static_assert") {
+      while (we < e && text[we] != ';') {
+        if (text[we] == '{') we = skip_to_matching_brace(text, we);
+        else ++we;
+      }
+      i = we + 1;
+      continue;
+    }
+    if (w == "struct" || w == "class" || w == "enum" || w == "union") {
+      // Nested type: skip its body (members belong to the nested class,
+      // which the outer scan indexes separately).
+      while (we < e && text[we] != '{' && text[we] != ';') ++we;
+      if (we < e && text[we] == '{') we = skip_to_matching_brace(text, we);
+      while (we < e && text[we] != ';') ++we;
+      i = we + 1;
+      continue;
+    }
+    if (w == "static") {
+      // Static member (datum or function): per-class padding and guard
+      // rules do not apply; conc-shared-static owns mutable statics.
+      std::size_t p = we;
+      int pd = 0;
+      while (p < e) {
+        char d = text[p];
+        if (d == '(') ++pd;
+        if (d == ')' && pd > 0) --pd;
+        if (d == '{' && pd == 0) {
+          p = skip_to_matching_brace(text, p);
+          std::size_t q = skip_ws(text, p);
+          if (q < e && text[q] == ';') p = q;
+          break;
+        }
+        if (d == ';' && pd == 0) break;
+        ++p;
+      }
+      i = p + 1;
+      continue;
+    }
+
+    // Generic declaration: walk the statement, deciding member vs function.
+    std::size_t pos = stmt_start;
+    int ad = 0;  // angle depth
+    bool is_fn = false, frozen = false;
+    bool has_guard = false, has_alignas = false;
+    std::string name;
+    std::size_t name_pos = stmt_start;
+    std::size_t head_end = std::string_view::npos;
+    auto freeze_head = [&](std::size_t at) {
+      if (head_end == std::string_view::npos) head_end = at;
+    };
+    bool done = false;
+    while (pos < e && !done) {
+      char d = text[pos];
+      if (ident_char(d) &&
+          std::isdigit(static_cast<unsigned char>(d)) == 0) {
+        std::size_t ie = pos;
+        std::string id = read_ident(text, pos, &ie);
+        if (id == "GUARDED_BY") {
+          has_guard = true;
+          pos = skip_parens(text, ie);
+          continue;
+        }
+        if (id == "alignas") {
+          has_alignas = true;
+          pos = skip_parens(text, ie);
+          continue;
+        }
+        if (annotation_macro(id)) {  // REQUIRES/ACQUIRE/... : function-side
+          pos = skip_parens(text, ie);
+          continue;
+        }
+        if (id == "operator") {
+          is_fn = true;
+          pos = ie;
+          // operator<, operator() etc.: jump to the open paren of the
+          // parameter list so the symbols are not parsed structurally.
+          while (pos < e && text[pos] != '(') ++pos;
+          continue;
+        }
+        if (!frozen && ad == 0) {
+          name = id;
+          name_pos = pos;
+        }
+        pos = ie;
+        continue;
+      }
+      switch (d) {
+        case '<':
+          ++ad;
+          ++pos;
+          break;
+        case '>':
+          if (ad > 0) --ad;
+          ++pos;
+          break;
+        case '[':
+          frozen = true;  // array extents / attributes follow the name
+          ++pos;
+          break;
+        case '(':
+          if (ad == 0) is_fn = true;
+          pos = skip_parens(text, pos);
+          break;
+        case '=':
+          if (ad == 0) {
+            freeze_head(pos);
+            int pd = 0;
+            while (pos < e) {
+              char x = text[pos];
+              if (x == '(') ++pd;
+              if (x == ')' && pd > 0) --pd;
+              if (x == '{' && pd == 0)
+                pos = skip_to_matching_brace(text, pos);
+              else if (x == ';' && pd == 0)
+                break;
+              else
+                ++pos;
+            }
+            done = true;
+          } else {
+            ++pos;
+          }
+          break;
+        case '{':
+          if (ad == 0) {
+            freeze_head(pos);
+            pos = skip_to_matching_brace(text, pos);
+            if (is_fn) {  // function body; a member init continues to ';'
+              std::size_t q = skip_ws(text, pos);
+              if (q < e && text[q] == ';') pos = q + 1;
+              done = true;
+            }
+          } else {
+            ++pos;
+          }
+          break;
+        case ':':
+          if (pos + 1 < e && text[pos + 1] == ':') {  // scope qualifier
+            pos += 2;
+          } else if (ad == 0 && is_fn) {
+            // Constructor init list: runs to the body.
+            int pd = 0;
+            while (pos < e) {
+              char x = text[pos];
+              if (x == '(') ++pd;
+              if (x == ')' && pd > 0) --pd;
+              if (x == '{' && pd == 0) break;
+              ++pos;
+            }
+          } else if (ad == 0) {
+            freeze_head(pos);  // bitfield width
+            ++pos;
+          } else {
+            ++pos;
+          }
+          break;
+        case ';':
+          freeze_head(pos);
+          ++pos;
+          done = true;
+          break;
+        default:
+          ++pos;
+          break;
+      }
+    }
+    if (!is_fn && !name.empty()) {
+      if (head_end == std::string_view::npos) head_end = pos;
+      TypeFlags t =
+          classify_head(text.substr(stmt_start, head_end - stmt_start));
+      Member m;
+      m.name = std::move(name);
+      m.line = f.line_of(name_pos);
+      m.is_mutex = t.is_mutex;
+      m.is_sync = t.is_sync;
+      m.is_atomic = t.is_atomic;
+      m.is_const = t.is_const;
+      m.has_alignas = has_alignas;
+      m.has_guard = has_guard;
+      out.push_back(std::move(m));
+    }
+    i = pos;
+  }
+  return out;
+}
+
+/// Finds every struct/class definition in `f` (any nesting) and parses
+/// its data members.
+void collect_classes(const ConcFile& f, std::size_t file_index,
+                     std::vector<ClassInfo>* out) {
+  std::string_view text = f.text;
+  std::size_t i = 0;
+  std::string prev_word;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    std::size_t we = i;
+    std::string w = read_ident(text, i, &we);
+    if (w == "template") {
+      std::size_t lt = skip_ws(text, we);
+      if (lt < text.size() && text[lt] == '<') we = skip_angles(text, lt);
+      i = we;
+      prev_word = w;
+      continue;
+    }
+    if ((w == "struct" || w == "class") && prev_word != "enum") {
+      std::size_t p = skip_ws(text, we);
+      bool cls_alignas = false;
+      std::string name;
+      std::size_t name_end = p;
+      if (p < text.size() && ident_char(text[p]))
+        name = read_ident(text, p, &name_end);
+      while (name == "CAPABILITY" || name == "SCOPED_CAPABILITY" ||
+             name == "alignas") {
+        if (name == "alignas") cls_alignas = true;
+        std::size_t a = skip_parens(text, name_end);
+        a = skip_ws(text, a);
+        if (a >= text.size() || !ident_char(text[a])) {
+          name.clear();
+          break;
+        }
+        p = a;
+        name = read_ident(text, p, &name_end);
+      }
+      if (name.empty()) {
+        i = name_end;
+        prev_word = w;
+        continue;
+      }
+      // Definition, not forward declaration / template parameter /
+      // return type: scan to a body '{', rejecting on the tokens that
+      // rule a definition out.
+      std::size_t q = name_end;
+      int ad = 0;
+      bool saw_colon = false, body = false;
+      while (q < text.size()) {
+        char d = text[q];
+        if (d == '<') ++ad;
+        else if (d == '>' && ad > 0) --ad;
+        else if (d == ';' || d == '(' || d == '=' || d == ')') break;
+        else if (d == ',' && ad == 0 && !saw_colon) break;
+        else if (d == ':' && ad == 0) saw_colon = true;
+        else if (d == '{' && ad == 0) {
+          body = true;
+          break;
+        }
+        ++q;
+      }
+      if (body) {
+        std::size_t close = skip_to_matching_brace(text, q);
+        ClassInfo ci;
+        ci.name = std::move(name);
+        ci.file = file_index;
+        ci.line = f.line_of(p);
+        ci.has_alignas = cls_alignas;
+        ci.members = parse_members(f, q + 1, close > 0 ? close - 1 : q + 1);
+        out->push_back(std::move(ci));
+        i = q + 1;  // nested classes are found by the continuing scan
+      } else {
+        i = name_end;
+      }
+      prev_word = w;
+      continue;
+    }
+    prev_word = std::move(w);
+    i = we;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// conc-atomic-order.
+
+constexpr std::string_view kAtomicOps[] = {
+    "load",          "store",
+    "exchange",      "fetch_add",
+    "fetch_sub",     "fetch_and",
+    "fetch_or",      "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong",
+};
+
+/// Harvests the names declared as std::atomic<...> in `f`.
+void harvest_atomics(const ConcFile& f, std::set<std::string>* names) {
+  std::string_view text = f.text;
+  for (std::size_t at : word_occurrences(text, "atomic")) {
+    std::size_t p = skip_ws(text, at + 6);
+    if (p < text.size() && text[p] == '<') p = skip_angles(text, p);
+    p = skip_ws(text, p);
+    if (p < text.size() && text[p] == '&') p = skip_ws(text, p + 1);
+    if (p < text.size() && ident_char(text[p]) &&
+        std::isdigit(static_cast<unsigned char>(text[p])) == 0) {
+      std::size_t pe = p;
+      names->insert(read_ident(text, p, &pe));
+    }
+  }
+}
+
+/// Non-whitespace character before `i`, or '\0'.
+char prev_nonws(std::string_view text, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(text[i])) == 0)
+      return text[i];
+  }
+  return '\0';
+}
+
+void scan_atomic_order(const ConcFile& f,
+                       const std::set<std::string>& atomics,
+                       std::vector<Finding>* out) {
+  std::string_view text = f.text;
+  std::set<std::size_t> lines;
+  auto report = [&](std::size_t offset, const std::string& what) {
+    std::size_t line = f.line_of(offset);
+    if (!lines.insert(line).second) return;
+    out->push_back(
+        {f.src.path, line, Rule::kConcAtomicOrder,
+         what +
+             " — implicit seq_cst hides the intended ordering; spell the "
+             "memory_order explicitly (src/farm/farm.cpp is the exemplar)"});
+  };
+
+  // Member-function form: recv.load(...) / recv->store(...).
+  for (std::string_view op : kAtomicOps) {
+    for (std::size_t at : word_occurrences(text, op)) {
+      // Receiver: the identifier before the '.' or '->'.
+      std::size_t p = at;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+        --p;
+      if (p == 0) continue;
+      if (text[p - 1] == '.') {
+        --p;
+      } else if (text[p - 1] == '>' && p >= 2 && text[p - 2] == '-') {
+        p -= 2;
+      } else {
+        continue;
+      }
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+        --p;
+      std::size_t re = p;
+      while (p > 0 && ident_char(text[p - 1])) --p;
+      if (p == re) continue;
+      std::string recv(text.substr(p, re - p));
+      if (atomics.count(recv) == 0) continue;
+      std::size_t open = skip_ws(text, at + op.size());
+      if (open >= text.size() || text[open] != '(') continue;
+      std::size_t close = skip_parens(text, open);
+      std::string_view args = text.substr(open, close - open);
+      if (args.find("memory_order") != std::string_view::npos) continue;
+      report(at, "'" + recv + "." + std::string(op) +
+                     "(...)' without a memory_order argument");
+    }
+  }
+
+  // Operator form: ++x, x++, x += n, x = n on a known atomic.
+  for (const std::string& name : atomics) {
+    for (std::size_t at : word_occurrences(text, name)) {
+      char before = prev_nonws(text, at);
+      if (before == '>' || ident_char(before)) continue;  // declaration
+      if (before == '.' || before == ',') continue;  // member access / args
+      std::size_t after = skip_ws(text, at + name.size());
+      bool hit = false;
+      if (before == '+' && at >= 2 && text[at - 2] == '+') hit = true;
+      if (before == '-' && at >= 2 && text[at - 2] == '-') hit = true;
+      if (!hit && after + 1 < text.size()) {
+        std::string_view two = text.substr(after, 2);
+        if (two == "++" || two == "--" || two == "+=" || two == "-=" ||
+            two == "&=" || two == "|=" || two == "^=")
+          hit = true;
+        else if (text[after] == '=' && two != "==")
+          hit = true;
+      }
+      if (hit)
+        report(at, "implicit-seq_cst operator on atomic '" + name + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// conc-shared-static.
+
+/// (a) `static` storage anywhere: flags mutable non-atomic statics and
+/// harvests static mutexes into the lock-name table.
+void scan_statics(const ConcFile& f, std::set<std::string>* global_mutexes,
+                  std::vector<Finding>* out) {
+  std::string_view text = f.text;
+  for (std::size_t at : word_occurrences(text, "static")) {
+    // Statement head: back to the previous statement boundary.
+    std::size_t s = at;
+    while (s > 0 && text[s - 1] != ';' && text[s - 1] != '{' &&
+           text[s - 1] != '}' && text[s - 1] != ':' && text[s - 1] != '\n')
+      --s;
+    // Forward: function or variable?
+    std::size_t p = at + 6;
+    int ad = 0;
+    bool is_fn = false;
+    std::string name;
+    std::size_t punct = text.size();
+    while (p < text.size()) {
+      char d = text[p];
+      if (ident_char(d) && std::isdigit(static_cast<unsigned char>(d)) == 0) {
+        std::size_t ie = p;
+        std::string id = read_ident(text, p, &ie);
+        if (id == "alignas" || annotation_macro(id)) {
+          p = skip_parens(text, ie);
+          continue;
+        }
+        if (ad == 0) name = std::move(id);
+        p = ie;
+        continue;
+      }
+      if (d == '<') ++ad;
+      else if (d == '>' && ad > 0) --ad;
+      else if (d == '(' && ad == 0) {
+        is_fn = true;
+        punct = p;
+        break;
+      } else if ((d == '=' || d == ';' || d == '{') && ad == 0) {
+        punct = p;
+        break;
+      }
+      ++p;
+    }
+    if (is_fn) continue;
+    std::string_view head = text.substr(s, punct - s);
+    TypeFlags t = classify_head(head);
+    if (t.is_mutex && !name.empty()) global_mutexes->insert(name);
+    if (t.is_sync || t.is_atomic || t.is_const ||
+        contains_word(head, "constexpr") ||
+        contains_word(head, "constinit") ||
+        contains_word(head, "thread_local") || contains_word(head, "extern"))
+      continue;
+    if (name.empty()) continue;
+    out->push_back(
+        {f.src.path, f.line_of(at), Rule::kConcSharedStatic,
+         "mutable static '" + name +
+             "' — static state is shared across farm workers; make it "
+             "const/constexpr, thread_local, atomic, or guard it by a "
+             "mutex-owning class"});
+  }
+}
+
+/// (b) namespace-scope variables: flags mutable non-atomic globals and
+/// harvests namespace-scope mutexes (including extern declarations) into
+/// the lock-name table.
+void scan_globals(const ConcFile& f, std::set<std::string>* global_mutexes,
+                  std::vector<Finding>* out) {
+  std::string_view text = f.text;
+  // true = namespace brace; anything else hides its contents.
+  std::vector<bool> ctx;
+  auto ns_scope = [&] {
+    return std::all_of(ctx.begin(), ctx.end(), [](bool b) { return b; });
+  };
+  std::size_t i = 0;
+  while (i < text.size()) {
+    i = skip_ws(text, i);
+    if (i >= text.size()) break;
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!ctx.empty()) ctx.pop_back();
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      ctx.push_back(false);
+      ++i;
+      continue;
+    }
+    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        !ns_scope()) {
+      ++i;
+      continue;
+    }
+    // A namespace-scope statement begins here; classify and consume it.
+    std::size_t we = i;
+    std::string w = read_ident(text, i, &we);
+    if (w == "namespace") {
+      while (we < text.size() && text[we] != '{' && text[we] != ';') ++we;
+      if (we < text.size() && text[we] == '{') ctx.push_back(true);
+      i = we + 1;
+      continue;
+    }
+    if (w == "template") {
+      std::size_t lt = skip_ws(text, we);
+      if (lt < text.size() && text[lt] == '<') we = skip_angles(text, lt);
+      i = we;
+      continue;  // the declaration that follows is classified on its own
+    }
+    if (w == "struct" || w == "class" || w == "enum" || w == "union") {
+      while (we < text.size() && text[we] != '{' && text[we] != ';') ++we;
+      if (we < text.size() && text[we] == '{')
+        we = skip_to_matching_brace(text, we);
+      while (we < text.size() && text[we] != ';') ++we;
+      i = we + 1;
+      continue;
+    }
+    if (w == "using" || w == "typedef" || w == "static_assert" ||
+        w == "friend") {
+      while (we < text.size() && text[we] != ';') ++we;
+      i = we + 1;
+      continue;
+    }
+    // Generic: function (skip declarator + body) or variable (classify).
+    std::size_t stmt_start = i;
+    std::size_t pos = i;
+    int ad = 0;
+    bool is_fn = false;
+    std::string name;
+    std::size_t name_pos = i, punct = text.size();
+    bool done = false;
+    while (pos < text.size() && !done) {
+      char d = text[pos];
+      if (ident_char(d) && std::isdigit(static_cast<unsigned char>(d)) == 0) {
+        std::size_t ie = pos;
+        std::string id = read_ident(text, pos, &ie);
+        if (annotation_macro(id)) {
+          pos = skip_parens(text, ie);
+          continue;
+        }
+        if (ad == 0) {
+          name = std::move(id);
+          name_pos = pos;
+        }
+        pos = ie;
+        continue;
+      }
+      switch (d) {
+        case '<':
+          ++ad;
+          ++pos;
+          break;
+        case '>':
+          if (ad > 0) --ad;
+          ++pos;
+          break;
+        case '(':
+          if (ad == 0) {
+            is_fn = true;
+            // Parameters, then trailing tokens to ';' or to a body.
+            pos = skip_parens(text, pos);
+            int pd = 0;
+            while (pos < text.size()) {
+              char x = text[pos];
+              if (x == '(') ++pd;
+              if (x == ')' && pd > 0) --pd;
+              if (x == ';' && pd == 0) break;
+              if (x == '{' && pd == 0) {
+                pos = skip_to_matching_brace(text, pos);
+                --pos;  // land on the consumed brace's successor below
+                break;
+              }
+              ++pos;
+            }
+            ++pos;
+            done = true;
+          } else {
+            ++pos;
+          }
+          break;
+        case '=':
+          if (ad == 0) {
+            punct = pos;
+            int pd = 0;
+            while (pos < text.size()) {
+              char x = text[pos];
+              if (x == '(') ++pd;
+              if (x == ')' && pd > 0) --pd;
+              if (x == '{' && pd == 0)
+                pos = skip_to_matching_brace(text, pos);
+              else if (x == ';' && pd == 0)
+                break;
+              else
+                ++pos;
+            }
+            ++pos;
+            done = true;
+          } else {
+            ++pos;
+          }
+          break;
+        case '{':
+          if (ad == 0) {
+            punct = std::min(punct, pos);
+            pos = skip_to_matching_brace(text, pos);
+            while (pos < text.size() && text[pos] != ';') ++pos;
+            ++pos;
+            done = true;
+          } else {
+            ++pos;
+          }
+          break;
+        case ';':
+          punct = std::min(punct, pos);
+          ++pos;
+          done = true;
+          break;
+        default:
+          ++pos;
+          break;
+      }
+    }
+    i = pos;
+    if (is_fn || name.empty()) continue;
+    std::string_view head =
+        text.substr(stmt_start, std::min(punct, text.size()) - stmt_start);
+    TypeFlags t = classify_head(head);
+    if (t.is_mutex) global_mutexes->insert(name);
+    if (t.is_sync || t.is_atomic || t.is_const ||
+        contains_word(head, "constexpr") ||
+        contains_word(head, "constinit") ||
+        contains_word(head, "thread_local") ||
+        contains_word(head, "extern") || contains_word(head, "static"))
+      continue;  // static: rule (a) reports it once
+    out->push_back(
+        {f.src.path, f.line_of(name_pos), Rule::kConcSharedStatic,
+         "mutable namespace-scope '" + name +
+             "' — global state is shared across farm workers; make it "
+             "const/constexpr, thread_local, atomic, or guard it by a "
+             "mutex-owning class"});
+  }
+}
+
+/// apply_suppressions both filters and *reports* malformed directives;
+/// the determinism pass already reports those for every src file, so this
+/// pass filters only (same contract as the arch pass).
+std::vector<Finding> filter_suppressed(const SourceFile& f,
+                                       std::vector<Finding> findings) {
+  std::vector<Finding> out = apply_suppressions(f, std::move(findings));
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const Finding& fi) {
+                             return fi.rule == Rule::kBadSuppress;
+                           }),
+            out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// conc-lock-order: the acquisition walker.
+//
+// Acquisition is recognised through RAII guards only (util::MutexLock,
+// std::lock_guard/unique_lock/scoped_lock) — the project's conc-guarded
+// rule already pushes all locking through them, and ignoring bare
+// .lock()/.unlock() keeps wrapper internals (util::Mutex forwarding to
+// its std::mutex) out of the graph.  A guard's lifetime is its enclosing
+// brace scope.  Calls made while holding locks are resolved by method
+// name (conservatively merging same-named methods) and lock sets
+// propagate caller-ward to a fixpoint, so A->C is found when A's holder
+// calls f and f acquires C.
+
+bool guard_keyword(std::string_view w) {
+  return w == "lock_guard" || w == "unique_lock" || w == "scoped_lock" ||
+         w == "MutexLock";
+}
+
+struct CallSite {
+  std::string callee;             ///< "Cls::fn" when spelled qualified.
+  std::vector<std::string> held;  ///< Canonical lock names at the call.
+  std::size_t file = 0;           ///< Scanned-file index (witness).
+  std::size_t line = 0;
+};
+
+struct DirectEdge {
+  std::string from, to;
+  std::size_t file = 0, line = 0;
+};
+
+struct LockScan {
+  std::vector<DirectEdge> direct;
+  std::vector<CallSite> calls;  ///< Sites with a non-empty held set.
+  /// Locks a function acquires in its own body (pre-fixpoint).
+  std::map<std::string, std::set<std::string>> fn_locks;
+  /// Callees named by each function's body (any held state).
+  std::map<std::string, std::set<std::string>> fn_calls;
+  std::set<std::string> all_locks;  ///< Every canonical name acquired.
+};
+
+/// Resolution tables shared by every file's walk.
+struct LockNames {
+  std::map<std::string, std::set<std::string>> class_mutexes;
+  std::map<std::string, std::set<std::string>> mutex_owners;
+  std::set<std::string> global_mutexes;
+
+  /// Canonical name for a lock expression's trailing identifier, given
+  /// the class whose method we are inside ("" for free functions).
+  std::string canonical(const std::string& name,
+                        const std::string& cur_cls) const {
+    if (!cur_cls.empty()) {
+      auto it = class_mutexes.find(cur_cls);
+      if (it != class_mutexes.end() && it->second.count(name) != 0)
+        return cur_cls + "::" + name;
+    }
+    auto own = mutex_owners.find(name);
+    if (own != mutex_owners.end() && own->second.size() == 1)
+      return *own->second.begin() + "::" + name;
+    return name;  // global mutex, or unresolved: keep the spelling
+  }
+};
+
+void walk_locks(const ConcFile& f, std::size_t file_index,
+                const LockNames& names, LockScan* scan) {
+  std::string_view text = f.text;
+  struct Frame {
+    char kind;        ///< 'n'amespace, 'c'lass, 'f'unction, 'o'ther.
+    std::string name; ///< Class name / qualified function name.
+  };
+  std::vector<Frame> frames;
+  /// Held guards: canonical lock name + the frame depth owning the guard.
+  std::vector<std::pair<std::string, std::size_t>> held;
+  std::string cand;  ///< Function-definition candidate awaiting its '{'.
+  int pd = 0;        ///< Unconsumed paren depth (call arguments).
+
+  auto cur_cls = [&]() -> std::string {
+    for (std::size_t k = frames.size(); k > 0; --k)
+      if (frames[k - 1].kind == 'c') return frames[k - 1].name;
+    // Out-of-line member: the qualifier of the enclosing function name.
+    for (std::size_t k = frames.size(); k > 0; --k)
+      if (frames[k - 1].kind == 'f') {
+        const std::string& fn = frames[k - 1].name;
+        std::size_t sep = fn.rfind("::");
+        if (sep != std::string::npos) return fn.substr(0, sep);
+        return "";
+      }
+    return "";
+  };
+  auto cur_fn = [&]() -> std::string {
+    for (std::size_t k = frames.size(); k > 0; --k)
+      if (frames[k - 1].kind == 'f') return frames[k - 1].name;
+    return "";
+  };
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::size_t start = i;
+      std::size_t we = i;
+      std::string w = read_ident(text, i, &we);
+      if (w == "template") {
+        std::size_t lt = skip_ws(text, we);
+        i = (lt < text.size() && text[lt] == '<') ? skip_angles(text, lt)
+                                                  : we;
+        continue;
+      }
+      if (w == "namespace") {
+        while (we < text.size() && text[we] != '{' && text[we] != ';') ++we;
+        if (we < text.size() && text[we] == '{') frames.push_back({'n', ""});
+        i = we + 1;
+        continue;
+      }
+      if (w == "enum") {
+        while (we < text.size() && text[we] != '{' && text[we] != ';') ++we;
+        if (we < text.size() && text[we] == '{')
+          we = skip_to_matching_brace(text, we);
+        i = we;
+        continue;
+      }
+      if (w == "struct" || w == "class" || w == "union") {
+        std::size_t p = skip_ws(text, we);
+        std::string name;
+        std::size_t name_end = p;
+        if (p < text.size() && ident_char(text[p]))
+          name = read_ident(text, p, &name_end);
+        while (name == "CAPABILITY" || name == "SCOPED_CAPABILITY" ||
+               name == "alignas") {
+          std::size_t a = skip_ws(text, skip_parens(text, name_end));
+          if (a >= text.size() || !ident_char(text[a])) {
+            name.clear();
+            break;
+          }
+          p = a;
+          name = read_ident(text, p, &name_end);
+        }
+        std::size_t q = name_end;
+        int ad = 0;
+        bool saw_colon = false, body = false;
+        while (q < text.size()) {
+          char d = text[q];
+          if (d == '<') ++ad;
+          else if (d == '>' && ad > 0) --ad;
+          else if (d == ';' || d == '(' || d == '=' || d == ')') break;
+          else if (d == ',' && ad == 0 && !saw_colon) break;
+          else if (d == ':' && ad == 0) saw_colon = true;
+          else if (d == '{' && ad == 0) {
+            body = true;
+            break;
+          }
+          ++q;
+        }
+        if (body && !name.empty()) {
+          frames.push_back({'c', name});
+          i = q + 1;
+        } else {
+          i = name_end;
+        }
+        continue;
+      }
+      if (guard_keyword(w) && !cur_fn().empty()) {
+        // `MutexLock l(mu_);` / `std::lock_guard<std::mutex> g(m);`:
+        // canonicalize each constructor argument as an acquisition.
+        std::size_t p = skip_ws(text, we);
+        if (p < text.size() && text[p] == '<') p = skip_ws(text, skip_angles(text, p));
+        if (p < text.size() && ident_char(text[p])) {
+          std::size_t ve = p;
+          read_ident(text, p, &ve);  // the guard variable name
+          p = skip_ws(text, ve);
+        }
+        if (p < text.size() && (text[p] == '(' || text[p] == '{')) {
+          char open_ch = text[p];
+          char close_ch = open_ch == '(' ? ')' : '}';
+          std::size_t open = p;
+          int depth = 0;
+          std::size_t close = open;
+          for (std::size_t q2 = open; q2 < text.size(); ++q2) {
+            if (text[q2] == open_ch) ++depth;
+            if (text[q2] == close_ch && --depth == 0) {
+              close = q2;
+              break;
+            }
+          }
+          // Split [open+1, close) on top-level commas.
+          std::vector<std::string> args;
+          {
+            std::size_t a0 = open + 1;
+            int ad2 = 0, pd2 = 0;
+            for (std::size_t q2 = open + 1; q2 <= close; ++q2) {
+              char d = q2 < close ? text[q2] : ',';
+              if (d == '<') ++ad2;
+              else if (d == '>' && ad2 > 0) --ad2;
+              else if (d == '(' || d == '[') ++pd2;
+              else if ((d == ')' || d == ']') && pd2 > 0) --pd2;
+              else if (d == ',' && ad2 == 0 && pd2 == 0) {
+                args.emplace_back(text.substr(a0, q2 - a0));
+                a0 = q2 + 1;
+              }
+            }
+          }
+          const std::string fn = cur_fn();
+          const std::string cls = cur_cls();
+          for (const std::string& arg : args) {
+            // Trailing identifier of the expression (mu_, g_alpha, ...).
+            std::size_t end = arg.size();
+            while (end > 0 && !ident_char(arg[end - 1])) --end;
+            std::size_t begin = end;
+            while (begin > 0 && ident_char(arg[begin - 1])) --begin;
+            if (begin == end) continue;
+            std::string leaf = arg.substr(begin, end - begin);
+            if (leaf == "defer_lock" || leaf == "adopt_lock" ||
+                leaf == "try_to_lock" || leaf.empty())
+              continue;
+            std::string lock = names.canonical(leaf, cls);
+            for (const auto& [h, depth2] : held) {
+              (void)depth2;
+              if (h != lock)
+                scan->direct.push_back(
+                    {h, lock, file_index, f.line_of(start)});
+            }
+            held.emplace_back(lock, frames.size());
+            scan->fn_locks[fn].insert(lock);
+            scan->all_locks.insert(lock);
+          }
+          i = close + 1;
+        } else {
+          i = p;
+        }
+        continue;
+      }
+      if (annotation_macro(w)) {
+        i = skip_parens(text, we);
+        continue;
+      }
+      if (control_keyword(w)) {
+        i = we;
+        continue;
+      }
+      // Identifier followed by '(' — a call (inside a function) or a
+      // function-definition candidate (at namespace/class scope).
+      std::size_t q = skip_ws(text, we);
+      if (q < text.size() && text[q] == '(') {
+        std::string qual;
+        std::size_t qs = start;
+        if (qs >= 1 && text[qs - 1] == '~') --qs;  // destructors
+        if (qs >= 2 && text[qs - 1] == ':' && text[qs - 2] == ':') {
+          std::size_t qe = qs - 2;
+          std::size_t qb = qe;
+          while (qb > 0 && ident_char(text[qb - 1])) --qb;
+          if (qb < qe) qual = std::string(text.substr(qb, qe - qb));
+        }
+        std::string full = qual.empty() ? w : qual + "::" + w;
+        const std::string fn = cur_fn();
+        if (!fn.empty()) {
+          scan->fn_calls[fn].insert(full);
+          if (!held.empty()) {
+            CallSite cs;
+            cs.callee = full;
+            for (const auto& [h, depth2] : held) {
+              (void)depth2;
+              cs.held.push_back(h);
+            }
+            cs.file = file_index;
+            cs.line = f.line_of(start);
+            scan->calls.push_back(std::move(cs));
+          }
+        } else if (cand.empty()) {
+          cand = full;
+        }
+      }
+      i = we;
+      continue;
+    }
+    switch (c) {
+      case '{':
+        if (pd > 0) {
+          frames.push_back({'o', ""});  // lambda body inside call args
+        } else if (!cand.empty() && cur_fn().empty()) {
+          frames.push_back({'f', cand});
+          cand.clear();
+        } else {
+          frames.push_back({'o', ""});
+        }
+        ++i;
+        break;
+      case '}':
+        if (!frames.empty()) frames.pop_back();
+        while (!held.empty() && held.back().second > frames.size())
+          held.pop_back();
+        cand.clear();
+        ++i;
+        break;
+      case '(':
+        ++pd;
+        ++i;
+        break;
+      case ')':
+        if (pd > 0) --pd;
+        ++i;
+        break;
+      case ';':
+        cand.clear();
+        ++i;
+        break;
+      default:
+        ++i;
+        break;
+    }
+  }
+}
+
+/// Unions `fn_locks` over every function `callee` can name: an exact
+/// match when qualified, every same-named method otherwise (conservative
+/// merge — the tokenizer cannot see receiver types).
+std::set<std::string> resolve_locks(
+    const std::string& callee,
+    const std::map<std::string, std::set<std::string>>& fn_locks,
+    const std::map<std::string, std::vector<std::string>>& by_leaf) {
+  std::set<std::string> out;
+  auto add = [&](const std::string& key) {
+    auto it = fn_locks.find(key);
+    if (it != fn_locks.end()) out.insert(it->second.begin(), it->second.end());
+  };
+  add(callee);
+  if (callee.find("::") == std::string::npos) {
+    auto it = by_leaf.find(callee);
+    if (it != by_leaf.end())
+      for (const std::string& key : it->second) add(key);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The pass.
+
+ConcOptions conc_options_for_root(const std::string& root) {
+  ConcOptions o;
+  o.root = root;
+  o.src_dir = (fs::path(root) / "src").generic_string();
+  return o;
+}
+
+void print_lock_dot(std::ostream& os, const LockGraph& g) {
+  os << "// Lock-acquisition-order graph, generated by `its_lint "
+        "--lock-dot`.\n"
+     << "// An edge A -> B: some thread acquires B while holding A.\n"
+     << "// Deadlock freedom = this stays a DAG (its_lint conc-lock-order).\n"
+     << "// Do not edit: CI diffs this file against a fresh run.\n"
+     << "digraph its_locks {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const std::string& l : g.locks) os << "  \"" << l << "\";\n";
+  for (const LockGraph::Edge& e : g.edges)
+    os << "  \"" << e.from << "\" -> \"" << e.to << "\";\n";
+  os << "}\n";
+}
+
+std::vector<Finding> scan_concurrency_files(
+    const std::vector<SourceFile>& files, LockGraph* graph) {
+  std::vector<ConcFile> cf(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    cf[i].src = files[i];
+    build_views(&cf[i]);
+  }
+
+  // -- Whole-program indices: classes (mutex owners), atomics, globals.
+  std::vector<ClassInfo> classes;
+  for (std::size_t i = 0; i < cf.size(); ++i)
+    collect_classes(cf[i], i, &classes);
+
+  LockNames names;
+  for (const ClassInfo& ci : classes)
+    for (const Member& m : ci.members)
+      if (m.is_mutex) {
+        names.class_mutexes[ci.name].insert(m.name);
+        names.mutex_owners[m.name].insert(ci.name);
+      }
+
+  std::set<std::string> atomics;
+  for (const ConcFile& f : cf) harvest_atomics(f, &atomics);
+
+  std::vector<Finding> findings;
+
+  // -- conc-shared-static (both scans also harvest global/static mutexes
+  //    for the lock-name table, so they run before the lock walker).
+  for (const ConcFile& f : cf) {
+    scan_statics(f, &names.global_mutexes, &findings);
+    scan_globals(f, &names.global_mutexes, &findings);
+  }
+
+  // -- conc-atomic-order.
+  for (const ConcFile& f : cf) scan_atomic_order(f, atomics, &findings);
+
+  // -- conc-guarded + conc-false-share, straight off the member lists.
+  for (const ClassInfo& ci : classes) {
+    bool owns_mutex = std::any_of(ci.members.begin(), ci.members.end(),
+                                  [](const Member& m) { return m.is_mutex; });
+    if (owns_mutex) {
+      for (const Member& m : ci.members) {
+        if (m.is_sync || m.is_atomic || m.is_const || m.has_guard) continue;
+        findings.push_back(
+            {cf[ci.file].src.path, m.line, Rule::kConcGuarded,
+             "mutable member '" + m.name + "' of lock-owning class '" +
+                 ci.name +
+                 "' has no GUARDED_BY(...) — annotate which mutex protects "
+                 "it (util/thread_annotations.h), or state why it needs no "
+                 "guard in a suppression"});
+      }
+    }
+    for (std::size_t k = 1; k < ci.members.size(); ++k) {
+      const Member& a = ci.members[k - 1];
+      const Member& b = ci.members[k];
+      bool hot_a = a.is_mutex || a.is_atomic;
+      bool hot_b = b.is_mutex || b.is_atomic;
+      if (!hot_a || !hot_b) continue;
+      if (b.has_alignas || ci.has_alignas) continue;
+      findings.push_back(
+          {cf[ci.file].src.path, b.line, Rule::kConcFalseShare,
+           "synchronization members '" + a.name + "' and '" + b.name +
+               "' of '" + ci.name +
+               "' are adjacent with no alignas separation — contended "
+               "cache-line sharing; pad with "
+               "alignas(util::kDestructiveInterferenceSize)"});
+    }
+  }
+
+  // -- conc-lock-order.
+  LockScan scan;
+  for (std::size_t i = 0; i < cf.size(); ++i)
+    walk_locks(cf[i], i, names, &scan);
+
+  // Leaf-name -> qualified fn_locks keys, for unqualified call resolution.
+  std::map<std::string, std::vector<std::string>> by_leaf;
+  for (const auto& [key, locks] : scan.fn_locks) {
+    (void)locks;
+    std::size_t sep = key.rfind("::");
+    by_leaf[sep == std::string::npos ? key : key.substr(sep + 2)]
+        .push_back(key);
+  }
+  // Fixpoint: a function transitively acquires what its callees acquire.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [caller, callees] : scan.fn_calls) {
+      std::set<std::string>& mine = scan.fn_locks[caller];
+      const std::size_t before = mine.size();
+      for (const std::string& callee : callees) {
+        std::set<std::string> got =
+            resolve_locks(callee, scan.fn_locks, by_leaf);
+        mine.insert(got.begin(), got.end());
+      }
+      if (mine.size() != before) {
+        changed = true;
+        // Keep by_leaf in sync for keys that just appeared.
+        std::size_t sep = caller.rfind("::");
+        std::string leaf =
+            sep == std::string::npos ? caller : caller.substr(sep + 2);
+        auto& v = by_leaf[leaf];
+        if (std::find(v.begin(), v.end(), caller) == v.end())
+          v.push_back(caller);
+      }
+    }
+  }
+  // Edges: direct nestings plus held × callee-acquired per call site.
+  std::vector<DirectEdge> edges = scan.direct;
+  for (const CallSite& cs : scan.calls) {
+    std::set<std::string> acquired =
+        resolve_locks(cs.callee, scan.fn_locks, by_leaf);
+    for (const std::string& h : cs.held)
+      for (const std::string& l : acquired)
+        if (h != l) edges.push_back({h, l, cs.file, cs.line});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [&](const DirectEdge& a, const DirectEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              if (cf[a.file].src.path != cf[b.file].src.path)
+                return cf[a.file].src.path < cf[b.file].src.path;
+              return a.line < b.line;
+            });
+  LockGraph g;
+  g.locks.assign(scan.all_locks.begin(), scan.all_locks.end());
+  for (const DirectEdge& e : edges) {
+    if (!g.edges.empty() && g.edges.back().from == e.from &&
+        g.edges.back().to == e.to)
+      continue;  // deduped: first witness in (file, line) order wins
+    g.edges.push_back({e.from, e.to, cf[e.file].src.path, e.line});
+  }
+  if (graph != nullptr) *graph = g;
+
+  // Cycle detection over the deduped edge list.
+  {
+    std::map<std::string, std::vector<std::size_t>> adj;
+    for (std::size_t k = 0; k < g.edges.size(); ++k)
+      adj[g.edges[k].from].push_back(k);
+    std::set<std::string> reported;
+    // DFS from every lock; the gray stack names the cycle.
+    for (const std::string& root : g.locks) {
+      std::vector<std::string> stack;
+      std::set<std::string> on_stack;
+      // Explicit DFS with per-frame edge cursors.
+      std::vector<std::pair<std::string, std::size_t>> work;
+      work.emplace_back(root, 0);
+      stack.push_back(root);
+      on_stack.insert(root);
+      while (!work.empty()) {
+        auto& [node, cursor] = work.back();
+        const std::vector<std::size_t>* out_edges = nullptr;
+        auto it = adj.find(node);
+        if (it != adj.end()) out_edges = &it->second;
+        if (out_edges == nullptr || cursor >= out_edges->size()) {
+          on_stack.erase(node);  // before pop_back: `node` aliases the frame
+          work.pop_back();
+          stack.pop_back();
+          continue;
+        }
+        const LockGraph::Edge& e = g.edges[(*out_edges)[cursor++]];
+        if (on_stack.count(e.to) != 0) {
+          // Cycle: the stack from e.to onward, closed by node -> e.to.
+          auto at = std::find(stack.begin(), stack.end(), e.to);
+          std::vector<std::string> cyc(at, stack.end());
+          auto smallest = std::min_element(cyc.begin(), cyc.end());
+          std::rotate(cyc.begin(), smallest, cyc.end());
+          std::string path;
+          for (const std::string& n : cyc) path += n + " -> ";
+          path += cyc.front();
+          if (reported.insert(path).second) {
+            // Anchor at the witness of the cycle's first edge.
+            std::string file = cf[0].src.path;
+            std::size_t line = 0;
+            const std::string& to0 = cyc.size() > 1 ? cyc[1] : cyc[0];
+            for (const LockGraph::Edge& w : g.edges)
+              if (w.from == cyc.front() && w.to == to0) {
+                file = w.file;
+                line = w.line;
+                break;
+              }
+            findings.push_back(
+                {file, line, Rule::kConcLockOrder,
+                 "lock-order cycle: " + path +
+                     " — two threads taking these locks in opposite order "
+                     "deadlock; fix the acquisition order (docs/locks.dot "
+                     "has every edge's witness)"});
+          }
+          continue;
+        }
+        if (stack.size() > g.locks.size()) continue;  // safety bound
+        work.emplace_back(e.to, 0);
+        stack.push_back(e.to);
+        on_stack.insert(e.to);
+      }
+    }
+  }
+
+  // -- Reasoned suppressions, per anchoring file.
+  {
+    std::map<std::string, std::size_t> by_path;
+    for (std::size_t i = 0; i < cf.size(); ++i) by_path[cf[i].src.path] = i;
+    std::map<std::string, std::vector<Finding>> grouped;
+    std::vector<Finding> rest;
+    for (Finding& fi : findings) {
+      if (by_path.count(fi.file) != 0)
+        grouped[fi.file].push_back(std::move(fi));
+      else
+        rest.push_back(std::move(fi));
+    }
+    findings = std::move(rest);
+    for (auto& [file, group] : grouped) {
+      std::vector<Finding> kept =
+          filter_suppressed(cf[by_path[file]].src, std::move(group));
+      findings.insert(findings.end(), std::make_move_iterator(kept.begin()),
+                      std::make_move_iterator(kept.end()));
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> scan_concurrency(const ConcOptions& opts,
+                                      LockGraph* graph,
+                                      std::vector<std::string>* errors) {
+  std::vector<SourceFile> files;
+  for (const std::string& p : collect_tree(opts.src_dir, errors)) {
+    SourceFile f;
+    std::string err;
+    if (!SourceFile::load(p, &f, &err)) {
+      errors->push_back(err);
+      continue;
+    }
+    f.path = fs::path(p).lexically_relative(opts.root).generic_string();
+    files.push_back(std::move(f));
+  }
+  return scan_concurrency_files(files, graph);
+}
+
+}  // namespace its::lint

@@ -1,14 +1,16 @@
 // its_lint command-line driver.
 //
 //   its_lint [--root DIR] [--json] [--no-registry] [--no-arch]
-//            [--arch-only] [--dot PATH] [--list-rules] [paths...]
+//            [--no-conc] [--arch-only] [--conc-only] [--dot PATH]
+//            [--lock-dot PATH] [--list-rules] [paths...]
 //
 // With no paths, scans <root>/src with every rule.  Explicit paths run the
 // per-file determinism rules on exactly those files/directories (the
 // registry rules still resolve against --root unless --no-registry; the
-// whole-program architecture pass only runs on full-tree scans).
-// --arch-only restricts a run to the arch-* family; --dot writes the
-// module dependency graph as Graphviz to PATH ("-" for stdout).
+// whole-program architecture and concurrency passes only run on full-tree
+// scans).  --arch-only / --conc-only restrict a run to one whole-program
+// family; --dot writes the module dependency graph and --lock-dot the
+// lock-acquisition-order graph as Graphviz to PATH ("-" for stdout).
 //
 // Exit codes: 0 clean, 1 usage/IO error, 10+N when rule N fired.  When
 // several distinct rules fire, the exit code is the LOWEST firing rule's
@@ -38,8 +40,8 @@ int list_rules() {
 int usage(std::string_view msg) {
   std::cerr << "its_lint: " << msg << "\n"
             << "usage: its_lint [--root DIR] [--json] [--no-registry] "
-               "[--no-arch] [--arch-only] [--dot PATH] "
-               "[--list-rules] [paths...]\n";
+               "[--no-arch] [--no-conc] [--arch-only] [--conc-only] "
+               "[--dot PATH] [--lock-dot PATH] [--list-rules] [paths...]\n";
   return its::lint::kExitUsage;
 }
 
@@ -55,11 +57,19 @@ int main(int argc, char** argv) {
       opts.registry = false;
     } else if (arg == "--no-arch") {
       opts.arch = false;
+    } else if (arg == "--no-conc") {
+      opts.conc = false;
     } else if (arg == "--arch-only") {
       opts.arch_only = true;
+    } else if (arg == "--conc-only") {
+      opts.conc_only = true;
     } else if (arg == "--dot") {
       if (i + 1 >= argc) return usage("--dot needs a path ('-' for stdout)");
       opts.dot_path = argv[++i];
+    } else if (arg == "--lock-dot") {
+      if (i + 1 >= argc)
+        return usage("--lock-dot needs a path ('-' for stdout)");
+      opts.lock_dot_path = argv[++i];
     } else if (arg == "--list-rules") {
       return list_rules();
     } else if (arg == "--root") {
@@ -73,6 +83,10 @@ int main(int argc, char** argv) {
   }
   if (opts.arch_only && !opts.arch)
     return usage("--arch-only and --no-arch are mutually exclusive");
+  if (opts.conc_only && !opts.conc)
+    return usage("--conc-only and --no-conc are mutually exclusive");
+  if (opts.conc_only && opts.arch_only)
+    return usage("--arch-only and --conc-only are mutually exclusive");
 
   its::lint::LintResult r = its::lint::run_lint(opts);
   if (opts.json)
