@@ -1,0 +1,62 @@
+// Serving ablation — overcommit ratio (how far DRAM undershoots demand).
+//
+// Sweeps the admitted-working-set : DRAM ratio for the static baselines and
+// ITS under the same bursty arrival stream.  Each doubling shrinks the
+// frame pool and inflates per-request fault counts; ITS's tail-latency lead
+// holds at every ratio because short-lived requests fault even when they
+// fit (cold-start demand paging) — the serving restatement of the paper's
+// claim that stolen idle time compounds with memory pressure
+// (docs/serving.md has the committed numbers).
+#include "bench_common.h"
+
+#include "serve/report.h"
+#include "serve/scenario.h"
+#include "serve/sweep.h"
+#include "util/quantile.h"
+
+int main(int argc, char** argv) {
+  using namespace its;
+  std::cerr << "Serving ablation: overcommit ratio sweep\n";
+
+  serve::ServeConfig base;
+  base.arrivals.model = serve::ArrivalModel::kMmpp;
+  base.arrivals.rate_rps = 800.0;
+  base.duration = 200'000'000;  // 200 ms arrival window
+  base.admit_limit = 64;
+
+  const double overcommits[] = {1.0, 2.0, 4.0, 8.0};
+  const core::PolicyKind policies[] = {core::PolicyKind::kAsync,
+                                       core::PolicyKind::kSync,
+                                       core::PolicyKind::kIts};
+  std::vector<serve::ServePoint> points = serve::run_serve_sweep(
+      base, overcommits, policies, bench::jobs_from_args(argc, argv));
+
+  util::Table t({"policy", "overcommit", "reject", "SLO viol", "p99 ms",
+                 "p999 ms", "req/s"});
+  for (const serve::ServePoint& pt : points) {
+    const serve::ServeMetrics& m = pt.metrics;
+    t.add_row({std::string(core::policy_name(pt.policy)),
+               util::Table::fmt(pt.overcommit, 1), util::Table::fmt(m.rejects),
+               util::Table::fmt(m.slo_violations),
+               util::Table::fmt(static_cast<double>(m.latency.quantile(0.99)) / 1e6, 2),
+               util::Table::fmt(static_cast<double>(m.latency.quantile(0.999)) / 1e6, 2),
+               util::Table::fmt(m.requests_per_sec(), 0)});
+  }
+
+  std::cout << "\n== Serving ablation — overcommit ratio ==\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpectation: ITS posts the lowest p99 at every ratio — even "
+               "at 1.0,\nwhere the admitted working sets fit, short-lived "
+               "requests are wall-to-wall\ncold-start demand paging that "
+               "sync burns as idle time.  Async sheds most\nof the load "
+               "(reject column) and still trails on p99; its violation "
+               "count\nonly drops because rejected requests never get far "
+               "enough to violate.\n";
+
+  util::Args args(argc, argv);
+  if (auto dir = args.get("csv")) {
+    serve::save_serve_csv(*dir + "/abl_serve_overcommit.csv", points);
+    std::cout << "\nwrote " << *dir << "/abl_serve_overcommit.csv\n";
+  }
+  return 0;
+}

@@ -10,10 +10,17 @@
 // --ctx-us=<n>  --length-scale=<f>  --csv=<dir>  --fault-profile=<name>
 // --fault-seed=<n>  --fault-outage=<k=v,...>  --jobs=<n>  --list
 //
+// The open-loop serving scenario (docs/serving.md) rides the same binary:
+//   its_cli --scenario=serve --policy=ITS --arrival-rate=40000 \
+//           --duration-ms=40 --overcommit=2 --slo-p99=8000000
+// with --arrival-model=poisson|mmpp  --admit-limit=<n>  --max-requests=<n>
+// --burst-mult=<f>  --burst-fraction=<f> shaping the stream.
+//
 // Exit codes: 0 success, 1 invariant violation, 2 usage error (unknown
 // flag / bad value), 3 unreadable or corrupt input file, 4 invalid fault
 // profile or outage spec, 5 unrecoverable outage (the device died and a
-// page was lost past the fallback pool — docs/robustness.md).
+// page was lost past the fallback pool — docs/robustness.md), 6 SLO gate
+// failed (--slo-p99 given and a run's aggregate p99 exceeded it).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,7 +34,12 @@
 #include "trace/lackey.h"
 #include "trace/trace_io.h"
 #include "core/report.h"
+#include "serve/arrival.h"
+#include "serve/report.h"
+#include "serve/scenario.h"
+#include "serve/sweep.h"
 #include "util/args.h"
+#include "util/quantile.h"
 #include "util/table.h"
 
 namespace {
@@ -39,6 +51,7 @@ constexpr int kUsageError = 2;
 constexpr int kInputError = 3;
 constexpr int kBadFaultProfile = 4;
 constexpr int kUnrecoverableOutage = 5;
+constexpr int kSloGateFailed = 6;
 
 int list_everything() {
   std::cout << "batches:\n";
@@ -212,6 +225,125 @@ int apply_fault_flags(const util::Args& args, fault::FaultProfile& fp) {
   return 0;
 }
 
+void print_serve_point(const serve::ServePoint& pt) {
+  std::cout << "policy " << core::policy_name(pt.policy) << ", overcommit "
+            << pt.overcommit << ":\n";
+  util::Table t({"tier", "slo ms", "arrive", "admit", "reject", "done",
+                 "viol", "p50 ms", "p99 ms", "p999 ms"});
+  auto ms = [](its::Duration d) {
+    return util::Table::fmt(static_cast<double>(d) / 1e6, 2);
+  };
+  auto row = [&](const std::string& name, its::Duration slo,
+                 std::uint64_t arrive, std::uint64_t admit,
+                 std::uint64_t reject, std::uint64_t done, std::uint64_t viol,
+                 const util::QuantileDigest& lat) {
+    t.add_row({name, slo == 0 ? "-" : ms(slo), util::Table::fmt(arrive),
+               util::Table::fmt(admit), util::Table::fmt(reject),
+               util::Table::fmt(done), util::Table::fmt(viol),
+               ms(lat.quantile(0.50)), ms(lat.quantile(0.99)),
+               ms(lat.quantile(0.999))});
+  };
+  const serve::ServeMetrics& m = pt.metrics;
+  for (const serve::TierMetrics& tm : m.tiers)
+    row(tm.name, tm.slo_ns, tm.arrivals, tm.admits, tm.rejects, tm.completed,
+        tm.slo_violations, tm.latency);
+  row("all", 0, m.arrivals, m.admits, m.rejects, m.completed,
+      m.slo_violations, m.latency);
+  t.print(std::cout);
+  std::cout << "  " << util::Table::fmt(m.requests_per_sec(), 0)
+            << " req/s sustained over "
+            << util::Table::fmt(static_cast<double>(m.sim.makespan) / 1e6, 2)
+            << " ms\n\n";
+}
+
+/// --scenario=serve: the open-loop serving scenario (docs/serving.md).
+/// Reuses --policy/--seed/--jobs/--csv/--trace-out and the fault flags;
+/// the serve-only knobs shape the arrival stream and the frame pool.
+int run_serve_cli(const util::Args& args) {
+  serve::ServeConfig cfg;
+  cfg.arrivals.seed = args.get_u64("seed", cfg.arrivals.seed);
+  cfg.sim.seed = cfg.arrivals.seed;
+  cfg.arrivals.rate_rps =
+      args.get_double("arrival-rate", cfg.arrivals.rate_rps);
+  cfg.arrivals.burst_rate_mult =
+      args.get_double("burst-mult", cfg.arrivals.burst_rate_mult);
+  cfg.arrivals.burst_fraction =
+      args.get_double("burst-fraction", cfg.arrivals.burst_fraction);
+  if (auto name = args.get("arrival-model")) {
+    auto m = serve::find_arrival_model(*name);
+    if (!m) {
+      std::cerr << "--arrival-model must be poisson or mmpp\n";
+      return kUsageError;
+    }
+    cfg.arrivals.model = *m;
+  }
+  cfg.duration = args.get_u64("duration-ms", cfg.duration / 1'000'000) * 1'000'000;
+  cfg.max_requests = args.get_u64("max-requests", cfg.max_requests);
+  cfg.admit_limit =
+      static_cast<unsigned>(args.get_u64("admit-limit", cfg.admit_limit));
+  cfg.overcommit = args.get_double("overcommit", cfg.overcommit);
+  if (int rc = apply_fault_flags(args, cfg.sim.fault); rc != 0) return rc;
+
+  const std::string policy = args.get_string("policy", "all");
+  std::vector<core::PolicyKind> policies;
+  for (auto k : core::kAllPolicies)
+    if (policy == "all" || core::policy_name(k) == policy)
+      policies.push_back(k);
+  if (policies.empty()) {
+    std::cerr << "unknown --policy " << policy << " (see --list)\n";
+    return kUsageError;
+  }
+  if (args.has("trace-out") && policies.size() > 1) {
+    std::cerr << "--trace-out needs a single --policy, not 'all'\n";
+    return kUsageError;
+  }
+
+  std::cout << "serve: " << serve::arrival_model_name(cfg.arrivals.model)
+            << " arrivals at " << cfg.arrivals.rate_rps << " req/s for "
+            << static_cast<double>(cfg.duration) / 1e6
+            << " ms, admit limit " << cfg.admit_limit << ", overcommit "
+            << cfg.overcommit << ", seed " << cfg.arrivals.seed << "\n\n";
+
+  int rc = 0;
+  std::vector<serve::ServePoint> points;
+  if (args.has("trace-out")) {
+    obs::EventTrace etrace;
+    serve::ServePoint pt;
+    pt.policy = policies[0];
+    pt.overcommit = cfg.overcommit;
+    pt.metrics = serve::run_serve(cfg, policies[0], &etrace);
+    rc = emit_trace(*args.get("trace-out"), etrace, pt.metrics.sim,
+                    std::string(core::policy_name(policies[0])), {});
+    points.push_back(std::move(pt));
+  } else {
+    const double overcommits[] = {cfg.overcommit};
+    points = serve::run_serve_sweep(
+        cfg, overcommits, policies,
+        static_cast<unsigned>(args.get_u64("jobs", 0)));
+  }
+  for (const serve::ServePoint& pt : points) print_serve_point(pt);
+
+  if (auto dir = args.get("csv")) {
+    serve::save_serve_csv(*dir + "/its_serve.csv", points);
+    std::cout << "wrote " << *dir << "/its_serve.csv\n";
+  }
+  if (args.has("slo-p99")) {
+    const its::Duration gate = args.get_u64("slo-p99", 0);
+    for (const serve::ServePoint& pt : points) {
+      const its::Duration p99 = pt.metrics.latency.quantile(0.99);
+      if (p99 > gate) {
+        std::cerr << "SLO gate failed: policy "
+                  << core::policy_name(pt.policy) << " aggregate p99 " << p99
+                  << " ns > gate " << gate << " ns\n";
+        return kSloGateFailed;
+      }
+    }
+    std::cout << "SLO gate passed: every aggregate p99 <= " << gate
+              << " ns\n";
+  }
+  return rc;
+}
+
 int run_cli(int argc, char** argv) {
   using namespace its;
   util::Args args(argc, argv);
@@ -221,6 +353,11 @@ int run_cli(int argc, char** argv) {
                                      "trace", "trace-out", "dram-mb",
                                      "fault-profile", "fault-seed",
                                      "fault-outage", "jobs",
+                                     "scenario", "arrival-rate",
+                                     "arrival-model", "duration-ms",
+                                     "admit-limit", "overcommit",
+                                     "max-requests", "burst-mult",
+                                     "burst-fraction", "slo-p99",
                                      "list", "help"})) {
     std::cerr << "unknown flag --" << u << " (try --help)\n";
     return kUsageError;
@@ -244,10 +381,24 @@ int run_cli(int argc, char** argv) {
                  "length recovery\n  phase dead-at degrade-errors "
                  "offline-timeouts error-outage degraded-hold,\n  values in "
                  "ns), stacking on any --fault-profile.\n"
+                 "       its_cli --scenario=serve [--policy=NAME|all] "
+                 "[--arrival-rate=RPS]\n               "
+                 "[--arrival-model=poisson|mmpp] [--duration-ms=N] "
+                 "[--admit-limit=N]\n               [--overcommit=F] "
+                 "[--max-requests=N] [--burst-mult=F]\n               "
+                 "[--burst-fraction=F] [--slo-p99=NS]\n"
+                 "  --scenario=serve runs the open-loop multi-tenant serving "
+                 "scenario\n  (docs/serving.md): seeded arrivals spawn "
+                 "short-lived processes into a\n  frame pool sized "
+                 "1/overcommit of the admitted working set, and every\n  "
+                 "retirement is scored against its tier's latency SLO.\n"
+                 "  --slo-p99=NS gates the run: exit 6 if any run's "
+                 "aggregate p99 exceeds\n  NS nanoseconds — the serving "
+                 "analogue of a failing test.\n"
                  "  exit codes: 0 ok, 1 invariant violation, 2 usage, 3 bad "
                  "input file,\n  4 bad fault profile/outage spec, 5 "
                  "unrecoverable outage (page lost\n  past the fallback "
-                 "pool).\n"
+                 "pool), 6 SLO gate failed (--slo-p99 exceeded).\n"
                  "  --trace-out writes a Chrome trace_event JSON timeline "
                  "(load in\n  chrome://tracing or ui.perfetto.dev) and runs "
                  "the invariant checker;\n  needs a single --policy, not "
@@ -258,6 +409,13 @@ int run_cli(int argc, char** argv) {
     return 0;
   }
   if (args.has("list")) return list_everything();
+
+  const std::string scenario = args.get_string("scenario", "batch");
+  if (scenario == "serve") return run_serve_cli(args);
+  if (scenario != "batch") {
+    std::cerr << "--scenario must be batch or serve\n";
+    return kUsageError;
+  }
 
   if (auto path = args.get("trace")) {
     // Single-trace mode: simulate a captured trace file under one policy.

@@ -104,16 +104,27 @@ void Simulator::set_trace(obs::EventTrace* trace) {
 }
 
 void Simulator::add_process(std::unique_ptr<Process> p) {
+  add_process_at(0, std::move(p));
+}
+
+void Simulator::add_process_at(its::SimTime start, std::unique_ptr<Process> p) {
   if (p->pid() != procs_.size())
     throw std::invalid_argument("Simulator: pids must be dense 0..n-1");
   // Register any files the trace reads or writes (shared namespace).
   for (auto [file, size] : p->trace().file_sizes()) files_.ensure_file(file, size);
   procs_.push_back(std::move(p));
+  start_at_.push_back(start);
 }
 
 SimMetrics Simulator::run() {
   if (procs_.empty()) throw std::logic_error("Simulator: no processes");
-  for (auto& p : procs_) sched_->add(p.get());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (start_at_[i] == 0)
+      sched_->add(procs_[i].get());
+    else
+      push_event(start_at_[i], EventType::kProcArrive,
+                 static_cast<its::Pid>(i), 0);
+  }
 
   while (finished_ < procs_.size()) {
     Process* p = sched_->pick();
@@ -829,6 +840,18 @@ void Simulator::process_due_events() {
         }
         break;
       }
+      case EventType::kProcArrive:
+        if (!gate_ || gate_(p)) {
+          sched_->add(&p);
+        } else {
+          // Rejected at the door: retire untouched (empty metrics, no
+          // retire hook) so the run loop's completion count still covers
+          // the pid.
+          p.set_state(ProcState::kFinished);
+          p.metrics().finish_time = clock_;
+          ++finished_;
+        }
+        break;
     }
   }
 }
@@ -840,14 +863,33 @@ void Simulator::finish(Process& p) {
   // Process exit reclaims its DRAM: survivors — notably the self-sacrificing
   // low-priority processes — inherit the freed frames ("low-priority
   // processes can receive more dedicated resources after the completion of
-  // high-priority processes", §3.3).
-  for (its::Pfn pfn = 0; pfn < frames_.num_frames(); ++pfn) {
+  // high-priority processes", §3.3).  The pool's per-owner index makes this
+  // proportional to what the process owns, not to the whole pool — the
+  // difference between O(P·F) and O(F) total at serving scale (a sorted
+  // copy keeps the ascending-pfn eviction order the goldens pin down).
+  std::vector<its::Pfn> owned = frames_.frames_of(p.pid());
+  std::sort(owned.begin(), owned.end());
+  for (its::Pfn pfn : owned) {
     const vm::FrameInfo& info = frames_.info(pfn);
     if (info.in_use && !info.pinned && info.owner == p.pid()) evict_frame(pfn);
   }
   // Anything the exit eviction just pooled (or older pooled pages of this
-  // process) dies with it — no drain, no events, plain bookkeeping.
+  // process) dies with it — no drain, no events, plain bookkeeping.  Swap
+  // slots go the same way: without the release the device map only grows,
+  // and a serving run retiring thousands of processes would drag every
+  // swap lookup through an ever-larger table.  Pages whose DMA is still in
+  // flight keep their slots — the arrival lands after this retirement and
+  // records its swap-in against them.
+  std::vector<its::Vpn> in_flight;
+  for (its::Pfn pfn : owned) {
+    const vm::FrameInfo& info = frames_.info(pfn);
+    if (!info.in_use || info.owner != p.pid() || !info.pinned) continue;
+    const vm::Pte* pte = p.mm().pte(info.vpn);
+    if (pte != nullptr && pte->in_flight()) in_flight.push_back(info.vpn);
+  }
   pool_.drop_pid(p.pid());
+  swap_.drop_pid(p.pid(), in_flight);
+  if (retire_) retire_(p);
 }
 
 }  // namespace its::core

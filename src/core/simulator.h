@@ -34,6 +34,7 @@
 #include "vm/swap.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -52,6 +53,26 @@ class Simulator {
   /// Transfers ownership of a PCB into the simulation.  Pids must be
   /// assigned 0..n-1 in insertion order (build_processes guarantees this).
   void add_process(std::unique_ptr<sched::Process> p);
+
+  /// Like add_process, but defers the process's entry into the scheduler to
+  /// sim-time `start` — the open-loop arrival primitive the serving
+  /// scenario (serve/scenario.h) is built on.  At `start` the admission
+  /// gate decides whether the process joins the run queue or retires on the
+  /// spot having run nothing.  `start == 0` is exactly add_process.
+  void add_process_at(its::SimTime start, std::unique_ptr<sched::Process> p);
+
+  /// Admission policy for deferred arrivals: return false to reject (the
+  /// process retires immediately with empty metrics and the retire hook is
+  /// not called).  Unset admits everything.
+  void set_admission_gate(std::function<bool(sched::Process&)> gate) {
+    gate_ = std::move(gate);
+  }
+
+  /// Called from finish() after a process's metrics are final — the serving
+  /// layer stamps request retirement (latency, SLO verdict) here.
+  void set_retire_hook(std::function<void(sched::Process&)> hook) {
+    retire_ = std::move(hook);
+  }
 
   /// Runs every process to completion and returns the metrics.
   SimMetrics run();
@@ -81,7 +102,12 @@ class Simulator {
   const sched::Scheduler& scheduler() const { return *sched_; }
 
  private:
-  enum class EventType : std::uint8_t { kWakeFault, kPageArrive, kWakeFile };
+  enum class EventType : std::uint8_t {
+    kWakeFault,
+    kPageArrive,
+    kWakeFile,
+    kProcArrive,  ///< Deferred process entry (open-loop arrivals).
+  };
   struct Event {
     its::SimTime time;
     std::uint64_t seq;  ///< Tie-break for determinism.
@@ -184,6 +210,9 @@ class Simulator {
   std::unique_ptr<sched::Scheduler> sched_;
 
   std::vector<std::unique_ptr<sched::Process>> procs_;
+  std::vector<its::SimTime> start_at_;  ///< Per-pid deferred entry time.
+  std::function<bool(sched::Process&)> gate_;
+  std::function<void(sched::Process&)> retire_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::unordered_map<std::uint64_t, its::SimTime> arrival_;  ///< (pid,vpn) → DMA done.
 

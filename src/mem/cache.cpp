@@ -1,5 +1,6 @@
 #include "mem/cache.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace its::mem {
@@ -13,10 +14,16 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
     throw std::invalid_argument("cache size/ways mismatch");
   num_sets_ = static_cast<unsigned>(lines / cfg.ways);
   ways_.assign(lines, Way{});
+  line_shift_ = static_cast<unsigned>(std::countr_zero(cfg.line_size));
+  pow2_sets_ = (num_sets_ & (num_sets_ - 1)) == 0;
+  if (pow2_sets_) {
+    set_shift_ = static_cast<unsigned>(std::countr_zero(num_sets_));
+    set_mask_ = num_sets_ - 1;
+  }
 }
 
 bool SetAssocCache::access(std::uint64_t addr) {
-  std::uint64_t line = addr / cfg_.line_size;
+  std::uint64_t line = line_of(addr);
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
   Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
@@ -35,7 +42,11 @@ bool SetAssocCache::access(std::uint64_t addr) {
     }
   }
   ++stats_.misses;
-  if (victim->valid) ++stats_.evictions;
+  if (victim->valid) {
+    ++stats_.evictions;
+    region_sub(line_of_way(victim->tag, set));
+  }
+  region_add(line);
   victim->valid = true;
   victim->tag = tag;
   victim->lru = ++tick_;
@@ -43,7 +54,7 @@ bool SetAssocCache::access(std::uint64_t addr) {
 }
 
 bool SetAssocCache::probe(std::uint64_t addr) const {
-  std::uint64_t line = addr / cfg_.line_size;
+  std::uint64_t line = line_of(addr);
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
   const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
@@ -53,7 +64,7 @@ bool SetAssocCache::probe(std::uint64_t addr) const {
 }
 
 void SetAssocCache::fill(std::uint64_t addr) {
-  std::uint64_t line = addr / cfg_.line_size;
+  std::uint64_t line = line_of(addr);
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
   Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
@@ -70,14 +81,17 @@ void SetAssocCache::fill(std::uint64_t addr) {
       victim = &way;
     }
   }
-  if (victim->valid) ++stats_.evictions;
+  if (victim->valid) {
+    ++stats_.evictions;
+    region_sub(line_of_way(victim->tag, set));
+  }
+  region_add(line);
   victim->valid = true;
   victim->tag = tag;
   victim->lru = ++tick_;
 }
 
-bool SetAssocCache::invalidate(std::uint64_t addr) {
-  std::uint64_t line = addr / cfg_.line_size;
+bool SetAssocCache::invalidate_line(std::uint64_t line) {
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
   Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
@@ -85,14 +99,51 @@ bool SetAssocCache::invalidate(std::uint64_t addr) {
     if (base[w].valid && base[w].tag == tag) {
       base[w].valid = false;
       ++stats_.invalidations;
+      region_sub(line);
       return true;
     }
   }
   return false;
 }
 
+bool SetAssocCache::invalidate(std::uint64_t addr) {
+  return invalidate_line(line_of(addr));
+}
+
 void SetAssocCache::invalidate_range(std::uint64_t base, std::uint64_t len) {
-  for (std::uint64_t a = base; a < base + len; a += cfg_.line_size) invalidate(a);
+  if (len == 0) return;
+  const std::uint64_t first = line_of(base);
+  const std::uint64_t last = line_of(base + len - 1);
+  if (pow2_sets_ && tag_of(first) == tag_of(last)) {
+    // Page-eviction fast path: an aligned range within one tag block maps
+    // to contiguous sets under one shared tag, so the per-line set/tag
+    // arithmetic collapses into a single sequential sweep of the way
+    // array.  Each set holds at most one copy of a tag (access/fill probe
+    // before inserting), so this clears exactly the lines the slow path
+    // would — and when the range sits inside one region whose resident
+    // count is already zero (the common cache-cold CLOCK victim), there is
+    // nothing to sweep at all.
+    const std::uint64_t region = region_of_line(first);
+    const bool one_region = region == region_of_line(last);
+    std::uint32_t left = 0xffffffffu;
+    if (one_region)
+      left = region < region_lines_.size() ? region_lines_[region] : 0;
+    if (left == 0) return;
+    const std::uint64_t tag = tag_of(first);
+    const unsigned s0 = set_index(first);
+    Way* w = &ways_[static_cast<std::size_t>(s0) * cfg_.ways];
+    const std::size_t n = static_cast<std::size_t>(last - first + 1) * cfg_.ways;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w[i].valid && w[i].tag == tag) {
+        w[i].valid = false;
+        ++stats_.invalidations;
+        region_sub(line_of_way(tag, s0 + static_cast<unsigned>(i / cfg_.ways)));
+        if (--left == 0) break;
+      }
+    }
+    return;
+  }
+  for (std::uint64_t line = first; line <= last; ++line) invalidate_line(line);
 }
 
 void SetAssocCache::invalidate_all() {
@@ -101,6 +152,7 @@ void SetAssocCache::invalidate_all() {
       w.valid = false;
       ++stats_.invalidations;
     }
+  std::fill(region_lines_.begin(), region_lines_.end(), 0);
 }
 
 std::uint64_t SetAssocCache::lines_resident() const {

@@ -29,6 +29,10 @@ std::string_view kind_name(EventKind k) {
     case EventKind::kPoolStore:     return "pool_store";
     case EventKind::kPoolLoad:      return "pool_load";
     case EventKind::kPoolDrain:     return "pool_drain";
+    case EventKind::kRequestArrive: return "request_arrive";
+    case EventKind::kRequestAdmit:  return "request_admit";
+    case EventKind::kRequestDone:   return "request_done";
+    case EventKind::kSloViolation:  return "slo_violation";
   }
   return "unknown";
 }

@@ -54,6 +54,14 @@ enum class EventKind : std::uint8_t {
   kPoolStore,      ///< Page compressed into the fallback pool. a=vpn b=compress ns
   kPoolLoad,       ///< Demand read served from the pool.       a=vpn b=decompress ns
   kPoolDrain,      ///< Pooled page written back on recovery.   a=vpn b=bytes
+  // Open-loop serving lifecycle (serve/scenario.h).  Every request event
+  // carries the request id in `a`; Arrive/Admit are stamped at the arrival
+  // instant, Done at retirement with the reconciled latency, and a
+  // SloViolation immediately follows the Done it indicts.
+  kRequestArrive,  ///< Open-loop request arrived.              a=req id b=tier
+  kRequestAdmit,   ///< Request admitted (process spawned).     a=req id b=tier
+  kRequestDone,    ///< Request retired.                        a=req id b=latency ns c=tier
+  kSloViolation,   ///< Retired request broke its tier SLO.     a=req id b=latency ns c=slo ns
 };
 
 /// Derived from the lexically-last enumerator so adding a kind cannot leave
@@ -62,8 +70,8 @@ enum class EventKind : std::uint8_t {
 /// mapping in trace_json.cpp, and the invariant checker — its_lint's
 /// registry rules enforce all four).
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kPoolDrain) + 1;
-static_assert(kNumEventKinds == 25,
+    static_cast<std::size_t>(EventKind::kSloViolation) + 1;
+static_assert(kNumEventKinds == 29,
               "EventKind grew: extend kind_name(), trace_json.cpp, and "
               "invariant_checker.cpp, then bump this count");
 

@@ -69,10 +69,25 @@ Timeline timeline_of(EventKind k) {
     case EventKind::kPoolStore:
     case EventKind::kPoolLoad:
     case EventKind::kPoolDrain:
+    case EventKind::kRequestArrive:
+    case EventKind::kRequestAdmit:
+    case EventKind::kRequestDone:
+    case EventKind::kSloViolation:
       return Timeline::kProcess;
   }
   return Timeline::kProcess;
 }
+
+/// Serving-lifecycle progress of one request id (arrive → admit → done).
+/// A request that arrives and never admits is a reject; a request that
+/// admits must retire before the trace ends.
+struct ReqState {
+  bool arrived = false;
+  bool admitted = false;
+  bool done = false;
+  its::SimTime arrive_ts = 0;
+  std::uint64_t tier = 0;
+};
 
 /// Legal edges of the device-health FSM (storage/device_health.h):
 /// healthy→degraded, degraded→{offline,healthy}, offline→recovering,
@@ -133,6 +148,11 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
   Event pending_error{};
   bool want_fallback = false;
   Event pending_abort{};
+  // Serving lifecycle: each request id walks arrive → admit → done, and a
+  // kSloViolation must directly follow the kRequestDone it indicts.
+  std::unordered_map<std::uint64_t, ReqState> requests;
+  bool prev_was_done = false;
+  Event pending_done{};
   // Health-FSM chain state: the device starts healthy at t = 0; every
   // kHealthTransition must continue from the previous state along a legal
   // edge.  Time-in-state is integrated alongside for the reconciliation
@@ -235,6 +255,73 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
                  idx, e.a, e.c, e.b));
     }
 
+    // (1c) serving lifecycle.  Request ids walk arrive → admit → done in
+    // order; the Done operand `b` must reconcile the event timestamps
+    // exactly (latency = done.ts − arrive.ts); an over-SLO retirement is
+    // indicted by a kSloViolation that directly follows its kRequestDone
+    // with the same id and latency.
+    switch (e.kind) {
+      case EventKind::kRequestArrive: {
+        ReqState& q = requests[e.a];
+        if (q.arrived)
+          fail(fmt("event %zu: request %" PRIu64 " arrived twice", idx, e.a));
+        q.arrived = true;
+        q.arrive_ts = e.ts;
+        q.tier = e.b;
+        break;
+      }
+      case EventKind::kRequestAdmit: {
+        ReqState& q = requests[e.a];
+        if (!q.arrived)
+          fail(fmt("event %zu: request %" PRIu64 " admitted before arriving",
+                   idx, e.a));
+        else if (q.admitted)
+          fail(fmt("event %zu: request %" PRIu64 " admitted twice", idx, e.a));
+        else if (e.b != q.tier)
+          fail(fmt("event %zu: request %" PRIu64 " admitted into tier %" PRIu64
+                   " but arrived in tier %" PRIu64,
+                   idx, e.a, e.b, q.tier));
+        else if (e.ts < q.arrive_ts)
+          fail(fmt("event %zu: request %" PRIu64 " admitted at %" PRIu64
+                   " before its arrival at %" PRIu64,
+                   idx, e.a, e.ts, q.arrive_ts));
+        q.admitted = true;
+        break;
+      }
+      case EventKind::kRequestDone: {
+        ReqState& q = requests[e.a];
+        if (!q.admitted)
+          fail(fmt("event %zu: request %" PRIu64 " retired without admission",
+                   idx, e.a));
+        else if (q.done)
+          fail(fmt("event %zu: request %" PRIu64 " retired twice", idx, e.a));
+        else if (e.c != q.tier)
+          fail(fmt("event %zu: request %" PRIu64 " retired in tier %" PRIu64
+                   " but arrived in tier %" PRIu64,
+                   idx, e.a, e.c, q.tier));
+        else if (e.ts < q.arrive_ts || e.b != e.ts - q.arrive_ts)
+          fail(fmt("event %zu: request %" PRIu64 " latency %" PRIu64
+                   " does not reconcile done %" PRIu64 " - arrive %" PRIu64,
+                   idx, e.a, e.b, e.ts, q.arrive_ts));
+        q.done = true;
+        break;
+      }
+      case EventKind::kSloViolation:
+        if (!prev_was_done || e.a != pending_done.a || e.b != pending_done.b)
+          fail(fmt("event %zu: slo_violation for request %" PRIu64
+                   " does not follow its request_done",
+                   idx, e.a));
+        else if (e.b <= e.c)
+          fail(fmt("event %zu: slo_violation on request %" PRIu64
+                   " with latency %" PRIu64 " within the %" PRIu64 " ns SLO",
+                   idx, e.a, e.b, e.c));
+        break;
+      default:
+        break;
+    }
+    prev_was_done = e.kind == EventKind::kRequestDone;
+    if (prev_was_done) pending_done = e;
+
     // (2) fault window matching.
     switch (e.kind) {
       case EventKind::kFaultBegin: {
@@ -316,6 +403,16 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
              " never ended",
              pid, f.vpn, f.begin));
   }
+  // Every admitted request must retire before the trace ends; an arrival
+  // that never admits is a reject, so arrivals = admits + rejects holds by
+  // construction once this check passes.  Sorted for deterministic output.
+  std::vector<std::uint64_t> dangling;
+  // its-lint: allow(det-unordered-iter): key collection for the sort below
+  for (const auto& kv : requests)
+    if (kv.second.admitted && !kv.second.done) dangling.push_back(kv.first);
+  std::sort(dangling.begin(), dangling.end());
+  for (std::uint64_t id : dangling)
+    fail(fmt("request %" PRIu64 " was admitted but never retired", id));
 
   // (4) idle breakdown + utilized CPU time reconcile with the makespan.
   const its::Duration accounted =

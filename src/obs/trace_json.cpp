@@ -67,6 +67,10 @@ std::string_view slice_name(EventKind k) {
     case EventKind::kPoolStore:
     case EventKind::kPoolLoad:
     case EventKind::kPoolDrain:
+    case EventKind::kRequestArrive:
+    case EventKind::kRequestAdmit:
+    case EventKind::kRequestDone:
+    case EventKind::kSloViolation:
       return kind_name(k);
   }
   return kind_name(k);
@@ -108,7 +112,14 @@ Phase phase_of(EventKind k) {
     case EventKind::kPoolStore:
     case EventKind::kPoolLoad:
     case EventKind::kPoolDrain:
+    case EventKind::kRequestArrive:
+    case EventKind::kRequestAdmit:
+    case EventKind::kSloViolation:
       return Phase::kInstant;
+    case EventKind::kRequestDone:
+      // Retirement carries the whole request latency in `b`; render it as
+      // a complete slice spanning arrival → done on the process track.
+      return Phase::kComplete;
   }
   return Phase::kInstant;
 }

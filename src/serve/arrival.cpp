@@ -1,0 +1,78 @@
+#include "serve/arrival.h"
+
+#include "util/types.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace its::serve {
+
+std::string_view arrival_model_name(ArrivalModel m) {
+  switch (m) {
+    case ArrivalModel::kPoisson: return "poisson";
+    case ArrivalModel::kMmpp:    return "mmpp";
+  }
+  return "unknown";
+}
+
+std::optional<ArrivalModel> find_arrival_model(std::string_view name) {
+  if (name == "poisson") return ArrivalModel::kPoisson;
+  if (name == "mmpp") return ArrivalModel::kMmpp;
+  return std::nullopt;
+}
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  // The stream opens in the quiet state with a full dwell ahead of it.
+  if (cfg_.model == ArrivalModel::kMmpp)
+    dwell_left_ = exp_gap(quiet_dwell_mean(cfg_));
+}
+
+its::Duration ArrivalGenerator::quiet_dwell_mean(const ArrivalConfig& cfg) {
+  // Long-run burst fraction f = mean_burst / (mean_burst + mean_quiet).
+  const double f = std::clamp(cfg.burst_fraction, 0.001, 0.999);
+  const double mean = static_cast<double>(cfg.mean_burst) * (1.0 - f) / f;
+  return std::max<its::Duration>(static_cast<its::Duration>(mean), 1);
+}
+
+its::Duration ArrivalGenerator::mean_gap() const {
+  const double gap = 1e9 / std::max(cfg_.rate_rps, 1e-3);
+  return std::max<its::Duration>(static_cast<its::Duration>(gap), 1);
+}
+
+its::Duration ArrivalGenerator::exp_gap(its::Duration mean) {
+  // Inverse-CDF exponential; 1 - U keeps the argument strictly positive.
+  // The only floating-point step in the generator: the draw is rounded to
+  // an integral gap >= 1 ns before it touches any state.
+  const double draw =
+      -std::log(1.0 - rng_.next_double()) * static_cast<double>(mean);
+  return std::max<its::Duration>(static_cast<its::Duration>(draw), 1);
+}
+
+its::Duration ArrivalGenerator::next_gap() {
+  const its::Duration base = mean_gap();
+  if (cfg_.model == ArrivalModel::kPoisson) return exp_gap(base);
+  // MMPP: draw at the current state's rate; a gap that outlives the state's
+  // remaining dwell is discarded (memorylessness makes the redraw exact)
+  // and the state flips after consuming the dwell.
+  its::Duration elapsed = 0;
+  for (;;) {
+    const its::Duration mean =
+        burst_ ? std::max<its::Duration>(
+                     static_cast<its::Duration>(
+                         static_cast<double>(base) /
+                         std::max(cfg_.burst_rate_mult, 1.0)),
+                     1)
+               : base;
+    const its::Duration gap = exp_gap(mean);
+    if (gap <= dwell_left_) {
+      dwell_left_ -= gap;
+      return elapsed + gap;  // gap >= 1, so the total is too.
+    }
+    elapsed += dwell_left_;
+    burst_ = !burst_;
+    dwell_left_ = exp_gap(burst_ ? cfg_.mean_burst : quiet_dwell_mean(cfg_));
+  }
+}
+
+}  // namespace its::serve

@@ -1,0 +1,67 @@
+// Deterministic open-loop arrival processes.
+//
+// The serving scenario (serve/scenario.h) is open-loop: requests arrive on
+// their own schedule whether or not the machine keeps up — the regime where
+// tail latency, not makespan, is the figure of merit.  Two interarrival
+// models are provided, both seeded and fully deterministic on util::Rng
+// (PCG32), so an arrival stream replays bit-identically from its seed:
+//
+//   kPoisson  memoryless arrivals at a fixed mean rate — the classic
+//             open-loop baseline.
+//   kMmpp     a two-state Markov-modulated Poisson process: a quiet state
+//             at the base rate and a burst state at `burst_rate_mult`
+//             times it, with exponentially distributed dwell times.  The
+//             long-run fraction of time spent bursting is
+//             `burst_fraction`; bursts are what separate p999 from p50.
+//
+// All gap and dwell state is integer nanoseconds (its::Duration); doubles
+// appear only transiently inside the inverse-CDF draw, and every draw is
+// rounded to an integral gap >= 1 ns before it touches generator state, so
+// downstream event ordering never depends on floating-point tie-breaking.
+#pragma once
+
+#include "util/rng.h"
+#include "util/types.h"
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace its::serve {
+
+enum class ArrivalModel : std::uint8_t { kPoisson, kMmpp };
+
+std::string_view arrival_model_name(ArrivalModel m);
+/// Case-sensitive lookup ("poisson", "mmpp"); nullopt on unknown names.
+std::optional<ArrivalModel> find_arrival_model(std::string_view name);
+
+struct ArrivalConfig {
+  ArrivalModel model = ArrivalModel::kPoisson;
+  double rate_rps = 2'000.0;      ///< Mean arrival rate, requests per second.
+  double burst_rate_mult = 8.0;   ///< MMPP burst-state rate multiplier.
+  double burst_fraction = 0.1;    ///< Long-run fraction of time in burst.
+  its::Duration mean_burst = 2'000'000;  ///< Mean burst dwell, ns.
+  std::uint64_t seed = 42;        ///< Stream seed; same seed, same stream.
+};
+
+/// Draws successive interarrival gaps.  Construction resets the stream, so
+/// two generators built from equal configs emit identical gap sequences.
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(const ArrivalConfig& cfg);
+
+  /// Next interarrival gap in integer ns, always >= 1.
+  its::Duration next_gap();
+
+ private:
+  static its::Duration quiet_dwell_mean(const ArrivalConfig& cfg);
+  its::Duration mean_gap() const;
+  its::Duration exp_gap(its::Duration mean);
+
+  ArrivalConfig cfg_;
+  util::Rng rng_;
+  bool burst_ = false;
+  its::Duration dwell_left_ = 0;
+};
+
+}  // namespace its::serve

@@ -1,0 +1,63 @@
+#include "serve/report.h"
+
+#include "core/policy.h"
+#include "serve/scenario.h"
+#include "serve/sweep.h"
+#include "util/quantile.h"
+#include "util/types.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace its::serve {
+
+namespace {
+
+void row(std::ostream& os, const ServePoint& pt, const char* tier,
+         its::Duration slo_ns, std::uint64_t arrivals, std::uint64_t admits,
+         std::uint64_t rejects, std::uint64_t completed,
+         std::uint64_t violations, const util::QuantileDigest& lat,
+         std::uint64_t makespan) {
+  char oc[32];
+  std::snprintf(oc, sizeof oc, "%.2f", pt.overcommit);
+  os << core::policy_name(pt.policy) << ',' << oc << ',' << tier << ','
+     << slo_ns << ',' << arrivals << ',' << admits << ',' << rejects << ','
+     << completed << ',' << violations << ',' << lat.quantile(0.50) << ','
+     << lat.quantile(0.99) << ',' << lat.quantile(0.999) << ',' << lat.max()
+     << ',' << makespan << '\n';
+}
+
+}  // namespace
+
+void write_serve_csv(std::ostream& os, std::span<const ServePoint> points) {
+  os << "policy,overcommit,tier,slo_ns,arrivals,admits,rejects,completed,"
+        "slo_violations,p50_ns,p99_ns,p999_ns,max_ns,makespan_ns\n";
+  for (const ServePoint& pt : points) {
+    const ServeMetrics& m = pt.metrics;
+    for (const TierMetrics& tm : m.tiers)
+      row(os, pt, tm.name.c_str(), tm.slo_ns, tm.arrivals, tm.admits,
+          tm.rejects, tm.completed, tm.slo_violations, tm.latency,
+          m.sim.makespan);
+    row(os, pt, "all", 0, m.arrivals, m.admits, m.rejects, m.completed,
+        m.slo_violations, m.latency, m.sim.makespan);
+  }
+}
+
+std::string serve_csv(std::span<const ServePoint> points) {
+  std::ostringstream ss;
+  write_serve_csv(ss, points);
+  return ss.str();
+}
+
+void save_serve_csv(const std::string& path,
+                    std::span<const ServePoint> points) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("serve: cannot write " + path);
+  write_serve_csv(f, points);
+  if (!f) throw std::runtime_error("serve: write failed for " + path);
+}
+
+}  // namespace its::serve

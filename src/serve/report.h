@@ -1,0 +1,27 @@
+// Machine-readable serving results.
+//
+// One row per (policy, overcommit, tier) plus an `all` aggregate row per
+// sweep point: lifecycle counters, SLO violations, and the streaming
+// percentile ladder (p50/p99/p999/max in ns).  Every cell is either an
+// integer or a fixed-precision ratio, so the bytes are reproducible — the
+// determinism tests compare whole files across --jobs widths.
+#pragma once
+
+#include "serve/sweep.h"
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace its::serve {
+
+/// Header + rows for every sweep point.
+void write_serve_csv(std::ostream& os, std::span<const ServePoint> points);
+
+/// Convenience: formats write_serve_csv into a string.
+std::string serve_csv(std::span<const ServePoint> points);
+
+/// Writes serve_csv to `path`; throws std::runtime_error on I/O failure.
+void save_serve_csv(const std::string& path, std::span<const ServePoint> points);
+
+}  // namespace its::serve

@@ -1,0 +1,117 @@
+// The multi-tenant open-loop serving scenario.
+//
+// Turns the batch simulator into a service: a seeded arrival stream
+// (serve/arrival.h) spawns short-lived processes — one per request — into a
+// heavily overcommitted frame pool, an admission gate caps concurrency, and
+// every retirement is scored against its tenant tier's latency SLO.  This
+// is the ROADMAP's production-scale setting: the paper's four fixed
+// six-process batches prove ITS wins on makespan; here thousands of
+// arrivals contend for DRAM sized *below* the aggregate working set and
+// the figure of merit is p99/p999 latency and SLO-violation count per
+// tier (docs/serving.md).
+//
+// Determinism contract: a ServeConfig plus a policy fully determines the
+// run — the arrival stream, tier draws, admission decisions and therefore
+// every latency sample replay bit-identically from the seed, and farmed
+// sweeps (serve/sweep.h) are byte-identical at any --jobs width.
+#pragma once
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "serve/arrival.h"
+#include "trace/workloads.h"
+#include "util/quantile.h"
+#include "util/types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace its::obs {
+class EventTrace;
+}
+
+namespace its::serve {
+
+/// One tenant/priority tier: which workload template its requests execute,
+/// how much of the arrival stream it owns, and the latency it promised.
+struct TierSpec {
+  std::string name;
+  trace::WorkloadId workload = trace::WorkloadId::kDeepSjeng;
+  double share = 1.0;        ///< Fraction of arrivals drawn into this tier.
+  int priority = 30;         ///< Process priority (maps to the RR slice).
+  its::Duration slo_ns = 0;  ///< Per-request latency SLO; 0 = no SLO.
+};
+
+/// The default three-tenant mix: a latency-sensitive gold tier on a small
+/// working set, a mid silver tier, and a data-intensive bronze tier whose
+/// requests are exactly the memory hogs overcommit punishes.
+std::vector<TierSpec> default_tiers();
+
+struct ServeConfig {
+  ArrivalConfig arrivals;
+  std::vector<TierSpec> tiers = default_tiers();
+  its::Duration duration = 50'000'000;  ///< Arrival window, ns (open loop).
+  std::uint64_t max_requests = 0;       ///< Hard cap on arrivals; 0 = none.
+  unsigned admit_limit = 24;   ///< Max in-flight admitted requests; 0 = ∞.
+  double overcommit = 2.0;     ///< Admitted working set : DRAM ratio.
+  double footprint_scale = 0.05;  ///< Workload template footprint scaling.
+  double length_scale = 0.01;     ///< Workload template length scaling.
+  core::SimConfig sim;         ///< Base config; dram_bytes derived below.
+
+  ServeConfig();
+};
+
+/// One scheduled request of the open-loop stream.
+struct Request {
+  std::uint64_t id = 0;       ///< Dense 0..n-1 — doubles as the pid.
+  its::SimTime arrive = 0;    ///< Scheduled arrival, ns.
+  std::uint32_t tier = 0;     ///< Index into ServeConfig::tiers.
+};
+
+/// Materialises the arrival schedule: gaps from the arrival generator,
+/// tiers drawn share-weighted from an independent seeded stream.  Pure in
+/// `cfg` — calling it twice is the replay-determinism test.
+std::vector<Request> generate_requests(const ServeConfig& cfg);
+
+/// DRAM sizing that realises cfg.overcommit: the frame pool holds
+/// admit_limit share-weighted mean working sets divided by the overcommit
+/// ratio, so 1.0 fits every admitted request and 4.0 fits a quarter.
+std::uint64_t serve_dram_bytes(const ServeConfig& cfg);
+
+/// Per-tier SLO account: lifecycle counters plus a streaming latency
+/// digest (util/quantile.h) for p50/p99/p999.
+struct TierMetrics {
+  std::string name;
+  its::Duration slo_ns = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t slo_violations = 0;
+  util::QuantileDigest latency;
+};
+
+struct ServeMetrics {
+  core::SimMetrics sim;          ///< The underlying simulator account.
+  std::vector<TierMetrics> tiers;
+  std::uint64_t arrivals = 0;    ///< Always admits + rejects.
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t slo_violations = 0;
+  util::QuantileDigest latency;  ///< All tiers merged.
+
+  /// Sustained throughput: completed requests per second of sim time.
+  double requests_per_sec() const;
+};
+
+/// Runs one serving scenario under `policy`.  When `etrace` is non-null the
+/// request lifecycle (kRequestArrive/kRequestAdmit/kRequestDone/
+/// kSloViolation) is recorded alongside the simulator's own events and the
+/// obs::InvariantChecker can reconcile every latency to the nanosecond.
+ServeMetrics run_serve(const ServeConfig& cfg, core::PolicyKind policy,
+                       obs::EventTrace* etrace = nullptr);
+
+}  // namespace its::serve

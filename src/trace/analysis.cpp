@@ -1,6 +1,7 @@
 #include "trace/analysis.h"
 
 #include "trace/trace.h"
+#include "util/quantile.h"
 #include "util/types.h"
 
 #include <algorithm>
@@ -125,11 +126,13 @@ ReuseProfile analyze_reuse(const Trace& t) {
 
 std::uint64_t ReuseProfile::quantile_pages(double q) const {
   if (distances.empty()) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  std::vector<std::uint64_t> sorted = distances;
-  std::sort(sorted.begin(), sorted.end());
-  auto i = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
-  return sorted[i];
+  // Sized to the population, the digest stays in exact mode and returns
+  // the order statistic at ⌊q·(n−1)⌋ — the same answer the ad-hoc
+  // sort-and-index here always produced (tests/quantile_test.cpp pins the
+  // equivalence).
+  util::QuantileDigest d(distances.size());
+  for (std::uint64_t v : distances) d.add(v);
+  return d.quantile(q);
 }
 
 }  // namespace its::trace

@@ -1,0 +1,97 @@
+#include "util/quantile.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace its::util {
+
+QuantileDigest::QuantileDigest(std::size_t exact_limit)
+    : exact_limit_(exact_limit) {
+  if (exact_limit_ > 0) samples_.reserve(std::min<std::size_t>(exact_limit_, 1024));
+}
+
+std::size_t QuantileDigest::bucket_of(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const auto e = static_cast<std::uint32_t>(63 - std::countl_zero(v));
+  const std::uint64_t sub = (v - (std::uint64_t{1} << e)) >> (e - kSubBits);
+  return static_cast<std::size_t>((e - kSubBits + 1) * kSubBuckets + sub);
+}
+
+std::uint64_t QuantileDigest::bucket_floor(std::size_t b) {
+  if (b < kSubBuckets) return b;
+  const std::size_t g = b / kSubBuckets;
+  const std::size_t sub = b % kSubBuckets;
+  const std::uint32_t e = static_cast<std::uint32_t>(g) + kSubBits - 1;
+  return (std::uint64_t{1} << e) +
+         (static_cast<std::uint64_t>(sub) << (e - kSubBits));
+}
+
+void QuantileDigest::sketch_add(std::uint64_t v) { ++sketch_[bucket_of(v)]; }
+
+void QuantileDigest::spill_to_sketch() {
+  if (!sketch_.empty()) return;
+  sketch_.assign(kNumBuckets, 0);
+  for (std::uint64_t v : samples_) sketch_add(v);
+  samples_.clear();
+  samples_.shrink_to_fit();
+}
+
+void QuantileDigest::add(std::uint64_t v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  if (sketch_.empty() && samples_.size() < exact_limit_) {
+    samples_.push_back(v);
+    return;
+  }
+  spill_to_sketch();
+  sketch_add(v);
+}
+
+std::uint64_t QuantileDigest::quantile(double q) const {
+  if (n_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n_ - 1));
+  if (exact()) {
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[static_cast<std::size_t>(rank)];
+  }
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < sketch_.size(); ++b) {
+    cum += sketch_[b];
+    if (cum > rank) return bucket_floor(b);
+  }
+  return max_;
+}
+
+void QuantileDigest::merge(const QuantileDigest& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  if (exact() && other.exact() &&
+      samples_.size() + other.samples_.size() <= exact_limit_) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    return;
+  }
+  spill_to_sketch();
+  if (other.exact()) {
+    for (std::uint64_t v : other.samples_) sketch_add(v);
+  } else {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) sketch_[b] += other.sketch_[b];
+  }
+}
+
+}  // namespace its::util

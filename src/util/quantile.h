@@ -1,0 +1,73 @@
+// Streaming quantile digest: exact while small, log-linear sketch at scale.
+//
+// Serving-scale percentile tracking (serve/slo.h) needs p50/p99/p999 over
+// millions of request latencies without retaining every sample; trace
+// analysis (trace/analysis.cpp) needs bit-exact quantiles over a few
+// thousand reuse distances.  One digest covers both: samples are kept
+// verbatim up to `exact_limit`, so small populations answer with the exact
+// order statistic (index ⌊q·(n−1)⌋ of the sorted samples — the formula
+// ReuseProfile::quantile_pages always used); past the limit the digest
+// collapses into an HDR-style log-linear histogram (every power-of-two
+// octave split into 32 linear sub-buckets, ≲3% relative error) and stays
+// O(1) per add.  Deterministic by construction — no sampling, no
+// randomization — so farmed serving runs reproduce byte-identical
+// percentile rows at any --jobs width.  Mergeable in both modes for
+// per-tier → fleet aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace its::util {
+
+class QuantileDigest {
+ public:
+  /// Samples are exact up to `exact_limit` (0 = sketch from the start);
+  /// the (exact_limit + 1)-th add folds everything into the sketch.
+  explicit QuantileDigest(std::size_t exact_limit = kDefaultExactLimit);
+
+  void add(std::uint64_t v);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// True while every sample is still held verbatim.
+  bool exact() const { return sketch_.empty(); }
+
+  std::uint64_t min() const { return n_ ? min_ : 0; }
+  std::uint64_t max() const { return n_ ? max_ : 0; }
+
+  /// q-quantile, q clamped to [0, 1].  Exact mode returns the order
+  /// statistic at index ⌊q·(n−1)⌋; sketch mode returns the lower bound of
+  /// the bucket containing that rank (an under-estimate by at most one
+  /// sub-bucket width).  0 on an empty digest.
+  std::uint64_t quantile(double q) const;
+
+  /// Folds `other` into this digest.  The result is exact only if the
+  /// combined population still fits this digest's exact limit.
+  void merge(const QuantileDigest& other);
+
+  static constexpr std::size_t kDefaultExactLimit = 4096;
+
+ private:
+  /// 32 linear sub-buckets per power-of-two octave over the full u64
+  /// range; values below one octave's sub-bucket width map one-to-one.
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+  static constexpr std::size_t kNumBuckets = 64 * kSubBuckets;
+
+  static std::size_t bucket_of(std::uint64_t v);
+  static std::uint64_t bucket_floor(std::size_t b);
+
+  void spill_to_sketch();
+  void sketch_add(std::uint64_t v);
+
+  std::size_t exact_limit_;
+  std::uint64_t n_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::vector<std::uint64_t> samples_;  ///< Exact mode; empty once spilled.
+  std::vector<std::uint64_t> sketch_;   ///< kNumBuckets counts; empty = exact.
+};
+
+}  // namespace its::util

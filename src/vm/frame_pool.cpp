@@ -13,6 +13,29 @@ FramePool::FramePool(std::uint64_t dram_bytes) {
   free_.reserve(n);
   // Hand out low frames first for reproducibility.
   for (std::uint64_t i = n; i-- > 0;) free_.push_back(i);
+  pos_.assign(n, kUnindexed);
+}
+
+void FramePool::index_insert(its::Pfn pfn, its::Pid owner) {
+  std::vector<its::Pfn>& v = owned_[owner];
+  pos_[pfn] = v.size();
+  v.push_back(pfn);
+}
+
+void FramePool::index_remove(its::Pfn pfn, its::Pid owner) {
+  if (pos_[pfn] == kUnindexed) return;  // carved frames are never tracked
+  std::vector<its::Pfn>& v = owned_[owner];
+  const its::Pfn last = v.back();
+  v[pos_[pfn]] = last;
+  pos_[last] = pos_[pfn];
+  v.pop_back();
+  pos_[pfn] = kUnindexed;
+}
+
+const std::vector<its::Pfn>& FramePool::frames_of(its::Pid owner) const {
+  static const std::vector<its::Pfn> kNone;
+  auto it = owned_.find(owner);
+  return it == owned_.end() ? kNone : it->second;
 }
 
 FrameInfo& FramePool::at(its::Pfn pfn) {
@@ -33,6 +56,7 @@ std::optional<its::Pfn> FramePool::try_alloc(its::Pid owner, its::Vpn vpn) {
   f.in_use = true;
   f.owner = owner;
   f.vpn = vpn;
+  index_insert(pfn, owner);
   ++stats_.allocations;
   return pfn;
 }
@@ -59,6 +83,7 @@ std::optional<its::Pfn> FramePool::clock_victim() {
 void FramePool::release(its::Pfn pfn) {
   FrameInfo& f = at(pfn);
   if (!f.in_use) throw std::logic_error("FramePool: releasing free frame");
+  index_remove(pfn, f.owner);
   f = FrameInfo{};
   free_.push_back(pfn);
   ++stats_.releases;
@@ -67,10 +92,12 @@ void FramePool::release(its::Pfn pfn) {
 void FramePool::assign(its::Pfn pfn, its::Pid owner, its::Vpn vpn) {
   FrameInfo& f = at(pfn);
   if (!f.in_use) throw std::logic_error("FramePool: assigning free frame");
+  index_remove(pfn, f.owner);
   f.owner = owner;
   f.vpn = vpn;
   f.referenced = false;
   f.pinned = false;
+  index_insert(pfn, owner);
 }
 
 std::uint64_t FramePool::carve_tail(std::uint64_t count) {

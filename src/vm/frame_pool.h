@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace its::vm {
@@ -62,18 +63,33 @@ class FramePool {
   /// allocation; returns the number actually carved.
   std::uint64_t carve_tail(std::uint64_t count);
 
+  /// Frames currently allocated to `owner` (through try_alloc/assign), in
+  /// unspecified order — sort a copy before any order-sensitive walk.
+  /// Maintained O(1) per allocation/release so a process exit reclaims its
+  /// DRAM in time proportional to what it owns, not to the whole pool
+  /// (docs/serving.md profiles the difference at serving scale).  Carved
+  /// frames (carve_tail) are never tracked.
+  const std::vector<its::Pfn>& frames_of(its::Pid owner) const;
+
   const FrameInfo& info(its::Pfn pfn) const;
   const FramePoolStats& stats() const { return stats_; }
 
   its::PhysAddr phys_base(its::Pfn pfn) const { return pfn << its::kPageShift; }
 
  private:
+  static constexpr std::size_t kUnindexed = static_cast<std::size_t>(-1);
+
   FrameInfo& at(its::Pfn pfn);
+  void index_insert(its::Pfn pfn, its::Pid owner);
+  void index_remove(its::Pfn pfn, its::Pid owner);
 
   std::vector<FrameInfo> frames_;
   std::vector<its::Pfn> free_;
   std::uint64_t hand_ = 0;
   FramePoolStats stats_;
+  /// Owner → owned pfns, with per-frame positions for O(1) swap-removal.
+  std::unordered_map<its::Pid, std::vector<its::Pfn>> owned_;
+  std::vector<std::size_t> pos_;
 };
 
 }  // namespace its::vm

@@ -41,8 +41,23 @@ std::uint64_t SwapArea::slot_for(its::Pid pid, its::Vpn vpn) {
     throw std::runtime_error("SwapArea: device full");
   std::uint64_t s = next_slot_++;
   slots_.emplace(k, s);
+  owned_[pid].push_back(vpn);
   ++stats_.slots_allocated;
   return s;
+}
+
+void SwapArea::drop_pid(its::Pid pid, std::span<const its::Vpn> keep) {
+  auto it = owned_.find(pid);
+  if (it == owned_.end()) return;
+  for (its::Vpn vpn : it->second) {
+    if (std::find(keep.begin(), keep.end(), vpn) != keep.end()) continue;
+    slots_.erase(key(pid, vpn));
+  }
+  if (keep.empty()) {
+    owned_.erase(it);
+  } else {
+    it->second.assign(keep.begin(), keep.end());
+  }
 }
 
 bool SwapArea::has_slot(its::Pid pid, its::Vpn vpn) const {

@@ -10,7 +10,9 @@
 #include "util/types.h"
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 namespace its::vm {
 
@@ -70,6 +72,15 @@ class SwapArea {
   /// Records a page write (swap-out); allocates the slot if missing.
   void record_swap_out(its::Pid pid, its::Vpn vpn);
 
+  /// Releases every slot owned by `pid` — the device space backing an
+  /// address space dies with its process.  O(slots owned), not O(map):
+  /// without this the slot map only ever grows, and a serving run that
+  /// retires thousands of short-lived processes drags every lookup through
+  /// an ever-colder table.  `keep` lists vpns whose slots must survive:
+  /// pages whose DMA is still in flight at exit land after the drop and
+  /// record their swap-in against the retained slot.
+  void drop_pid(its::Pid pid, std::span<const its::Vpn> keep = {});
+
   std::uint64_t slots_in_use() const { return slots_.size(); }
   std::uint64_t capacity_pages() const { return capacity_; }
   const SwapStats& stats() const { return stats_; }
@@ -88,6 +99,8 @@ class SwapArea {
   std::uint64_t capacity_;
   std::uint64_t next_slot_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> slots_;
+  /// Per-pid slot index so drop_pid never scans the whole map.
+  std::unordered_map<its::Pid, std::vector<its::Vpn>> owned_;
   SwapStats stats_;
   obs::EventTrace* trace_ = nullptr;
   const its::SimTime* clock_ = nullptr;

@@ -32,6 +32,7 @@ Snapshot make_baseline() {
              {"cache_access", 50.0},
              {"dma_post_page", 12.5}};
   s.macro = {8, 20, 500.0, 40.0, 2500.0, 5.0};
+  s.serve = {120, 20.0, 1200.0, 1500.0};
   return s;
 }
 
@@ -55,6 +56,10 @@ TEST(BenchSnapshot, JsonRoundTripIsIdentity) {
   EXPECT_DOUBLE_EQ(r.macro.runs_per_sec, s.macro.runs_per_sec);
   EXPECT_DOUBLE_EQ(r.macro.serial_wall_ms, s.macro.serial_wall_ms);
   EXPECT_DOUBLE_EQ(r.macro.speedup, s.macro.speedup);
+  EXPECT_EQ(r.serve.requests, s.serve.requests);
+  EXPECT_DOUBLE_EQ(r.serve.p99_ms, s.serve.p99_ms);
+  EXPECT_DOUBLE_EQ(r.serve.req_per_sec, s.serve.req_per_sec);
+  EXPECT_DOUBLE_EQ(r.serve.wall_ms, s.serve.wall_ms);
   // And the serialised form is stable (fixed field order).
   EXPECT_EQ(to_json(r), to_json(s));
 }
@@ -123,6 +128,44 @@ TEST(BenchCompare, MacroThroughputDropPastToleranceFails) {
   Snapshot cur = base;
   cur.macro.runs_per_sec = 40.0 * 0.84;  // -16% runs/sec
   EXPECT_EQ(compare_snapshots(base, cur).status, CompareStatus::kRegressed);
+}
+
+TEST(BenchCompare, ServingThroughputDropPastToleranceFails) {
+  Snapshot base = make_baseline();
+  Snapshot cur = base;
+  cur.serve.req_per_sec = 1200.0 * 0.84;  // -16% sustained req/sec
+  EXPECT_EQ(compare_snapshots(base, cur).status, CompareStatus::kRegressed);
+  cur.serve.req_per_sec = 1200.0 * 0.86;  // -14%: inside the 15% gate
+  EXPECT_EQ(compare_snapshots(base, cur).status, CompareStatus::kPass);
+}
+
+TEST(BenchCompare, ServingP99GateBreakFailsRegardlessOfTolerance) {
+  // A run whose p99 broke the fixed gate records 0 sustained req/sec —
+  // that must read as a regression even at the loosest tolerance.
+  Snapshot base = make_baseline();
+  Snapshot cur = base;
+  cur.serve.req_per_sec = 0.0;
+  cur.serve.p99_ms = 80.0;
+  CompareReport rep = compare_snapshots(base, cur, 10.0);
+  EXPECT_EQ(rep.status, CompareStatus::kRegressed);
+  bool named = false;
+  for (const auto& l : rep.lines)
+    named |= l.find("p99 gate broke") != std::string::npos;
+  EXPECT_TRUE(named) << "the report must name the broken serving gate";
+}
+
+TEST(BenchCompare, PreServingBaselineSkipsTheServingAxis) {
+  // Snapshots taken before the serving macro existed parse with an
+  // all-zero serve block; the comparator must not fail them.
+  Snapshot base = make_baseline();
+  base.serve = {};
+  Snapshot cur = make_baseline();
+  CompareReport rep = compare_snapshots(base, cur);
+  EXPECT_EQ(rep.status, CompareStatus::kPass);
+  bool noted = false;
+  for (const auto& l : rep.lines)
+    noted |= l.find("new serving macro") != std::string::npos;
+  EXPECT_TRUE(noted);
 }
 
 TEST(BenchCompare, CustomToleranceMovesTheGate) {

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "serve/admission.h"
+#include "util/u.h"
+
+struct Scheduler {
+  Admission gate;
+  U u;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "util/u.h"
+
+struct Admission {
+  U u;
+};

@@ -1,0 +1,3 @@
+#include "core/scheduler.h"
+
+int scheduler_value() { return Scheduler{}.gate.u.v + Scheduler{}.u.v; }

@@ -1,0 +1,5 @@
+#pragma once
+
+struct U {
+  int v = 0;
+};

@@ -1,0 +1,16 @@
+// det-rand fixture, serving flavour: entropy in the open-loop arrival
+// sampler would make every latency percentile non-replayable across runs.
+// The real sampler (src/serve/arrival.cpp) draws exponential gaps and
+// burst dwells from the seeded util::Rng stream instead.
+#include <cstdint>
+#include <random>
+
+std::uint64_t entropy_arrival_gap() {
+  std::random_device rd;
+  return rd() % 1000000;
+}
+
+std::uint64_t unseeded_burst_dwell() {
+  std::mt19937 gen;
+  return gen() % 1000000;
+}

@@ -1,0 +1,18 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// The serve kinds never got names: four reg-kind-name findings, one per
+// request-lifecycle kind.
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+      return "fault_begin";
+    case EventKind::kFaultEnd:
+      return "fault_end";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace its::obs

@@ -1,0 +1,22 @@
+// Drifted serving registry: the four request-lifecycle kinds were appended
+// and the count correctly re-derived from the last enumerator, but the
+// static_assert tripwire still pins the pre-serving size.
+#pragma once
+#include <cstddef>
+
+namespace its::obs {
+
+enum class EventKind : unsigned char {
+  kFaultBegin,
+  kFaultEnd,
+  kRequestArrive,
+  kRequestAdmit,
+  kRequestDone,
+  kSloViolation,
+};
+
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kSloViolation) + 1;
+static_assert(kNumEventKinds == 2, "bump me when the enum grows");
+
+}  // namespace its::obs

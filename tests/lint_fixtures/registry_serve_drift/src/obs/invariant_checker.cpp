@@ -1,0 +1,20 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// The checker replays arrive/admit/done but nobody taught it the
+// violation kind: exactly one reg-invariant finding (kSloViolation).
+bool replayable(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+    case EventKind::kFaultEnd:
+    case EventKind::kRequestArrive:
+    case EventKind::kRequestAdmit:
+    case EventKind::kRequestDone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace its::obs

@@ -1,0 +1,24 @@
+#include "obs/event_trace.h"
+
+namespace its::obs {
+
+// The Chrome-trace mapping covers every kind — reg-chrome-map must stay
+// quiet so the fixture isolates reg-kind-name + reg-invariant +
+// reg-kind-count.
+char phase_of(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultBegin:
+      return 'B';
+    case EventKind::kFaultEnd:
+      return 'E';
+    case EventKind::kRequestArrive:
+    case EventKind::kRequestAdmit:
+      return 'i';
+    case EventKind::kRequestDone:
+    case EventKind::kSloViolation:
+      return 'e';
+  }
+  return 'i';
+}
+
+}  // namespace its::obs

@@ -163,6 +163,25 @@ TEST(LintDeterminism, DetRandCoversFarmVictimSelection) {
   EXPECT_EQ(r.exit_code(), exit_code_for(Rule::kDetRand));
 }
 
+TEST(LintDeterminism, DetRandCoversServeArrivalSampler) {
+  auto f = load_fixture("det_serve_rand.cpp");
+  auto got = locations(lint_file(f));
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kDetRand, 9},   // std::random_device rd;
+      {Rule::kDetRand, 14},  // std::mt19937 gen;
+  };
+  EXPECT_EQ(got, want);
+
+  // Seeded into src/serve/ the same code fails the src gate: the serving
+  // layer has no rng exemption, so the arrival sampler can only draw from
+  // the seeded util::Rng stream and every percentile row stays replayable.
+  SourceFile as_src = f;
+  as_src.path = "src/serve/arrival.cpp";
+  LintResult r;
+  r.findings = lint_file(as_src);
+  EXPECT_EQ(r.exit_code(), exit_code_for(Rule::kDetRand));
+}
+
 TEST(LintDeterminism, RngHomeAndFaultLayerAreExemptFromDetRand) {
   const std::string decl = "std::mt19937 gen;\n";
   EXPECT_TRUE(lint_file(SourceFile::from_text("src/util/rng.h", decl)).empty());
@@ -263,6 +282,36 @@ TEST(LintRegistry, UnregisteredOutageKindsTripCountAndChromeMap) {
     EXPECT_FALSE(has_finding(findings, Rule::kRegKindName, kind)) << kind;
     EXPECT_FALSE(has_finding(findings, Rule::kRegInvariant, kind)) << kind;
   }
+}
+
+TEST(LintRegistry, HalfRegisteredServeKindsTripNameInvariantAndAssert) {
+  // The mirror image of the outage-drift tree: the four request-lifecycle
+  // kinds are mapped for Chrome but unnamed in kind_name(), the checker
+  // misses kSloViolation, and the count is correctly re-derived from the
+  // last enumerator while the static_assert still pins 2.
+  std::vector<std::string> errors;
+  auto findings = scan_registry(
+      registry_inputs_for_root(fixture("registry_serve_drift")), &errors);
+  EXPECT_TRUE(errors.empty());
+
+  std::vector<std::pair<Rule, std::size_t>> want = {
+      {Rule::kRegKindName, 0},    // kRequestArrive
+      {Rule::kRegKindName, 0},    // kRequestAdmit
+      {Rule::kRegKindName, 0},    // kRequestDone
+      {Rule::kRegKindName, 0},    // kSloViolation
+      {Rule::kRegInvariant, 0},   // kSloViolation never replayed
+      {Rule::kRegKindCount, 20},  // static_assert(kNumEventKinds == 2, ...)
+  };
+  EXPECT_EQ(locations(findings), want);
+
+  for (const char* kind :
+       {"kRequestArrive", "kRequestAdmit", "kRequestDone", "kSloViolation"}) {
+    EXPECT_TRUE(has_finding(findings, Rule::kRegKindName, kind)) << kind;
+    // The Chrome-trace mapping is complete in this tree.
+    EXPECT_FALSE(has_finding(findings, Rule::kRegChromeMap, kind)) << kind;
+  }
+  EXPECT_TRUE(has_finding(findings, Rule::kRegInvariant, "kSloViolation"));
+  EXPECT_FALSE(has_finding(findings, Rule::kRegInvariant, "kRequestDone"));
 }
 
 // ---------------------------------------------------------------------------
@@ -396,6 +445,20 @@ TEST(LintArch, FarmReverseEdgeIntoObsIsALayerFinding) {
   EXPECT_EQ(findings[0].file, "src/farm/worker.h");
   EXPECT_EQ(findings[0].line, 3u);
   EXPECT_NE(findings[0].message.find("'farm' may not depend on 'obs'"),
+            std::string::npos);
+}
+
+TEST(LintArch, CoreReachingIntoServeIsALayerFinding) {
+  // serve is the top layer: it drives core through the admission gate and
+  // retire hook.  core importing a serve header (say, to consult the gate
+  // inline) inverts that and is exactly one arch-layer finding on the
+  // offending include line.
+  auto findings = arch_scan("arch_serve_reverse");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kArchLayer);
+  EXPECT_EQ(findings[0].file, "src/core/scheduler.h");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("'core' may not depend on 'serve'"),
             std::string::npos);
 }
 

@@ -1,0 +1,178 @@
+// util::QuantileDigest: exact-vs-streaming equivalence.
+//
+// The digest replaced the sort-and-index quantile in trace/analysis.cpp and
+// carries the serving scenario's latency percentiles (serve/scenario.h), so
+// these tests pin both contracts: in exact mode it IS the order statistic
+// ⌊q·(n−1)⌋ the analysis always computed, and in sketch mode it stays
+// within one log-linear sub-bucket of it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/quantile.h"
+#include "util/rng.h"
+
+namespace its::util {
+namespace {
+
+/// The reference: the exact order statistic at index ⌊q·(n−1)⌋ of the
+/// sorted population — the formula ReuseProfile::quantile_pages used before
+/// the digest existed.
+std::uint64_t sorted_quantile(std::vector<std::uint64_t> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// A latency-shaped population: mostly small values with a heavy tail, the
+/// worst case for a histogram sketch (wide dynamic range).
+std::vector<std::uint64_t> latency_samples(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t base = 1'000 + rng.next_u64() % 500'000;  // ~µs service
+    if (rng.next_double() < 0.02) base *= 1'000;            // ~ms tail
+    v.push_back(base);
+  }
+  return v;
+}
+
+const double kQuantiles[] = {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0};
+
+TEST(QuantileDigest, EmptyDigestAnswersZero) {
+  QuantileDigest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(d.exact());
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.min(), 0u);
+  EXPECT_EQ(d.max(), 0u);
+  EXPECT_EQ(d.quantile(0.99), 0u);
+}
+
+TEST(QuantileDigest, ExactModeIsTheSortedOrderStatistic) {
+  auto samples = latency_samples(1'000, 7);
+  QuantileDigest d;  // default limit 4096 > 1000: stays exact
+  for (std::uint64_t s : samples) d.add(s);
+  ASSERT_TRUE(d.exact());
+  EXPECT_EQ(d.count(), samples.size());
+  for (double q : kQuantiles)
+    EXPECT_EQ(d.quantile(q), sorted_quantile(samples, q)) << "q=" << q;
+  EXPECT_EQ(d.min(), *std::min_element(samples.begin(), samples.end()));
+  EXPECT_EQ(d.max(), *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(QuantileDigest, SketchModeStaysWithinOneSubBucket) {
+  auto samples = latency_samples(100'000, 11);
+  QuantileDigest d(1'024);  // force the spill long before the end
+  for (std::uint64_t s : samples) d.add(s);
+  ASSERT_FALSE(d.exact());
+  EXPECT_EQ(d.count(), samples.size());
+  // min/max are tracked outside the buckets and stay exact.
+  EXPECT_EQ(d.min(), *std::min_element(samples.begin(), samples.end()));
+  EXPECT_EQ(d.max(), *std::max_element(samples.begin(), samples.end()));
+  for (double q : kQuantiles) {
+    std::uint64_t want = sorted_quantile(samples, q);
+    std::uint64_t got = d.quantile(q);
+    // Bucket lower bound: never above the truth, and the 32-per-octave
+    // log-linear grid bounds the gap at one sub-bucket (~1/32 relative).
+    EXPECT_LE(got, want) << "q=" << q;
+    EXPECT_GE(got, want - want / 16) << "q=" << q << " got=" << got
+                                     << " want=" << want;
+  }
+}
+
+TEST(QuantileDigest, ExactAndStreamingAgreeOnTheSamePopulation) {
+  // The serving suite's contract: whether a tier's latencies fit the exact
+  // buffer or spill, the reported percentile ladder describes the same
+  // distribution.  Feed one population to both configurations.
+  auto samples = latency_samples(20'000, 3);
+  QuantileDigest exact(samples.size());  // never spills
+  QuantileDigest sketch(0);              // spills on the first add
+  for (std::uint64_t s : samples) {
+    exact.add(s);
+    sketch.add(s);
+  }
+  ASSERT_TRUE(exact.exact());
+  ASSERT_FALSE(sketch.exact());
+  for (double q : kQuantiles) {
+    std::uint64_t e = exact.quantile(q);
+    std::uint64_t s = sketch.quantile(q);
+    EXPECT_LE(s, e) << "q=" << q;
+    EXPECT_GE(s, e - e / 16) << "q=" << q << " exact=" << e << " sketch=" << s;
+  }
+}
+
+TEST(QuantileDigest, MergeOfExactPartsMatchesSingleDigest) {
+  auto a = latency_samples(500, 21);
+  auto b = latency_samples(700, 22);
+  QuantileDigest da, db, all;
+  for (std::uint64_t s : a) {
+    da.add(s);
+    all.add(s);
+  }
+  for (std::uint64_t s : b) {
+    db.add(s);
+    all.add(s);
+  }
+  da.merge(db);
+  ASSERT_TRUE(da.exact());  // 1200 < default limit: merge stays exact
+  EXPECT_EQ(da.count(), all.count());
+  for (double q : kQuantiles) EXPECT_EQ(da.quantile(q), all.quantile(q));
+  EXPECT_EQ(da.min(), all.min());
+  EXPECT_EQ(da.max(), all.max());
+}
+
+TEST(QuantileDigest, MergeOfSketchPartsMatchesSingleSketch) {
+  // Bucket counts add, so merging spilled digests is byte-equivalent to
+  // one digest that saw the concatenated stream — the per-tier → fleet
+  // aggregation path in serve::run_serve.
+  auto a = latency_samples(5'000, 31);
+  auto b = latency_samples(5'000, 32);
+  QuantileDigest da(100), db(100), all(100);
+  for (std::uint64_t s : a) {
+    da.add(s);
+    all.add(s);
+  }
+  for (std::uint64_t s : b) {
+    db.add(s);
+    all.add(s);
+  }
+  da.merge(db);
+  ASSERT_FALSE(da.exact());
+  EXPECT_EQ(da.count(), all.count());
+  for (double q : kQuantiles) EXPECT_EQ(da.quantile(q), all.quantile(q));
+}
+
+TEST(QuantileDigest, MergeSpillsWhenCombinedPopulationOverflowsLimit) {
+  QuantileDigest da(8), db(8);
+  for (std::uint64_t v = 1; v <= 6; ++v) da.add(v * 100);
+  for (std::uint64_t v = 1; v <= 6; ++v) db.add(v * 100);
+  ASSERT_TRUE(da.exact());
+  da.merge(db);  // 12 > 8: must fold into the sketch, not overflow
+  EXPECT_FALSE(da.exact());
+  EXPECT_EQ(da.count(), 12u);
+  EXPECT_EQ(da.max(), 600u);
+}
+
+TEST(QuantileDigest, SmallValuesMapOneToOneInSketchMode) {
+  // Values below one octave's sub-bucket width have dedicated buckets, so
+  // tiny populations survive the spill without any error at all.
+  QuantileDigest d(0);
+  for (std::uint64_t v = 0; v < 32; ++v) d.add(v);
+  ASSERT_FALSE(d.exact());
+  EXPECT_EQ(d.quantile(0.0), 0u);
+  EXPECT_EQ(d.quantile(1.0), 31u);
+  EXPECT_EQ(d.quantile(0.5), sorted_quantile({0,  1,  2,  3,  4,  5,  6,  7,
+                                              8,  9,  10, 11, 12, 13, 14, 15,
+                                              16, 17, 18, 19, 20, 21, 22, 23,
+                                              24, 25, 26, 27, 28, 29, 30, 31},
+                                             0.5));
+}
+
+}  // namespace
+}  // namespace its::util

@@ -212,7 +212,11 @@ std::string to_json(const Snapshot& s) {
      << ", \"wall_ms\": " << num(s.macro.wall_ms)
      << ", \"runs_per_sec\": " << num(s.macro.runs_per_sec)
      << ", \"serial_wall_ms\": " << num(s.macro.serial_wall_ms)
-     << ", \"speedup\": " << num(s.macro.speedup) << "}\n";
+     << ", \"speedup\": " << num(s.macro.speedup) << "},\n";
+  os << "  \"serve\": {\"requests\": " << s.serve.requests
+     << ", \"p99_ms\": " << num(s.serve.p99_ms)
+     << ", \"req_per_sec\": " << num(s.serve.req_per_sec)
+     << ", \"wall_ms\": " << num(s.serve.wall_ms) << "}\n";
   os << "}\n";
   return os.str();
 }
@@ -235,6 +239,15 @@ Snapshot parse_snapshot(const std::string& json) {
   s.macro.runs_per_sec = field(mac, "runs_per_sec").number;
   s.macro.serial_wall_ms = field(mac, "serial_wall_ms").number;
   s.macro.speedup = field(mac, "speedup").number;
+  // Additive in-place to schema v1: pre-serving snapshots simply lack the
+  // block and keep the all-zero default (the comparator then skips it).
+  if (auto it = root.object.find("serve"); it != root.object.end()) {
+    const Value& sv = it->second;
+    s.serve.requests = static_cast<unsigned>(field(sv, "requests").number);
+    s.serve.p99_ms = field(sv, "p99_ms").number;
+    s.serve.req_per_sec = field(sv, "req_per_sec").number;
+    s.serve.wall_ms = field(sv, "wall_ms").number;
+  }
   return s;
 }
 
@@ -312,6 +325,25 @@ CompareReport compare_snapshots(const Snapshot& baseline, const Snapshot& curren
                         num(baseline.macro.runs_per_sec) + " -> " +
                         num(current.macro.runs_per_sec) + " runs/sec (" +
                         fmt_pct(ratio) + ")");
+  }
+
+  if (baseline.serve.req_per_sec > 0.0) {
+    if (current.serve.req_per_sec <= 0.0) {
+      regressed = true;
+      rep.lines.push_back("FAIL: serving p99 gate broke (p99 " +
+                          num(current.serve.p99_ms) +
+                          " ms — sustained req/sec is 0)");
+    } else {
+      double ratio = current.serve.req_per_sec / baseline.serve.req_per_sec;
+      bool bad = ratio < 1.0 - tolerance;
+      regressed |= bad;
+      rep.lines.push_back(std::string(bad ? "FAIL" : "ok") + ": serving " +
+                          num(baseline.serve.req_per_sec) + " -> " +
+                          num(current.serve.req_per_sec) + " req/sec (" +
+                          fmt_pct(ratio) + ")");
+    }
+  } else if (current.serve.req_per_sec > 0.0) {
+    rep.lines.push_back("note: new serving macro (no baseline)");
   }
 
   rep.status = regressed ? CompareStatus::kRegressed : CompareStatus::kPass;

@@ -49,12 +49,27 @@ struct MacroResult {
   double speedup = 0.0;        ///< serial_wall_ms / wall_ms.
 };
 
+/// The serving macro: one open-loop serving run (serve/scenario.h) at the
+/// fig_serve_latency operating point under ITS.  `req_per_sec` is the
+/// sim-domain sustained throughput — and it only counts when the run's p99
+/// held the fixed gate, so a tail-latency regression reads as 0 req/sec
+/// rather than hiding behind an unchanged completion count.  Additive to
+/// schema v1: absent from older snapshots, which parse as all-zero and are
+/// simply not compared on this axis.
+struct ServeResult {
+  unsigned requests = 0;     ///< Completed requests in the measured window.
+  double p99_ms = 0.0;       ///< Sim-time aggregate p99 latency.
+  double req_per_sec = 0.0;  ///< Sustained sim-domain throughput (0 = gate broke).
+  double wall_ms = 0.0;      ///< Host wall clock of the run.
+};
+
 struct Snapshot {
   int schema_version = kSchemaVersion;
   std::string revision;  ///< Git revision (or a caller-chosen tag).
   Machine machine;
   std::vector<Metric> micro;
   MacroResult macro;
+  ServeResult serve;
 };
 
 /// Fingerprint of the machine running this process.
