@@ -38,13 +38,13 @@ struct SimConfig {
   // -- Mini-kernel costs ---------------------------------------------------
   its::Duration minor_fault_cost = 350;     ///< ns — metadata-only fault.
   its::Duration major_fault_sw_cost = 700;  ///< ns — kernel entry + handler.
-  its::Duration ctx_switch_cost = 7000;     ///< ns — paper's measured 7 µs.
+  its::Duration ctx_switch_cost = 7_us;     ///< Paper's measured 7 µs.
   its::Duration kernel_thread_entry = 300;  ///< ns — §3.2: "hundreds of ns".
 
   // -- Storage --------------------------------------------------------------
   storage::UllConfig ull{};     ///< 3 µs media, 8 channels.
   storage::PcieConfig pcie{};   ///< 4 lanes × 3.983 GB/s.
-  std::uint64_t dram_bytes = 256ull << 20;  ///< Sized per batch (working set).
+  its::Bytes dram_bytes = 256_MiB;  ///< Sized per batch (working set).
 
   /// Pages swapped in per major fault as one aligned cluster (Linux
   /// page-cluster): 1 = single page (ULL default).  Larger clusters model
@@ -55,15 +55,15 @@ struct SimConfig {
   unsigned swap_cluster_pages = 1;
 
   // -- File I/O path (§1 footnote 1) -----------------------------------------
-  std::uint64_t page_cache_bytes = 32ull << 20;  ///< Static DRAM carve-out.
+  its::Bytes page_cache_bytes = 32_MiB;  ///< Static DRAM carve-out.
   its::Duration syscall_cost = 250;        ///< ns — read/write syscall entry.
   double copy_bytes_per_ns = 16.0;         ///< Page-cache ↔ user-buffer memcpy.
   unsigned file_readahead_pages = 4;       ///< Readahead when the plan prefetches.
 
   // -- Scheduler -------------------------------------------------------------
   SchedulerKind scheduler = SchedulerKind::kRoundRobin;
-  its::Duration slice_min = 5ull * 1000 * 1000;        ///< 5 ms (SCHED_RR).
-  its::Duration slice_max = 800ull * 1000 * 1000;      ///< 800 ms (SCHED_RR).
+  its::Duration slice_min = 5_ms;        ///< SCHED_RR floor.
+  its::Duration slice_max = 800_ms;      ///< SCHED_RR ceiling.
   sched::CfsConfig cfs{};                              ///< Used when scheduler == kCfs.
 
   // -- Policies ---------------------------------------------------------------

@@ -41,8 +41,8 @@ struct ExperimentConfig {
     // scale the SCHED_RR slice range (paper: 5–800 ms) by the same factor so
     // the slice-to-runtime ratio — and hence multiprogrammed interleaving —
     // matches the original setup.
-    sim.slice_min = 50'000;     // 50 µs  (paper 5 ms / 100)
-    sim.slice_max = 8'000'000;  // 8 ms   (paper 800 ms / 100)
+    sim.slice_min = 50_us;  // paper 5 ms / 100
+    sim.slice_max = 8_ms;   // paper 800 ms / 100
     // CI's hostile job forces every experiment under a named fault profile
     // (docs/robustness.md).  Callers that assign sim.fault afterwards —
     // profile-specific tests, the golden fault run — still win.

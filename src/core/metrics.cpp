@@ -28,6 +28,7 @@ double avg_finish(const std::vector<ProcessOutcome>& procs, bool top) {
   its::Duration sum = 0;
   for (std::size_t i = begin; i < end; ++i)
     sum += sorted[i]->metrics.finish_time;
+  // its-lint: allow(units-narrow): derived report mean; summed as integers
   return static_cast<double>(sum) / static_cast<double>(end - begin);
 }
 }  // namespace

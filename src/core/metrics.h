@@ -87,7 +87,7 @@ struct SimMetrics {
   std::uint64_t pool_stores = 0;            ///< Pages compressed to the fallback pool.
   std::uint64_t pool_hits = 0;              ///< Demand reads served from the pool.
   std::uint64_t pool_drains = 0;            ///< Pooled pages drained back on recovery.
-  std::uint64_t drain_bytes = 0;            ///< Bytes written back by the drain.
+  its::Bytes drain_bytes = 0;               ///< Bytes written back by the drain.
   std::uint64_t faults_served_degraded = 0; ///< Major faults entered while unhealthy.
 
   std::vector<ProcessOutcome> processes;

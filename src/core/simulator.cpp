@@ -289,7 +289,7 @@ its::Duration Simulator::sync_deadline() const {
                                        : 2 * cfg_.ctx_switch_cost;
 }
 
-its::SimTime Simulator::post_read_resilient(its::SimTime t, std::uint64_t bytes,
+its::SimTime Simulator::post_read_resilient(its::SimTime t, its::Bytes bytes,
                                             std::uint64_t tag) {
   if (!finj_.enabled()) return dma_.post(t, storage::Dir::kRead, bytes);
   for (unsigned attempt = 1;; ++attempt) {
@@ -561,7 +561,7 @@ bool Simulator::handle_major_fault(Process& p, its::Vpn vpn) {
     // at the next timer check, so the resume point is quantised up to the
     // poll period (the interrupt trigger resumes exactly at completion).
     const its::Duration period = std::max<its::Duration>(cfg_.preexec.poll_period, 1);
-    wait = (wait + period - 1) / period * period;
+    wait = its::round_up(wait, period);
   }
   its::Duration utilized = 0;
   if (plan.prefetch != PrefetchKind::kNone)

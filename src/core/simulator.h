@@ -149,7 +149,7 @@ class Simulator {
   /// Posts a demand read through the fault-aware DMA path, retrying failed
   /// attempts with the swap retry policy's backoff.  Returns the final
   /// completion time; identical to a plain post when injection is off.
-  its::SimTime post_read_resilient(its::SimTime t, std::uint64_t bytes,
+  its::SimTime post_read_resilient(its::SimTime t, its::Bytes bytes,
                                    std::uint64_t tag);
   /// Serves one file read/write syscall record; false if the process
   /// blocked (asynchronous page-cache miss) — the record restarts on wake.

@@ -1,5 +1,7 @@
 #include "cpu/store_buffer.h"
 
+#include "util/types.h"
+
 namespace its::cpu {
 
 std::optional<SbEntry> StoreBuffer::push(const SbEntry& e) {
@@ -12,7 +14,7 @@ std::optional<SbEntry> StoreBuffer::push(const SbEntry& e) {
   return retired;
 }
 
-SbHit StoreBuffer::lookup(std::uint64_t addr, std::uint16_t size) const {
+SbHit StoreBuffer::lookup(its::VirtAddr addr, std::uint16_t size) const {
   // Scan youngest → oldest so the most recent overlapping store forwards.
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
     if (overlaps(*it, addr, size)) {

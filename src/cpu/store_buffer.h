@@ -8,6 +8,8 @@
 // pre-execute cache.
 #pragma once
 
+#include "util/types.h"
+
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -16,7 +18,7 @@
 namespace its::cpu {
 
 struct SbEntry {
-  std::uint64_t addr = 0;  ///< Composite (pid, vaddr) key of the first byte.
+  its::VirtAddr addr = 0;  ///< Composite (pid, vaddr) key of the first byte.
   std::uint16_t size = 0;
   bool invalid = false;  ///< Data written was bogus (INV source / fault).
 };
@@ -36,7 +38,7 @@ class StoreBuffer {
   std::optional<SbEntry> push(const SbEntry& e);
 
   /// Youngest-entry-wins forwarding lookup over [addr, addr+size).
-  SbHit lookup(std::uint64_t addr, std::uint16_t size) const;
+  SbHit lookup(its::VirtAddr addr, std::uint16_t size) const;
 
   /// Retires every entry (episode end); buffer becomes empty.
   std::vector<SbEntry> drain();
@@ -47,7 +49,8 @@ class StoreBuffer {
   bool empty() const { return entries_.empty(); }
 
  private:
-  static bool overlaps(const SbEntry& e, std::uint64_t addr, std::uint16_t size) {
+  static bool overlaps(const SbEntry& e, its::VirtAddr addr,
+                       std::uint16_t size) {
     return e.addr < addr + size && addr < e.addr + e.size;
   }
 

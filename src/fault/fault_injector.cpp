@@ -50,7 +50,7 @@ its::SimTime FaultInjector::outage_clear(its::SimTime t) const {
   const auto& o = cfg_.outage;
   if (o.dead_at > 0 && t >= o.dead_at) return t;  // permanent; see header
   if (o.period == 0 || o.length == 0) return t;
-  const its::SimTime into = (t + o.phase) % o.period;
+  const its::Duration into = (t + o.phase) % o.period;
   if (into < o.length) return t + (o.length - into);
   return t;
 }
@@ -75,8 +75,9 @@ its::Duration FaultInjector::tail_draw() {
   }
   ++stats_.tail_events;
   auto d = static_cast<its::Duration>(
+      // its-lint: allow(units-narrow): randomized tail draw scales in doubles
       std::min(extra, static_cast<double>(lm.max_extra)));
-  return d / kLatencyQuantum * kLatencyQuantum;
+  return its::round_down(d, kLatencyQuantum);
 }
 
 its::Duration FaultInjector::inflate_media_latency(its::SimTime start,
@@ -86,8 +87,9 @@ its::Duration FaultInjector::inflate_media_latency(its::SimTime start,
   its::Duration total = base + tail_draw();
   if (in_burst(start) && cfg_.latency.burst_multiplier > 1.0) {
     auto scaled = static_cast<its::Duration>(
+        // its-lint: allow(units-narrow): burst multiplier is a double factor
         static_cast<double>(total) * cfg_.latency.burst_multiplier);
-    total = scaled / kLatencyQuantum * kLatencyQuantum;
+    total = its::round_down(scaled, kLatencyQuantum);
     total = std::max(total, base);
   }
   stats_.extra_latency += total - base;
@@ -133,8 +135,8 @@ std::optional<FaultProfile> profile_by_name(std::string_view name) {
     return p;
   }
   if (name == "bursty") {
-    p.latency.burst_period = 400'000;  // every 400 µs ...
-    p.latency.burst_len = 80'000;      // ... an 80 µs degraded window
+    p.latency.burst_period = 400_us;  // every 400 µs ...
+    p.latency.burst_len = 80_us;      // ... an 80 µs degraded window
     p.latency.burst_multiplier = 6.0;
     return p;
   }
@@ -147,9 +149,9 @@ std::optional<FaultProfile> profile_by_name(std::string_view name) {
   if (name == "outage") {
     // Pure scheduled outages — no per-op faults, no RNG draws: the whole
     // fault timeline is clock arithmetic, so replay is trivially exact.
-    p.outage.period = 1'500'000;   // every 1.5 ms ...
-    p.outage.length = 200'000;     // ... the device is gone for 200 µs
-    p.outage.recovery = 100'000;   // then drains/retrains for 100 µs
+    p.outage.period = 1500_us;     // every 1.5 ms ...
+    p.outage.length = 200_us;      // ... the device is gone for 200 µs
+    p.outage.recovery = 100_us;    // then drains/retrains for 100 µs
     return p;
   }
   if (name == "hostile") {
@@ -160,12 +162,12 @@ std::optional<FaultProfile> profile_by_name(std::string_view name) {
     p.latency.tail_prob = 0.1;
     p.latency.pareto_alpha = 1.3;
     p.latency.pareto_xm = 2000.0;
-    p.latency.burst_period = 400'000;
-    p.latency.burst_len = 60'000;
+    p.latency.burst_period = 400_us;
+    p.latency.burst_len = 60_us;
     p.latency.burst_multiplier = 4.0;
-    p.outage.period = 2'000'000;   // sustained resets on top of everything
-    p.outage.length = 150'000;
-    p.outage.recovery = 80'000;
+    p.outage.period = 2_ms;        // sustained resets on top of everything
+    p.outage.length = 150_us;
+    p.outage.recovery = 80_us;
     p.outage.degrade_errors = 4;   // error-run trips degraded mode
     p.outage.offline_timeouts = 3; // sync-abort run trips an error outage
     return p;

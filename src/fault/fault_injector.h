@@ -42,7 +42,7 @@ struct LatencyModelConfig {
   // Pareto tail: extra = xm · u^(-1/alpha) ns, u ~ U(0,1).
   double pareto_alpha = 1.5;
   double pareto_xm = 1000.0;     ///< Scale (minimum tail draw), ns.
-  its::Duration max_extra = 200'000;  ///< Clamp on any single tail draw, ns.
+  its::Duration max_extra = 200_us;  ///< Clamp on any single tail draw.
   // Burst windows (device-wide degradation, e.g. internal GC): while
   // (t mod burst_period) < burst_len the whole service time is multiplied.
   its::Duration burst_period = 0;  ///< 0 = no bursts.
@@ -70,8 +70,8 @@ struct OutageModelConfig {
   // Error-driven transitions, consumed by storage::DeviceHealthMonitor.
   unsigned degrade_errors = 0;     ///< Consecutive I/O errors → degraded. 0 = off.
   unsigned offline_timeouts = 0;   ///< Consecutive sync aborts → offline. 0 = off.
-  its::Duration error_outage = 50'000;   ///< Offline span after a timeout trip, ns.
-  its::Duration degraded_hold = 100'000; ///< Quiet time before degraded clears, ns.
+  its::Duration error_outage = 50_us;    ///< Offline span after a timeout trip.
+  its::Duration degraded_hold = 100_us;  ///< Quiet time before degraded clears.
 
   bool enabled() const {
     return (period > 0 && length > 0) || dead_at > 0 || degrade_errors > 0 ||
@@ -94,9 +94,9 @@ struct FaultProfile {
 
   // Swap-path retry/backoff policy (consumed by vm::RetryPolicy).
   unsigned max_retries = 3;           ///< Bounded retries per demand read.
-  its::Duration backoff_base = 1000;  ///< First backoff, ns.
+  its::Duration backoff_base = 1_us;  ///< First backoff.
   double backoff_mult = 2.0;          ///< Exponential growth per retry.
-  its::Duration backoff_cap = 64'000; ///< Ceiling on any single backoff, ns.
+  its::Duration backoff_cap = 64_us;  ///< Ceiling on any single backoff.
 
   /// Graceful-degradation watchdog: a synchronous busy-wait that would
   /// exceed this deadline is aborted and the fault falls back to

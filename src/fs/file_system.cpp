@@ -1,8 +1,10 @@
 #include "fs/file_system.h"
 
+#include "util/types.h"
+
 namespace its::fs {
 
-void FileSystem::ensure_file(FileId id, std::uint64_t size_bytes) {
+void FileSystem::ensure_file(FileId id, its::Bytes size_bytes) {
   if (size_bytes == 0) throw std::invalid_argument("FileSystem: zero-size file");
   if (size_bytes > sizes_[id]) sizes_[id] = size_bytes;
 }

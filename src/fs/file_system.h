@@ -9,6 +9,8 @@
 // constant-cost key computation.
 #pragma once
 
+#include "util/types.h"
+
 #include <array>
 #include <cstdint>
 #include <stdexcept>
@@ -30,7 +32,7 @@ struct FsStats {
 class FileSystem {
  public:
   /// Registers (or grows) a file to at least `size_bytes`.
-  void ensure_file(FileId id, std::uint64_t size_bytes);
+  void ensure_file(FileId id, its::Bytes size_bytes);
 
   bool exists(FileId id) const { return sizes_[id] != 0; }
   std::uint64_t size_of(FileId id) const { return sizes_[id]; }

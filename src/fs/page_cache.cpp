@@ -7,7 +7,7 @@
 
 namespace its::fs {
 
-PageCache::PageCache(std::uint64_t budget_bytes)
+PageCache::PageCache(its::Bytes budget_bytes)
     : capacity_(std::max<std::uint64_t>(budget_bytes >> its::kPageShift, 1)) {}
 
 PcLookup PageCache::lookup(std::uint64_t key) {

@@ -40,7 +40,7 @@ struct Writeback {
 class PageCache {
  public:
   /// `budget_bytes` rounds down to whole pages; at least one page.
-  explicit PageCache(std::uint64_t budget_bytes);
+  explicit PageCache(its::Bytes budget_bytes);
 
   std::uint64_t capacity_pages() const { return capacity_; }
   std::uint64_t resident_pages() const { return map_.size(); }

@@ -13,7 +13,8 @@ namespace its::fs {
 using trace::Instr;
 using util::Rng;
 
-trace::Trace make_log_scan(std::uint64_t file_bytes, const FileWorkloadConfig& cfg) {
+trace::Trace make_log_scan(its::Bytes file_bytes,
+                           const FileWorkloadConfig& cfg) {
   trace::Trace t("log_scan");
   t.reserve(cfg.records);
   Rng rng(cfg.seed, 0xf11eull);
@@ -30,7 +31,7 @@ trace::Trace make_log_scan(std::uint64_t file_bytes, const FileWorkloadConfig& c
   return t;
 }
 
-trace::Trace make_kv_store(std::uint64_t file_bytes, double write_ratio,
+trace::Trace make_kv_store(its::Bytes file_bytes, double write_ratio,
                            const FileWorkloadConfig& cfg) {
   trace::Trace t("kv_store");
   t.reserve(cfg.records);
@@ -55,7 +56,7 @@ trace::Trace make_kv_store(std::uint64_t file_bytes, double write_ratio,
   return t;
 }
 
-trace::Trace make_analytics_mix(std::uint64_t file_bytes, std::uint64_t heap_bytes,
+trace::Trace make_analytics_mix(its::Bytes file_bytes, its::Bytes heap_bytes,
                                 const FileWorkloadConfig& cfg) {
   trace::Trace t("analytics_mix");
   t.reserve(cfg.records);

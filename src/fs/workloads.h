@@ -8,6 +8,7 @@
 #pragma once
 
 #include "trace/trace.h"
+#include "util/types.h"
 
 #include <cstdint>
 
@@ -20,20 +21,20 @@ struct FileWorkloadConfig {
 
 /// Sequential scan of one large log file (file 0) with light per-record
 /// compute: page-cache readahead territory.
-trace::Trace make_log_scan(std::uint64_t file_bytes = 64ull << 20,
+trace::Trace make_log_scan(its::Bytes file_bytes = 64_MiB,
                            const FileWorkloadConfig& cfg = {});
 
 /// Key-value store over one data file (file 1): Zipf-skewed point reads, a
 /// fraction of writes, an append-only log tail (file 2).
-trace::Trace make_kv_store(std::uint64_t file_bytes = 48ull << 20,
+trace::Trace make_kv_store(its::Bytes file_bytes = 48_MiB,
                            double write_ratio = 0.2,
                            const FileWorkloadConfig& cfg = {});
 
 /// Analytics mix: streams a column file (file 3) while building an
 /// anonymous-memory hash table — file-I/O misses and swap faults share the
 /// ULL device.
-trace::Trace make_analytics_mix(std::uint64_t file_bytes = 48ull << 20,
-                                std::uint64_t heap_bytes = 24ull << 20,
+trace::Trace make_analytics_mix(its::Bytes file_bytes = 48_MiB,
+                                its::Bytes heap_bytes = 24_MiB,
                                 const FileWorkloadConfig& cfg = {});
 
 }  // namespace its::fs

@@ -1,5 +1,7 @@
 #include "mem/cache.h"
 
+#include "util/types.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -22,7 +24,7 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
   }
 }
 
-bool SetAssocCache::access(std::uint64_t addr) {
+bool SetAssocCache::access(its::VirtAddr addr) {
   std::uint64_t line = line_of(addr);
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
@@ -53,7 +55,7 @@ bool SetAssocCache::access(std::uint64_t addr) {
   return false;
 }
 
-bool SetAssocCache::probe(std::uint64_t addr) const {
+bool SetAssocCache::probe(its::VirtAddr addr) const {
   std::uint64_t line = line_of(addr);
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
@@ -63,7 +65,7 @@ bool SetAssocCache::probe(std::uint64_t addr) const {
   return false;
 }
 
-void SetAssocCache::fill(std::uint64_t addr) {
+void SetAssocCache::fill(its::VirtAddr addr) {
   std::uint64_t line = line_of(addr);
   unsigned set = set_index(line);
   std::uint64_t tag = tag_of(line);
@@ -106,7 +108,7 @@ bool SetAssocCache::invalidate_line(std::uint64_t line) {
   return false;
 }
 
-bool SetAssocCache::invalidate(std::uint64_t addr) {
+bool SetAssocCache::invalidate(its::VirtAddr addr) {
   return invalidate_line(line_of(addr));
 }
 

@@ -14,7 +14,7 @@
 namespace its::mem {
 
 struct CacheConfig {
-  std::uint64_t size_bytes = 32 * 1024;
+  its::Bytes size_bytes = 32_KiB;
   unsigned ways = 8;
   unsigned line_size = 64;
   its::Duration hit_latency = 1;  ///< ns, charged on a hit at this level.
@@ -38,17 +38,17 @@ class SetAssocCache {
 
   /// Looks up `addr`; on miss, inserts the line (allocate-on-miss for both
   /// reads and writes).  Returns true on hit.
-  bool access(std::uint64_t addr);
+  bool access(its::VirtAddr addr);
 
   /// Lookup without side effects.
-  bool probe(std::uint64_t addr) const;
+  bool probe(its::VirtAddr addr) const;
 
   /// Inserts the line without counting a hit or miss (used by pre-execute /
   /// prefetch warming paths).
-  void fill(std::uint64_t addr);
+  void fill(its::VirtAddr addr);
 
   /// Drops one line if present; returns whether it was present.
-  bool invalidate(std::uint64_t addr);
+  bool invalidate(its::VirtAddr addr);
 
   /// Drops all lines in [base, base+len).
   void invalidate_range(std::uint64_t base, std::uint64_t len);
@@ -74,7 +74,7 @@ class SetAssocCache {
   // divide by a runtime divisor costs more than the whole way scan.  The
   // ctor precomputes shift/mask forms; the modulo fallback only runs for
   // non-power-of-two set counts, which no shipped config uses.
-  std::uint64_t line_of(std::uint64_t addr) const {
+  std::uint64_t line_of(its::VirtAddr addr) const {
     return addr >> line_shift_;
   }
   unsigned set_index(std::uint64_t line) const {

@@ -1,5 +1,7 @@
 #include "mem/preexec_cache.h"
 
+#include "util/types.h"
+
 #include <bit>
 #include <stdexcept>
 
@@ -23,7 +25,7 @@ PreexecCache::PreexecCache(const PreexecCacheConfig& cfg) : cfg_(cfg) {
   lines_.assign(n, Line{});
 }
 
-PreexecCache::Line* PreexecCache::find(std::uint64_t line_addr) {
+PreexecCache::Line* PreexecCache::find(its::VirtAddr line_addr) {
   unsigned set = static_cast<unsigned>(line_addr % num_sets_);
   std::uint64_t tag = line_addr / num_sets_;
   Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
@@ -32,7 +34,7 @@ PreexecCache::Line* PreexecCache::find(std::uint64_t line_addr) {
   return nullptr;
 }
 
-PreexecCache::Line& PreexecCache::find_or_alloc(std::uint64_t line_addr) {
+PreexecCache::Line& PreexecCache::find_or_alloc(its::VirtAddr line_addr) {
   unsigned set = static_cast<unsigned>(line_addr % num_sets_);
   std::uint64_t tag = line_addr / num_sets_;
   Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
@@ -56,7 +58,7 @@ PreexecCache::Line& PreexecCache::find_or_alloc(std::uint64_t line_addr) {
   return *victim;
 }
 
-void PreexecCache::store(std::uint64_t addr, unsigned size, bool invalid) {
+void PreexecCache::store(its::VirtAddr addr, unsigned size, bool invalid) {
   if (size == 0) return;  // zero-byte store writes nothing
   ++stats_.stores;
   std::uint64_t first = addr / cfg_.line_size;
@@ -78,7 +80,7 @@ void PreexecCache::store(std::uint64_t addr, unsigned size, bool invalid) {
   }
 }
 
-PxLookup PreexecCache::lookup(std::uint64_t addr, unsigned size) {
+PxLookup PreexecCache::lookup(its::VirtAddr addr, unsigned size) {
   PxLookup r;
   if (size == 0) {  // zero-byte probe: vacuously complete, never found
     ++stats_.load_misses;

@@ -19,7 +19,7 @@
 namespace its::mem {
 
 struct PreexecCacheConfig {
-  std::uint64_t size_bytes = 4ull * 1024 * 1024;  ///< Half of the 8 MB LLC.
+  its::Bytes size_bytes = 4_MiB;  ///< Half of the 8 MB LLC.
   unsigned ways = 16;
   unsigned line_size = 64;
 };
@@ -49,10 +49,10 @@ class PreexecCache {
 
   /// Records a retired pre-execute store of [addr, addr+size); bytes are
   /// flagged INV when `invalid` (bogus source data or page-in-storage).
-  void store(std::uint64_t addr, unsigned size, bool invalid);
+  void store(its::VirtAddr addr, unsigned size, bool invalid);
 
   /// Pre-execute load probe over [addr, addr+size).
-  PxLookup lookup(std::uint64_t addr, unsigned size);
+  PxLookup lookup(its::VirtAddr addr, unsigned size);
 
   /// Drops every entry (e.g. between simulations).
   void clear();
@@ -69,8 +69,8 @@ class PreexecCache {
     bool valid = false;
   };
 
-  Line* find(std::uint64_t line_addr);
-  Line& find_or_alloc(std::uint64_t line_addr);
+  Line* find(its::VirtAddr line_addr);
+  Line& find_or_alloc(its::VirtAddr line_addr);
 
   PreexecCacheConfig cfg_;
   unsigned num_sets_;

@@ -415,14 +415,18 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
     fail(fmt("request %" PRIu64 " was admitted but never retired", id));
 
   // (4) idle breakdown + utilized CPU time reconcile with the makespan.
+  // The makespan is a SimTime instant; the run's wall length is the same
+  // number only because the simulation clock starts at 0 — make the
+  // conversion explicit before comparing it with summed Durations.
+  const its::Duration wall = its::duration_between(m.makespan, 0);
   const its::Duration accounted =
       m.cpu_busy + m.busy_wait + m.ctx_switch + m.no_runnable;
   const its::Duration diff =
-      accounted > m.makespan ? accounted - m.makespan : m.makespan - accounted;
+      accounted > wall ? accounted - wall : wall - accounted;
   if (diff > cfg.granularity)
     fail(fmt("accounting leak: cpu_busy + busy_wait + ctx_switch + "
              "no_runnable = %" PRIu64 " but makespan = %" PRIu64,
-             accounted, m.makespan));
+             accounted, wall));
   if (m.mem_stall > m.cpu_busy)
     fail(fmt("mem_stall %" PRIu64 " exceeds total busy CPU time %" PRIu64,
              m.mem_stall, m.cpu_busy));
@@ -503,10 +507,11 @@ CheckResult check_invariants(const EventTrace& trace, const RunTotals& m,
     const its::Duration in_state =
         m.health_healthy_time + m.health_degraded_time +
         m.health_offline_time + m.health_recovering_time;
-    if (in_state != m.makespan)
+    const its::Duration span = its::duration_between(m.makespan, 0);
+    if (in_state != span)
       fail(fmt("health time-in-state total %" PRIu64
                " does not partition the makespan %" PRIu64,
-               in_state, m.makespan));
+               in_state, span));
   }
   expect_count(EventKind::kPoolStore, m.pool_stores, "pool_stores");
   expect_count(EventKind::kPoolLoad, m.pool_hits, "pool_hits");

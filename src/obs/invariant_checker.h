@@ -69,7 +69,7 @@ struct RunTotals {
   std::uint64_t pool_stores = 0;
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_drains = 0;
-  std::uint64_t drain_bytes = 0;
+  its::Bytes drain_bytes = 0;
   std::uint64_t faults_served_degraded = 0;
 };
 

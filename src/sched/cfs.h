@@ -17,8 +17,8 @@
 namespace its::sched {
 
 struct CfsConfig {
-  its::Duration sched_latency = 24'000'000;  ///< Target rotation period (24 ms).
-  its::Duration min_granularity = 50'000;    ///< Slice floor (50 µs, mini-scale).
+  its::Duration sched_latency = 24_ms;     ///< Target rotation period.
+  its::Duration min_granularity = 50_us;   ///< Slice floor (mini-scale).
 };
 
 class CfsScheduler final : public Scheduler {

@@ -87,7 +87,7 @@ class Scheduler {
 /// between the registered priority extremes.
 class RRScheduler final : public Scheduler {
  public:
-  RRScheduler(its::Duration slice_min = 5'000'000, its::Duration slice_max = 800'000'000)
+  RRScheduler(its::Duration slice_min = 5_ms, its::Duration slice_max = 800_ms)
       : slice_min_(slice_min), slice_max_(slice_max) {}
 
   void add(Process* p) override;

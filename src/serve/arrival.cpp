@@ -31,6 +31,7 @@ ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& cfg)
 its::Duration ArrivalGenerator::quiet_dwell_mean(const ArrivalConfig& cfg) {
   // Long-run burst fraction f = mean_burst / (mean_burst + mean_quiet).
   const double f = std::clamp(cfg.burst_fraction, 0.001, 0.999);
+  // its-lint: allow(units-narrow): burst-fraction algebra runs in doubles
   const double mean = static_cast<double>(cfg.mean_burst) * (1.0 - f) / f;
   return std::max<its::Duration>(static_cast<its::Duration>(mean), 1);
 }
@@ -60,6 +61,7 @@ its::Duration ArrivalGenerator::next_gap() {
     const its::Duration mean =
         burst_ ? std::max<its::Duration>(
                      static_cast<its::Duration>(
+                         // its-lint: allow(units-narrow): rate scaling factor
                          static_cast<double>(base) /
                          std::max(cfg_.burst_rate_mult, 1.0)),
                      1)

@@ -40,7 +40,7 @@ struct ArrivalConfig {
   double rate_rps = 2'000.0;      ///< Mean arrival rate, requests per second.
   double burst_rate_mult = 8.0;   ///< MMPP burst-state rate multiplier.
   double burst_fraction = 0.1;    ///< Long-run fraction of time in burst.
-  its::Duration mean_burst = 2'000'000;  ///< Mean burst dwell, ns.
+  its::Duration mean_burst = 2_ms;  ///< Mean burst dwell.
   std::uint64_t seed = 42;        ///< Stream seed; same seed, same stream.
 };
 

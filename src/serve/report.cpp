@@ -20,7 +20,7 @@ void row(std::ostream& os, const ServePoint& pt, const char* tier,
          its::Duration slo_ns, std::uint64_t arrivals, std::uint64_t admits,
          std::uint64_t rejects, std::uint64_t completed,
          std::uint64_t violations, const util::QuantileDigest& lat,
-         std::uint64_t makespan) {
+         its::SimTime makespan) {
   char oc[32];
   std::snprintf(oc, sizeof oc, "%.2f", pt.overcommit);
   os << core::policy_name(pt.policy) << ',' << oc << ',' << tier << ','

@@ -32,8 +32,8 @@ std::vector<TierSpec> default_tiers() {
 ServeConfig::ServeConfig() {
   // Serving requests run mini-scale templates; scale the SCHED_RR slice
   // range the same way ExperimentConfig does so interleaving matches.
-  sim.slice_min = 50'000;     // 50 µs
-  sim.slice_max = 8'000'000;  // 8 ms
+  sim.slice_min = 50_us;
+  sim.slice_max = 8_ms;
   // CI's hostile job forces every scenario under a named fault profile,
   // exactly like the batch experiments (docs/robustness.md).
   if (const char* env = std::getenv("ITS_FAULT_PROFILE"))
@@ -58,10 +58,13 @@ std::vector<Request> generate_requests(const ServeConfig& cfg) {
   const double shares = total_share(cfg.tiers);
 
   std::vector<Request> out;
+  // The scenario clock starts at 0, so the open-loop window's Duration is
+  // also the last admissible arrival instant.
+  const its::SimTime horizon = its::SimTime{0} + cfg.duration;
   its::SimTime t = 0;
   for (;;) {
     t += gaps.next_gap();
-    if (t > cfg.duration) break;
+    if (t > horizon) break;
     if (cfg.max_requests != 0 && out.size() >= cfg.max_requests) break;
     const double r = tier_rng.next_double() * shares;
     double cum = 0.0;
@@ -85,6 +88,7 @@ std::uint64_t serve_dram_bytes(const ServeConfig& cfg) {
   for (const TierSpec& t : cfg.tiers) {
     const trace::WorkloadSpec& spec = trace::spec_for(t.workload);
     mean_hot += (std::max(t.share, 0.0) / shares) *
+                // its-lint: allow(units-narrow): share-weighted sizing estimate
                 static_cast<double>(spec.hot_bytes) * cfg.footprint_scale;
   }
   const double slots = cfg.admit_limit != 0 ? cfg.admit_limit : 1.0;
@@ -100,6 +104,7 @@ std::uint64_t serve_dram_bytes(const ServeConfig& cfg) {
 double ServeMetrics::requests_per_sec() const {
   if (sim.makespan == 0) return 0.0;
   return static_cast<double>(completed) /
+         // its-lint: allow(units-narrow): throughput rate, not ns accounting
          (static_cast<double>(sim.makespan) * 1e-9);
 }
 

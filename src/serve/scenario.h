@@ -52,7 +52,7 @@ std::vector<TierSpec> default_tiers();
 struct ServeConfig {
   ArrivalConfig arrivals;
   std::vector<TierSpec> tiers = default_tiers();
-  its::Duration duration = 50'000'000;  ///< Arrival window, ns (open loop).
+  its::Duration duration = 50_ms;       ///< Arrival window (open loop).
   std::uint64_t max_requests = 0;       ///< Hard cap on arrivals; 0 = none.
   unsigned admit_limit = 24;   ///< Max in-flight admitted requests; 0 = ∞.
   double overcommit = 2.0;     ///< Admitted working set : DRAM ratio.

@@ -72,7 +72,7 @@ DeviceHealth DeviceHealthMonitor::state_at(its::SimTime t) const {
   if (cfg_.dead_at > 0 && t >= cfg_.dead_at) {
     sched = DeviceHealth::kOffline;
   } else if (cfg_.period > 0 && cfg_.length > 0) {
-    const its::SimTime into = (t + cfg_.phase) % cfg_.period;
+    const its::Duration into = (t + cfg_.phase) % cfg_.period;
     if (into < cfg_.length)
       sched = DeviceHealth::kOffline;
     else if (into < cfg_.length + cfg_.recovery)
@@ -93,7 +93,7 @@ its::SimTime DeviceHealthMonitor::next_boundary(its::SimTime t) const {
   const bool dead = cfg_.dead_at > 0 && t >= cfg_.dead_at;
   if (cfg_.dead_at > 0 && t < cfg_.dead_at) nb = std::min(nb, cfg_.dead_at);
   if (!dead && cfg_.period > 0 && cfg_.length > 0) {
-    const its::SimTime into = (t + cfg_.phase) % cfg_.period;
+    const its::Duration into = (t + cfg_.phase) % cfg_.period;
     its::SimTime next;
     if (into < cfg_.length)
       next = t + (cfg_.length - into);

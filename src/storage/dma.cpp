@@ -10,7 +10,8 @@ namespace its::storage {
 DmaController::DmaController(const UllConfig& dev, const PcieConfig& link)
     : dev_(dev), link_(link) {}
 
-its::SimTime DmaController::post(its::SimTime now, Dir dir, std::uint64_t bytes) {
+its::SimTime DmaController::post(its::SimTime now, Dir dir,
+                                 its::Bytes bytes) {
   its::SimTime done;
   if (dir == Dir::kRead) {
     // Media read, then host transfer over the (serialising) link.
@@ -28,7 +29,7 @@ its::SimTime DmaController::post(its::SimTime now, Dir dir, std::uint64_t bytes)
 }
 
 PostResult DmaController::post_checked(its::SimTime now, Dir dir,
-                                       std::uint64_t bytes) {
+                                       its::Bytes bytes) {
   PostResult r;
   if (dir == Dir::kRead) {
     its::SimTime media_done = dev_.schedule(now, /*write=*/false, &r.error);

@@ -35,12 +35,12 @@ class DmaController {
   /// Injected errors (if a FaultInjector is attached) are absorbed as
   /// internal device/link redo latency — this path never fails, so it fits
   /// fire-and-forget operations (writebacks, readahead).
-  its::SimTime post(its::SimTime now, Dir dir, std::uint64_t bytes);
+  its::SimTime post(its::SimTime now, Dir dir, its::Bytes bytes);
 
   /// Fault-aware post for demand operations with a waiter that can retry:
   /// media and link errors surface in the result instead of being redone
   /// internally.  Identical to post() when no injector is attached.
-  PostResult post_checked(its::SimTime now, Dir dir, std::uint64_t bytes);
+  PostResult post_checked(its::SimTime now, Dir dir, its::Bytes bytes);
 
   /// Posts a page-sized (4 KiB) transfer.
   its::SimTime post_page(its::SimTime now, Dir dir) {

@@ -15,12 +15,13 @@ PcieLink::PcieLink(const PcieConfig& cfg) {
   bytes_per_ns_ = static_cast<double>(cfg.lanes) * cfg.gbytes_per_sec_per_lane;
 }
 
-its::Duration PcieLink::transfer_time(std::uint64_t bytes) const {
+its::Duration PcieLink::transfer_time(its::Bytes bytes) const {
   return static_cast<its::Duration>(
+      // its-lint: allow(units-narrow): bandwidth division runs in doubles
       std::ceil(static_cast<double>(bytes) / bytes_per_ns_));
 }
 
-its::SimTime PcieLink::schedule(its::SimTime ready, std::uint64_t bytes,
+its::SimTime PcieLink::schedule(its::SimTime ready, its::Bytes bytes,
                                 bool* error_out) {
   its::SimTime start = std::max(ready, busy_until_);
   its::Duration t = transfer_time(bytes);

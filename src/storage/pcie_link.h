@@ -23,7 +23,7 @@ class PcieLink {
   explicit PcieLink(const PcieConfig& cfg = {});
 
   /// Pure function: time to move `bytes` at full link bandwidth.
-  its::Duration transfer_time(std::uint64_t bytes) const;
+  its::Duration transfer_time(its::Bytes bytes) const;
 
   /// Schedules a transfer that becomes ready at `ready`; returns its
   /// completion time.  Transfers are serialised in call order (FIFO link).
@@ -32,7 +32,7 @@ class PcieLink {
   /// When `error_out` is non-null the error is surfaced for the caller to
   /// retry; when it is null the link retransmits internally (the transfer
   /// occupies the link twice).  Either way the bytes burn link time.
-  its::SimTime schedule(its::SimTime ready, std::uint64_t bytes,
+  its::SimTime schedule(its::SimTime ready, its::Bytes bytes,
                         bool* error_out = nullptr);
 
   /// Connects the link to the (caller-owned) fault injector; nullptr

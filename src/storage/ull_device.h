@@ -15,8 +15,8 @@
 namespace its::storage {
 
 struct UllConfig {
-  its::Duration read_latency = 3000;   ///< ns — paper: Z-NAND ~3 µs.
-  its::Duration write_latency = 3000;  ///< ns — program latency, same class.
+  its::Duration read_latency = 3_us;   ///< Paper: Z-NAND ~3 µs.
+  its::Duration write_latency = 3_us;  ///< Program latency, same class.
   unsigned channels = 8;               ///< Internal parallelism.
 };
 

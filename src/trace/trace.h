@@ -21,7 +21,7 @@ struct TraceStats {
   std::uint64_t stores = 0;
   std::uint64_t file_reads = 0;     ///< read() syscall records.
   std::uint64_t file_writes = 0;    ///< write() syscall records.
-  std::uint64_t file_bytes = 0;     ///< Bytes moved through file I/O.
+  its::Bytes file_bytes = 0;        ///< Bytes moved through file I/O.
   std::uint64_t footprint_pages = 0;  ///< Distinct 4 KiB pages touched (VM only).
   its::VirtAddr min_addr = 0;
   its::VirtAddr max_addr = 0;  ///< Highest address touched (inclusive of size).

@@ -48,7 +48,8 @@ class Builder {
     trace_.reserve(budget_);
   }
 
-  static std::uint64_t scale(std::uint64_t bytes, double f) {
+  static its::Bytes scale(its::Bytes bytes, double f) {
+    // its-lint: allow(units-narrow): footprint scaling factor is a double
     auto v = static_cast<std::uint64_t>(static_cast<double>(bytes) * f);
     return std::max<std::uint64_t>(v & ~its::kPageOffsetMask, its::kPageSize);
   }
@@ -238,6 +239,7 @@ Trace gen_community(const WorkloadSpec& s, const GeneratorConfig& cfg) {
   const std::uint64_t edges = b.footprint() * 3 / 4;
   const its::VirtAddr vert_base = kHeapBase + edges;
   const std::uint64_t verts = b.footprint() - edges;
+  // its-lint: allow(units-alias-decl): GraphChi "interval" is a vertex window
   const std::uint64_t interval = std::min<std::uint64_t>(verts, b.hot() / 4);
   its::VirtAddr ep = kHeapBase;
   std::uint64_t win = 0;

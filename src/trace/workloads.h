@@ -40,8 +40,8 @@ struct WorkloadSpec {
   WorkloadId id;
   std::string_view name;
   bool data_intensive;
-  std::uint64_t footprint_bytes;  ///< Total region touched (memory footprint).
-  std::uint64_t hot_bytes;        ///< Working set (≥99 % of post-cache-miss refs).
+  its::Bytes footprint_bytes;     ///< Total region touched (memory footprint).
+  its::Bytes hot_bytes;           ///< Working set (≥99 % of post-cache-miss refs).
   std::uint64_t records;          ///< Trace records to emit at scale 1.0.
 };
 

@@ -33,8 +33,8 @@ namespace its::vm {
 struct FallbackPoolConfig {
   std::uint64_t frames = 64;   ///< Frames carved from the DRAM pool tail.
   double ratio = 3.0;          ///< Compression ratio: pages stored per frame.
-  its::Duration compress_cost = 2'000;    ///< CPU ns to compress one page.
-  its::Duration decompress_cost = 1'000;  ///< CPU ns to decompress one page.
+  its::Duration compress_cost = 2_us;     ///< CPU cost to compress one page.
+  its::Duration decompress_cost = 1_us;   ///< CPU cost to decompress one page.
 };
 
 /// A page was irrecoverably lost: the device is permanently dead and the

@@ -6,7 +6,7 @@
 
 namespace its::vm {
 
-FramePool::FramePool(std::uint64_t dram_bytes) {
+FramePool::FramePool(its::Bytes dram_bytes) {
   std::uint64_t n = dram_bytes >> its::kPageShift;
   if (n == 0) throw std::invalid_argument("FramePool: DRAM must hold >= 1 frame");
   frames_.assign(n, FrameInfo{});

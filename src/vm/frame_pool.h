@@ -32,7 +32,7 @@ struct FramePoolStats {
 
 class FramePool {
  public:
-  explicit FramePool(std::uint64_t dram_bytes);
+  explicit FramePool(its::Bytes dram_bytes);
 
   std::uint64_t num_frames() const { return frames_.size(); }
   std::uint64_t free_frames() const { return free_.size(); }

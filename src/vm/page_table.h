@@ -23,7 +23,9 @@ inline constexpr unsigned kEntriesPerLevel = 512;
 constexpr unsigned pgd_index(its::VirtAddr a) { return (a >> 39) & 0x1ff; }
 constexpr unsigned pud_index(its::VirtAddr a) { return (a >> 30) & 0x1ff; }
 constexpr unsigned pmd_index(its::VirtAddr a) { return (a >> 21) & 0x1ff; }
-constexpr unsigned pte_index(its::VirtAddr a) { return (a >> 12) & 0x1ff; }
+constexpr unsigned pte_index(its::VirtAddr a) {
+  return (a >> its::kPageShift) & 0x1ff;
+}
 
 class PageTable {
  public:

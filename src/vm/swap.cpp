@@ -17,12 +17,15 @@ RetryPolicy::RetryPolicy(unsigned max_retries, its::Duration backoff_base,
 
 its::Duration RetryPolicy::backoff(unsigned attempt) const {
   if (attempt == 0) attempt = 1;
+  // its-lint: allow(units-narrow): exponential ladder multiplies in doubles
   double b = static_cast<double>(base_);
   for (unsigned i = 1; i < attempt; ++i) {
     b *= mult_;
+    // its-lint: allow(units-narrow): cap compare in the double domain
     if (b >= static_cast<double>(cap_)) break;  // saturated
   }
   auto d = static_cast<its::Duration>(
+      // its-lint: allow(units-narrow): rounding the saturated double draw
       std::min(b, static_cast<double>(cap_)));
   return std::max<its::Duration>(d, 1);
 }

@@ -48,9 +48,9 @@ class RetryPolicy {
 
  private:
   unsigned max_retries_ = 3;
-  its::Duration base_ = 1000;
+  its::Duration base_ = 1_us;
   double mult_ = 2.0;
-  its::Duration cap_ = 64'000;
+  its::Duration cap_ = 64_us;
 };
 
 class SwapArea {

@@ -1,0 +1,14 @@
+// Fixture: vocabulary-typed raw declarations that need the its:: aliases.
+#include "util/types.h"
+
+namespace its::sim {
+
+std::uint64_t retire_deadline = 0;
+std::uint64_t queue_vaddr = 0;
+double warm_latency = 0.0;
+std::uint64_t spill_bytes = 0;
+std::uint64_t victim_vpn = 0;
+
+void absorb(std::uint64_t stall_ns, unsigned fill_count);
+
+}  // namespace its::sim

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned quantity algebra — must produce zero findings.
+#include "util/types.h"
+
+namespace its::sim {
+
+its::Duration charge(its::SimTime start, its::SimTime end) {
+  its::Duration gap = end - start;
+  its::SimTime wake = end + gap;
+  its::Duration padded = its::round_up(gap, 16);
+  its::Bytes window = 4_KiB;
+  its::Vpn vpn = its::vpn_of(window);
+  if (wake > end) return padded;
+  return gap + padded;
+}
+
+}  // namespace its::sim

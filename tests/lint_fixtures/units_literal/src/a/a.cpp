@@ -1,0 +1,17 @@
+// Fixture: unsuffixed time-scale magnitudes in time contexts.
+#include "util/types.h"
+
+namespace its::sim {
+
+struct Knobs {
+  its::Duration settle_delay = 4000;
+  its::SimTime first_wake = 0;
+};
+
+its::Duration pad(its::Duration cost) {
+  its::Duration padded = cost + 2000;
+  if (cost > 16000) return padded;
+  return cost / 1000;  // unit conversion: exempt
+}
+
+}  // namespace its::sim

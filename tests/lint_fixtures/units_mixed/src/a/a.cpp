@@ -1,0 +1,18 @@
+// Fixture: every dimension mix the units pass rejects.
+#include "util/types.h"
+
+namespace its::sim {
+
+its::SimTime deadline_for(its::SimTime now, its::Duration grace) {
+  its::SimTime wake = now + grace;  // legal: SimTime + Duration
+  its::SimTime sum = now + wake;
+  its::Bytes span_bytes = 4096;
+  its::Duration d = grace - now;
+  if (grace < now) return wake;
+  if (wake < span_bytes) return wake;
+  its::Vpn vpn = 7;
+  its::Bytes mixed_bytes = vpn + span_bytes;
+  return sum;
+}
+
+}  // namespace its::sim

@@ -1,0 +1,13 @@
+// Fixture: narrowing and floating promotions of 64-bit quantities.
+#include "util/types.h"
+
+namespace its::sim {
+
+double leak(its::Duration service_cost, its::Bytes moved_bytes) {
+  unsigned clipped = static_cast<unsigned>(service_cost);
+  double scaled = static_cast<double>(moved_bytes);
+  uint32_t trimmed = service_cost;
+  return scaled + clipped + trimmed;
+}
+
+}  // namespace its::sim

@@ -1,0 +1,12 @@
+// Fixture: raw products that wrap at full-scale trace lengths.
+#include "util/types.h"
+
+namespace its::sim {
+
+its::Duration bill(its::Duration unit_cost, std::uint64_t repeat_count) {
+  its::Duration square = unit_cost * unit_cost;
+  its::Duration total = unit_cost * repeat_count;
+  return square + total;
+}
+
+}  // namespace its::sim

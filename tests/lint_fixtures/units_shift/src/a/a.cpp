@@ -1,0 +1,14 @@
+// Fixture: hand-rolled page arithmetic instead of the types.h helpers.
+#include "util/types.h"
+
+namespace its::sim {
+
+std::uint64_t split(its::VirtAddr fault_addr) {
+  std::uint64_t vpn_raw = fault_addr >> 12;
+  std::uint64_t off = fault_addr & 0xfff;
+  its::VirtAddr base = fault_addr & ~0xfff;
+  its::Bytes page = 1 << 12;
+  return vpn_raw + off + base + page;
+}
+
+}  // namespace its::sim

@@ -855,5 +855,182 @@ TEST(LintJson, FixtureRunRoundTrips) {
   EXPECT_NE(json.find("\"errors\":[]"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Units rules over the fixture mini-trees — one tree per rule, exact
+// (rule, line) locations, plus the sanctioned-algebra tree that must scan
+// clean.
+
+std::vector<Finding> units_scan(const std::string& tree) {
+  std::vector<std::string> errors;
+  auto findings =
+      scan_units(units_options_for_root(fixture(tree)), &errors);
+  EXPECT_TRUE(errors.empty());
+  return findings;
+}
+
+TEST(LintUnits, SanctionedAlgebraTreeIsClean) {
+  auto findings = units_scan("units_clean");
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " finding(s), first: "
+      << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(LintUnits, MixedArithFiresOnEveryIllegalCombination) {
+  auto findings = units_scan("units_mixed");
+  // 8: SimTime + SimTime; 10: Duration - SimTime; 11: Duration vs SimTime
+  // compare; 12: time vs space compare; 14: pages + bytes.  Line 7's
+  // SimTime + Duration is legal and must NOT appear.
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsMixedArith, 8},
+                {Rule::kUnitsMixedArith, 10},
+                {Rule::kUnitsMixedArith, 11},
+                {Rule::kUnitsMixedArith, 12},
+                {Rule::kUnitsMixedArith, 14}}));
+}
+
+TEST(LintUnits, AliasDeclFiresOnVocabularyTypedRawDeclarations) {
+  auto findings = units_scan("units_alias");
+  // Declarations and the uint64_t parameter; the `unsigned fill_count`
+  // parameter is count vocabulary and stays legal.
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsAliasDecl, 6},
+                {Rule::kUnitsAliasDecl, 7},
+                {Rule::kUnitsAliasDecl, 8},
+                {Rule::kUnitsAliasDecl, 9},
+                {Rule::kUnitsAliasDecl, 10},
+                {Rule::kUnitsAliasDecl, 12}}));
+  EXPECT_TRUE(has_finding(findings, Rule::kUnitsAliasDecl, "retire_deadline"));
+  EXPECT_TRUE(has_finding(findings, Rule::kUnitsAliasDecl, "stall_ns"));
+}
+
+TEST(LintUnits, RawLiteralFiresInTimeContextsButNotDivision) {
+  auto findings = units_scan("units_literal");
+  // 7: member initializer; 12: addition; 13: comparison.  Line 14's
+  // `cost / 1000` is a unit conversion and must NOT appear.
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsRawLiteral, 7},
+                {Rule::kUnitsRawLiteral, 12},
+                {Rule::kUnitsRawLiteral, 13}}));
+}
+
+TEST(LintUnits, NarrowFiresOnCastsAndNarrowDecls) {
+  auto findings = units_scan("units_narrow");
+  // 7: static_cast<unsigned>(Duration); 8: static_cast<double>(Bytes);
+  // 9: uint32_t initialized from a Duration.
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsNarrow, 7},
+                {Rule::kUnitsNarrow, 8},
+                {Rule::kUnitsNarrow, 9}}));
+}
+
+TEST(LintUnits, OverflowFiresOnRawDurationProducts) {
+  auto findings = units_scan("units_overflow");
+  // 7: Duration * Duration; 8: Duration * count.
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsOverflow, 7},
+                {Rule::kUnitsOverflow, 8}}));
+}
+
+TEST(LintUnits, ShiftPageFiresOnManualPageArithmetic) {
+  auto findings = units_scan("units_shift");
+  // 7: >> 12; 8: & 0xfff; 9: & ~0xfff; 10: literal << 12.
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsShiftPage, 7},
+                {Rule::kUnitsShiftPage, 8},
+                {Rule::kUnitsShiftPage, 9},
+                {Rule::kUnitsShiftPage, 10}}));
+}
+
+TEST(LintUnits, ReasonedAllowSilencesAUnitsFinding) {
+  SourceFile f = SourceFile::from_text(
+      "src/a/a.cpp",
+      "its::SimTime plan(its::SimTime now) {\n"
+      "  // its-lint: allow(units-mixed-arith): fixture exercises the allow\n"
+      "  its::SimTime sum = now + now;\n"
+      "  return sum;\n"
+      "}\n");
+  EXPECT_TRUE(scan_units_files({f}).empty());
+
+  // The same text without the reason keeps the finding.
+  SourceFile bare = SourceFile::from_text(
+      "src/a/a.cpp",
+      "its::SimTime plan(its::SimTime now) {\n"
+      "  its::SimTime sum = now + now;\n"
+      "  return sum;\n"
+      "}\n");
+  auto findings = scan_units_files({bare});
+  EXPECT_EQ(locations(findings),
+            (std::vector<std::pair<Rule, std::size_t>>{
+                {Rule::kUnitsMixedArith, 2}}));
+}
+
+TEST(LintUnits, TypesHeaderItselfIsExempt) {
+  // util/types.h defines the algebra; its own helper internals (raw
+  // uint64_t products inside saturating_mul etc.) must not fire.
+  SourceFile f = SourceFile::from_text(
+      "src/util/types.h",
+      "constexpr its::Duration prod(its::Duration a, its::Duration b) {\n"
+      "  return a * b;\n"
+      "}\n");
+  EXPECT_TRUE(scan_units_files({f}).empty());
+}
+
+TEST(LintUnitsExitCodes, UnitsRulesArePinnedAt33Through38) {
+  EXPECT_EQ(exit_code_for(Rule::kUnitsMixedArith), 33);
+  EXPECT_EQ(exit_code_for(Rule::kUnitsAliasDecl), 34);
+  EXPECT_EQ(exit_code_for(Rule::kUnitsRawLiteral), 35);
+  EXPECT_EQ(exit_code_for(Rule::kUnitsNarrow), 36);
+  EXPECT_EQ(exit_code_for(Rule::kUnitsOverflow), 37);
+  EXPECT_EQ(exit_code_for(Rule::kUnitsShiftPage), 38);
+}
+
+// ---------------------------------------------------------------------------
+// The units repo-head gate: src/ carries zero units findings, and the
+// typed aliases are load-bearing — stripping one re-fires the rule.
+
+#ifdef ITS_LINT_REPO_ROOT
+TEST(LintUnitsGate, RepoHeadIsUnitsClean) {
+  std::vector<std::string> errors;
+  auto findings =
+      scan_units(units_options_for_root(ITS_LINT_REPO_ROOT), &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " finding(s), first: "
+      << (findings.empty() ? "" : findings[0].file + ": " +
+                                      findings[0].message);
+}
+
+TEST(LintUnitsGate, StrippingATypedAliasFails) {
+  SourceFile original;
+  std::string err;
+  ASSERT_TRUE(SourceFile::load(
+      std::string(ITS_LINT_REPO_ROOT) + "/src/core/config.h", &original,
+      &err))
+      << err;
+  std::string text;
+  for (const std::string& line : original.raw_lines) {
+    text += line;
+    text += '\n';
+  }
+  const std::string typed = "its::Duration ctx_switch_cost";
+  const std::size_t at = text.find(typed);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, typed.size(), "std::uint64_t ctx_switch_cost");
+  SourceFile mutated = SourceFile::from_text("src/core/config.h", text);
+  auto findings = scan_units_files({mutated});
+  EXPECT_TRUE(has_finding(findings, Rule::kUnitsAliasDecl,
+                          "ctx_switch_cost"));
+  LintResult r;
+  r.findings = std::move(findings);
+  EXPECT_NE(r.exit_code(), kExitClean);
+}
+#endif  // ITS_LINT_REPO_ROOT
+
 }  // namespace
 }  // namespace its::lint

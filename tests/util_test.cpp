@@ -224,5 +224,99 @@ TEST(Types, LiteralsAndHelpers) {
   EXPECT_EQ(its::line_of(0x87), 0x2u);
 }
 
+TEST(Types, MulOverflowDetection) {
+  EXPECT_FALSE(its::mul_overflows(0, ~0ull));
+  EXPECT_FALSE(its::mul_overflows(~0ull, 1));
+  EXPECT_FALSE(its::mul_overflows(1ull << 32, (1ull << 32) - 1));
+  EXPECT_TRUE(its::mul_overflows(1ull << 32, 1ull << 32));
+  EXPECT_TRUE(its::mul_overflows(~0ull, 2));
+}
+
+TEST(Types, SaturatingMulClampsInsteadOfWrapping) {
+  EXPECT_EQ(its::saturating_mul(3, 7), 21u);
+  EXPECT_EQ(its::saturating_mul(~0ull, 1), ~0ull);
+  // The wrapping product would be a small bogus number; the clamp rails.
+  EXPECT_EQ(its::saturating_mul(1ull << 33, 1ull << 33), ~0ull);
+  EXPECT_EQ(its::saturating_mul(~0ull, ~0ull), ~0ull);
+}
+
+TEST(Types, CheckedMulSaturatesInRelease) {
+  // NDEBUG builds compile the assert out; the contract is "never wraps".
+  EXPECT_EQ(its::checked_mul(1000, 1000), 1000000u);
+#ifdef NDEBUG
+  EXPECT_EQ(its::checked_mul(1ull << 40, 1ull << 40), ~0ull);
+#endif
+}
+
+TEST(Types, SaturatingAddClamps) {
+  EXPECT_EQ(its::saturating_add(1, 2), 3u);
+  EXPECT_EQ(its::saturating_add(~0ull, 0), ~0ull);
+  EXPECT_EQ(its::saturating_add(~0ull - 1, 1), ~0ull);
+  EXPECT_EQ(its::saturating_add(~0ull, 1), ~0ull);
+  EXPECT_EQ(its::saturating_add(~0ull, ~0ull), ~0ull);
+  EXPECT_EQ(its::saturating_add(~0ull, its::kDurationMax), its::kDurationMax);
+}
+
+TEST(Types, DurationBetweenClampsUnderflow) {
+  EXPECT_EQ(its::duration_between(10, 3), 7u);
+  EXPECT_EQ(its::duration_between(5, 5), 0u);
+#ifdef NDEBUG
+  // Inverted order must never manufacture a ~2^64 ns "duration".
+  EXPECT_EQ(its::duration_between(3, 10), 0u);
+#endif
+}
+
+TEST(Types, RoundUpAndDown) {
+  EXPECT_EQ(its::round_up(0, 16), 0u);
+  EXPECT_EQ(its::round_up(1, 16), 16u);
+  EXPECT_EQ(its::round_up(16, 16), 16u);
+  EXPECT_EQ(its::round_up(17, 16), 32u);
+  // Within one quantum of the rail: saturate, don't wrap past zero.
+  EXPECT_EQ(its::round_up(~0ull - 3, 16), ~0ull);
+  EXPECT_EQ(its::round_down(0, 16), 0u);
+  EXPECT_EQ(its::round_down(15, 16), 0u);
+  EXPECT_EQ(its::round_down(17, 16), 16u);
+  EXPECT_EQ(its::round_down(~0ull, 16), ~0ull - 15);
+}
+
+TEST(Types, DurationLiteralsSaturate) {
+  EXPECT_EQ(7_us, 7000u);
+  EXPECT_EQ(800_ms, 800000000u);
+  EXPECT_EQ(2_s, 2000000000u);
+  // 2^64 ns is ~18446744073.7 s: the first wrapping _s literal clamps.
+  EXPECT_EQ(18446744073_s, 18446744073000000000u);
+  EXPECT_EQ(18446744074_s, ~0ull);
+  EXPECT_EQ(99999999999999_s, ~0ull);
+}
+
+TEST(Types, SizeLiteralsSaturate) {
+  EXPECT_EQ(16_GiB, 17179869184u);
+  // 2^64 B is 16 Ei = 17179869184 Gi: one past that clamps.
+  EXPECT_EQ(17179869183_GiB, 17179869183ull << 30);
+  EXPECT_EQ(17179869184_GiB, ~0ull);
+}
+
+TEST(Types, Wide128AddCarriesAndClamps) {
+  its::Wide128 w;
+  w.add(~0ull);
+  EXPECT_TRUE(w.fits_u64());
+  EXPECT_EQ(w.clamped(), ~0ull);
+  w.add(1);  // carries into hi
+  EXPECT_FALSE(w.fits_u64());
+  EXPECT_EQ(w.hi, 1u);
+  EXPECT_EQ(w.lo, 0u);
+  EXPECT_EQ(w.clamped(), ~0ull);
+}
+
+TEST(Types, WideMulIsFullWidth) {
+  EXPECT_EQ(its::wide_mul(3, 7), (its::Wide128{0, 21}));
+  EXPECT_EQ(its::wide_mul(1ull << 32, 1ull << 32), (its::Wide128{1, 0}));
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  EXPECT_EQ(its::wide_mul(~0ull, ~0ull), (its::Wide128{~0ull - 1, 1}));
+  EXPECT_TRUE(its::wide_mul(1ull << 40, 1ull << 23).fits_u64());
+  EXPECT_FALSE(its::wide_mul(1ull << 40, 1ull << 24).fits_u64());
+  EXPECT_EQ(its::wide_mul(1ull << 40, 1ull << 24).clamped(), ~0ull);
+}
+
 }  // namespace
 }  // namespace its::util

@@ -60,10 +60,16 @@ enum class Rule : std::size_t {
   kConcAtomicOrder,   ///< Atomic access without explicit memory_order.
   kConcSharedStatic,  ///< Mutable static state shared across workers.
   kConcFalseShare,    ///< Adjacent sync members without alignas padding.
+  kUnitsMixedArith,   ///< Arithmetic/comparison mixing quantity dimensions.
+  kUnitsAliasDecl,    ///< Bare uint64_t/double decl where an alias exists.
+  kUnitsRawLiteral,   ///< Unsuffixed time-scale literal (use _us/_ms/_s).
+  kUnitsNarrow,       ///< Time/size narrowed to 32 bits or double-promoted.
+  kUnitsOverflow,     ///< Raw Duration product without the checked helpers.
+  kUnitsShiftPage,    ///< Manual >>12 / &0xfff instead of vpn_of/page_base.
 };
 
 inline constexpr std::size_t kNumRules =
-    static_cast<std::size_t>(Rule::kConcFalseShare) + 1;
+    static_cast<std::size_t>(Rule::kUnitsShiftPage) + 1;
 
 /// Stable kebab-case rule identifier, used in output and in allow(...).
 std::string_view rule_id(Rule r);
@@ -254,6 +260,34 @@ std::vector<Finding> scan_concurrency_files(
 void print_lock_dot(std::ostream& os, const LockGraph& g);
 
 // ---------------------------------------------------------------------------
+// Units rules (whole-program).
+
+/// What the units pass reads: the src tree, nothing else.  The quantity
+/// algebra itself is documented in src/util/types.h and
+/// docs/static-analysis.md#units.
+struct UnitsOptions {
+  std::string root;     ///< Tree root (findings are reported relative to it).
+  std::string src_dir;  ///< Directory scanned, normally root/src.
+};
+
+/// Default layout: src_dir = root/src.
+UnitsOptions units_options_for_root(const std::string& root);
+
+/// Runs the whole units-* family: a typedef-aware dimension analysis over
+/// declarations, expressions and cross-file call edges enforcing
+///   SimTime - SimTime -> Duration,  SimTime + Duration -> SimTime,
+/// flagging SimTime + SimTime, any time-vs-space mixing, vocabulary-typed
+/// bare uint64_t/double declarations, unsuffixed time-scale literals,
+/// narrowing of time quantities, raw Duration products, and manual page
+/// shifts.  Suppressions are applied internally.
+std::vector<Finding> scan_units(const UnitsOptions& opts,
+                                std::vector<std::string>* errors);
+
+/// In-memory variant (fixture and gate tests): scans exactly `files`,
+/// reporting findings against each SourceFile's `path` as given.
+std::vector<Finding> scan_units_files(const std::vector<SourceFile>& files);
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct LintOptions {
@@ -264,6 +298,8 @@ struct LintOptions {
   bool arch_only = false;       ///< Run ONLY the architecture rules.
   bool conc = true;             ///< Run the concurrency rules.
   bool conc_only = false;       ///< Run ONLY the concurrency rules.
+  bool units = true;            ///< Run the units rules.
+  bool units_only = false;      ///< Run ONLY the units rules.
   bool json = false;            ///< Machine-readable output.
   std::string dot_path;         ///< Write the module graph here ("-": stdout).
   std::string lock_dot_path;    ///< Write the lock graph here ("-": stdout).

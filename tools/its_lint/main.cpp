@@ -1,16 +1,18 @@
 // its_lint command-line driver.
 //
 //   its_lint [--root DIR] [--json] [--no-registry] [--no-arch]
-//            [--no-conc] [--arch-only] [--conc-only] [--dot PATH]
-//            [--lock-dot PATH] [--list-rules] [paths...]
+//            [--no-conc] [--no-units] [--arch-only] [--conc-only]
+//            [--units-only] [--dot PATH] [--lock-dot PATH] [--list-rules]
+//            [paths...]
 //
 // With no paths, scans <root>/src with every rule.  Explicit paths run the
 // per-file determinism rules on exactly those files/directories (the
 // registry rules still resolve against --root unless --no-registry; the
-// whole-program architecture and concurrency passes only run on full-tree
-// scans).  --arch-only / --conc-only restrict a run to one whole-program
-// family; --dot writes the module dependency graph and --lock-dot the
-// lock-acquisition-order graph as Graphviz to PATH ("-" for stdout).
+// whole-program architecture, concurrency and units passes only run on
+// full-tree scans).  --arch-only / --conc-only / --units-only restrict a
+// run to one whole-program family; --dot writes the module dependency
+// graph and --lock-dot the lock-acquisition-order graph as Graphviz to
+// PATH ("-" for stdout).
 //
 // Exit codes: 0 clean, 1 usage/IO error, 10+N when rule N fired.  When
 // several distinct rules fire, the exit code is the LOWEST firing rule's
@@ -40,8 +42,9 @@ int list_rules() {
 int usage(std::string_view msg) {
   std::cerr << "its_lint: " << msg << "\n"
             << "usage: its_lint [--root DIR] [--json] [--no-registry] "
-               "[--no-arch] [--no-conc] [--arch-only] [--conc-only] "
-               "[--dot PATH] [--lock-dot PATH] [--list-rules] [paths...]\n";
+               "[--no-arch] [--no-conc] [--no-units] [--arch-only] "
+               "[--conc-only] [--units-only] [--dot PATH] [--lock-dot PATH] "
+               "[--list-rules] [paths...]\n";
   return its::lint::kExitUsage;
 }
 
@@ -59,10 +62,14 @@ int main(int argc, char** argv) {
       opts.arch = false;
     } else if (arg == "--no-conc") {
       opts.conc = false;
+    } else if (arg == "--no-units") {
+      opts.units = false;
     } else if (arg == "--arch-only") {
       opts.arch_only = true;
     } else if (arg == "--conc-only") {
       opts.conc_only = true;
+    } else if (arg == "--units-only") {
+      opts.units_only = true;
     } else if (arg == "--dot") {
       if (i + 1 >= argc) return usage("--dot needs a path ('-' for stdout)");
       opts.dot_path = argv[++i];
@@ -85,8 +92,12 @@ int main(int argc, char** argv) {
     return usage("--arch-only and --no-arch are mutually exclusive");
   if (opts.conc_only && !opts.conc)
     return usage("--conc-only and --no-conc are mutually exclusive");
+  if (opts.units_only && !opts.units)
+    return usage("--units-only and --no-units are mutually exclusive");
   if (opts.conc_only && opts.arch_only)
     return usage("--arch-only and --conc-only are mutually exclusive");
+  if (opts.units_only && (opts.arch_only || opts.conc_only))
+    return usage("--units-only excludes --arch-only/--conc-only");
 
   its::lint::LintResult r = its::lint::run_lint(opts);
   if (opts.json)

@@ -75,6 +75,24 @@ constexpr RuleInfo kRules[kNumRules] = {
     {"conc-false-share",
      "adjacent synchronization members without alignas separation "
      "(util::kDestructiveInterferenceSize) — false-sharing hot spot"},
+    {"units-mixed-arith",
+     "arithmetic/comparison mixing quantity dimensions (SimTime + SimTime, "
+     "time vs bytes/pages/addresses) — see the algebra in util/types.h"},
+    {"units-alias-decl",
+     "bare uint64_t/double declaration whose vocabulary names a time, "
+     "address, page or size quantity — use the its:: alias"},
+    {"units-raw-literal",
+     "unsuffixed time-scale literal in a time context — write 5_us/5_ms/5_s "
+     "instead of counting zeros"},
+    {"units-narrow",
+     "time/size quantity narrowed to 32 bits or promoted to double outside "
+     "the sanctioned report path"},
+    {"units-overflow",
+     "raw Duration*Duration or Duration*count product — use checked_mul, "
+     "saturating_mul or wide_mul (util/types.h)"},
+    {"units-shift-page",
+     "manual >>12 / &0xfff page arithmetic — use vpn_of/page_base/"
+     "kPageShift/kPageOffsetMask from util/types.h"},
 };
 
 bool ident_char(char c) {
